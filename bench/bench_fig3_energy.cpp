@@ -1,0 +1,66 @@
+// Figure 3 reproduction: energy of manually vectorized float16 / float8
+// normalized to scalar float, for memory latencies L1/L2/L3.
+//
+// Paper reference points: ~30 % average saving for 16-bit types and ~50 %
+// for binary8 with data in L1 memory.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace sfrv::bench {
+namespace {
+
+void run_figure3() {
+  print_header("Figure 3: energy normalized to float (manual vectorization)");
+  const sim::MemLevel levels[] = {sim::kMemL1, sim::kMemL2, sim::kMemL3};
+  const ir::ScalarType types[] = {ir::ScalarType::F16, ir::ScalarType::F8};
+  const energy::EnergyModel model;
+
+  std::printf("%-8s", "bench");
+  for (const auto t : types) {
+    for (const auto& lv : levels) {
+      std::printf(" %8s-%s", std::string(ir::type_name(t)).c_str(), lv.name);
+    }
+  }
+  std::printf("\n");
+  print_row_rule(100);
+
+  std::vector<double> avg[2][3];
+  for (const auto& b : kernels::benchmark_suite()) {
+    std::printf("%-8s", b.name.c_str());
+    for (int ti = 0; ti < 2; ++ti) {
+      for (int li = 0; li < 3; ++li) {
+        sim::MemConfig mem;
+        mem.load_latency = levels[li].load_latency;
+        const auto base = run(b, TypeConfig::uniform(ir::ScalarType::F32),
+                              ir::CodegenMode::Scalar, mem);
+        const auto man = run(b, TypeConfig::uniform(types[ti]),
+                             ir::CodegenMode::ManualVec, mem);
+        const double rel =
+            model.total_pj(man.stats, mem) / model.total_pj(base.stats, mem);
+        std::printf(" %11.2f", rel);
+        avg[ti][li].push_back(rel);
+      }
+    }
+    std::printf("\n");
+  }
+  print_row_rule(100);
+  std::printf("%-8s", "average");
+  double a16[3], a8[3];
+  for (int li = 0; li < 3; ++li) a16[li] = geomean(avg[0][li]);
+  for (int li = 0; li < 3; ++li) a8[li] = geomean(avg[1][li]);
+  for (int li = 0; li < 3; ++li) std::printf(" %11.2f", a16[li]);
+  for (int li = 0; li < 3; ++li) std::printf(" %11.2f", a8[li]);
+  std::printf("\n\nfloat16 saving at L1: %.0f%%   (paper: ~30%%)\n",
+              100 * (1 - a16[0]));
+  std::printf("float8  saving at L1: %.0f%%   (paper: ~50%%)\n",
+              100 * (1 - a8[0]));
+}
+
+}  // namespace
+}  // namespace sfrv::bench
+
+int main() {
+  sfrv::bench::run_figure3();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 5 reproduction: the dot-product vectorization example.
+//
+//   float16 *a, *b;  float sum = 0;
+//   for (i = 0; i < n; i++) sum += a[i] * b[i];
+//
+// Automatic vectorization emits vfmul.h + lane unpacking + fcvt.s.h + fadd.s
+// per pair; manual vectorization uses the Xfaux expanding dot product
+// (vfdotpex.s.h) and removes the conversion instructions. The paper reports
+// a ~25 % instruction-count reduction for the manual version.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "isa/disasm.hpp"
+#include "kernels/svm.hpp"
+
+namespace sfrv::bench {
+namespace {
+
+kernels::KernelSpec make_dotp(int n) {
+  kernels::KernelSpec spec;
+  auto& k = spec.kernel;
+  k.name = "dotp";
+  const int A = k.add_array("a", ir::ScalarType::F16, 1, n);
+  const int B = k.add_array("b", ir::ScalarType::F16, 1, n);
+  const int OUT = k.add_array("out", ir::ScalarType::F32, 1, 1);
+  const int sum = k.add_var("sum", ir::ScalarType::F32);
+  const int i = k.fresh_loop_var();
+
+  k.body.push_back(ir::assign_var(sum, ir::Expr::constant(0.0)));
+  ir::Loop li{i, 0, ir::Bound::fixed(n), {}};
+  li.body.push_back(ir::accum_var(
+      sum, ir::Expr::mul(ir::Expr::load({A, ir::Index::constant(0), {i, 0}}),
+                         ir::Expr::load({B, ir::Index::constant(0), {i, 0}}))));
+  k.body.push_back(std::move(li));
+  k.body.push_back(
+      ir::store({OUT, ir::Index::constant(0), ir::Index::constant(0)},
+                ir::Expr::variable(sum)));
+
+  spec.init.resize(3);
+  std::vector<double> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  for (int x = 0; x < n; ++x) {
+    a[static_cast<std::size_t>(x)] = 0.01 * (x % 17) - 0.05;
+    b[static_cast<std::size_t>(x)] = 0.02 * (x % 13) - 0.1;
+  }
+  spec.init[static_cast<std::size_t>(A)] = a;
+  spec.init[static_cast<std::size_t>(B)] = b;
+  spec.output_arrays = {"out"};
+  double acc = 0;
+  for (int x = 0; x < n; ++x) {
+    acc += a[static_cast<std::size_t>(x)] * b[static_cast<std::size_t>(x)];
+  }
+  spec.golden.push_back({acc});
+  return spec;
+}
+
+void dump_inner_loop(const char* title, const kernels::RunResult& r) {
+  std::printf("\n%s inner loop:\n", title);
+  for (const auto& [beg, end] : r.lowered.inner_ranges) {
+    for (std::uint32_t pc = beg; pc < end; pc += 4) {
+      const auto idx = (pc - r.text_base) / 4;
+      if (idx < r.lowered.program.text.size()) {
+        std::printf("  %04x: %s\n", pc,
+                    isa::disassemble(r.lowered.program.text[idx], pc).c_str());
+      }
+    }
+  }
+}
+
+void run_figure5() {
+  print_header("Figure 5: dot-product vectorization, auto vs manual");
+  const auto spec = make_dotp(64);
+  const auto autov = kernels::run_kernel(spec, ir::CodegenMode::AutoVec);
+  const auto man = kernels::run_kernel(spec, ir::CodegenMode::ManualVec);
+
+  dump_inner_loop("automatic vectorization (Fig. 5 left)", autov);
+  dump_inner_loop("manual vectorization with vfdotpex (Fig. 5 right)", man);
+
+  const auto ia = autov.stats.instructions;
+  const auto im = man.stats.instructions;
+  std::printf("\ndynamic instructions: auto-vec %llu, manual %llu  ->  "
+              "manual saves %.0f%%   (paper: ~25%%)\n",
+              static_cast<unsigned long long>(ia),
+              static_cast<unsigned long long>(im),
+              100.0 * (1.0 - static_cast<double>(im) / static_cast<double>(ia)));
+  std::printf("conversion instructions: auto-vec %llu, manual %llu\n",
+              static_cast<unsigned long long>(
+                  autov.stats.count(isa::Op::FCVT_S_H) +
+                  autov.stats.count(isa::Op::FMV_X_S) +
+                  autov.stats.count(isa::Op::FMV_H_X)),
+              static_cast<unsigned long long>(
+                  man.stats.count(isa::Op::FCVT_S_H) +
+                  man.stats.count(isa::Op::FMV_X_S) +
+                  man.stats.count(isa::Op::FMV_H_X)));
+  std::printf("result check: auto %.8f manual %.8f golden %.8f\n",
+              autov.outputs.at("out")[0], man.outputs.at("out")[0],
+              spec.golden[0][0]);
+}
+
+}  // namespace
+}  // namespace sfrv::bench
+
+int main() {
+  sfrv::bench::run_figure5();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Microbenchmarks (google-benchmark): simulator throughput (simulated
+// instructions per second) on representative kernels.
+#include <benchmark/benchmark.h>
+
+#include "kernels/polybench.hpp"
+
+namespace {
+
+using namespace sfrv;
+
+void BM_SimGemmScalarF32(benchmark::State& state) {
+  const auto spec =
+      kernels::make_gemm(kernels::TypeConfig::uniform(ir::ScalarType::F32));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto r = kernels::run_kernel(spec, ir::CodegenMode::Scalar);
+    instructions += r.stats.instructions;
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.counters["sim_instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void BM_SimGemmVectorF16(benchmark::State& state) {
+  const auto spec =
+      kernels::make_gemm(kernels::TypeConfig::uniform(ir::ScalarType::F16));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto r = kernels::run_kernel(spec, ir::CodegenMode::ManualVec);
+    instructions += r.stats.instructions;
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.counters["sim_instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void BM_SimFdtdVectorF8(benchmark::State& state) {
+  const auto spec =
+      kernels::make_fdtd2d(kernels::TypeConfig::uniform(ir::ScalarType::F8));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto r = kernels::run_kernel(spec, ir::CodegenMode::ManualVec);
+    instructions += r.stats.instructions;
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.counters["sim_instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimGemmScalarF32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimGemmVectorF16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimFdtdVectorF8)->Unit(benchmark::kMillisecond);
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark): throughput of the bit-accurate
+// soft-float operations across formats. Not a paper figure; characterizes
+// the simulator substrate itself.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "softfloat/softfloat.hpp"
+
+namespace {
+
+using namespace sfrv::fp;
+
+template <class F>
+std::vector<std::uint64_t> random_operands(std::size_t n) {
+  std::mt19937_64 gen(42);
+  std::vector<std::uint64_t> v(n);
+  const std::uint64_t mask =
+      F::width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << F::width) - 1);
+  for (auto& x : v) x = gen() & mask;
+  return v;
+}
+
+template <class F>
+void BM_Add(benchmark::State& state) {
+  const auto ops = random_operands<F>(4096);
+  Flags fl;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = Float<F>::from_bits(ops[i & 4095]);
+    const auto b = Float<F>::from_bits(ops[(i + 1) & 4095]);
+    benchmark::DoNotOptimize(add(a, b, RoundingMode::RNE, fl));
+    ++i;
+  }
+}
+
+template <class F>
+void BM_Mul(benchmark::State& state) {
+  const auto ops = random_operands<F>(4096);
+  Flags fl;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = Float<F>::from_bits(ops[i & 4095]);
+    const auto b = Float<F>::from_bits(ops[(i + 1) & 4095]);
+    benchmark::DoNotOptimize(mul(a, b, RoundingMode::RNE, fl));
+    ++i;
+  }
+}
+
+template <class F>
+void BM_Fma(benchmark::State& state) {
+  const auto ops = random_operands<F>(4096);
+  Flags fl;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = Float<F>::from_bits(ops[i & 4095]);
+    const auto b = Float<F>::from_bits(ops[(i + 1) & 4095]);
+    const auto c = Float<F>::from_bits(ops[(i + 2) & 4095]);
+    benchmark::DoNotOptimize(fma(a, b, c, RoundingMode::RNE, fl));
+    ++i;
+  }
+}
+
+template <class F>
+void BM_Div(benchmark::State& state) {
+  const auto ops = random_operands<F>(4096);
+  Flags fl;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = Float<F>::from_bits(ops[i & 4095]);
+    const auto b = Float<F>::from_bits(ops[(i + 1) & 4095]);
+    benchmark::DoNotOptimize(div(a, b, RoundingMode::RNE, fl));
+    ++i;
+  }
+}
+
+template <class F>
+void BM_Convert(benchmark::State& state) {
+  const auto ops = random_operands<Binary32>(4096);
+  Flags fl;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = Float<Binary32>::from_bits(ops[i & 4095]);
+    benchmark::DoNotOptimize(convert<F>(a, RoundingMode::RNE, fl));
+    ++i;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Add<Binary8>);
+BENCHMARK(BM_Add<Binary16>);
+BENCHMARK(BM_Add<Binary16Alt>);
+BENCHMARK(BM_Add<Binary32>);
+BENCHMARK(BM_Add<Binary64>);
+BENCHMARK(BM_Mul<Binary16>);
+BENCHMARK(BM_Mul<Binary32>);
+BENCHMARK(BM_Fma<Binary16>);
+BENCHMARK(BM_Fma<Binary32>);
+BENCHMARK(BM_Div<Binary16>);
+BENCHMARK(BM_Div<Binary32>);
+BENCHMARK(BM_Convert<Binary8>);
+BENCHMARK(BM_Convert<Binary16>);
+BENCHMARK_MAIN();

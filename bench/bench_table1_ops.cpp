@@ -1,0 +1,71 @@
+// Table I reproduction: the operation inventory of the smallFloat
+// extensions, with one concrete encoding per family to demonstrate the
+// encoding scheme (fmt fields, vectorial prefix, Xfaux slots).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfrv::bench {
+namespace {
+
+void run_table1() {
+  print_header("Table I: smallFloat extension operation inventory");
+
+  std::map<isa::Ext, int> counts;
+  for (std::size_t i = 0; i < isa::kNumOps; ++i) {
+    counts[isa::extension(static_cast<isa::Op>(i))]++;
+  }
+  std::printf("%-10s %6s\n", "extension", "ops");
+  print_row_rule(20);
+  for (const auto& [ext, n] : counts) {
+    std::printf("%-10s %6d\n", std::string(isa::ext_name(ext)).c_str(), n);
+  }
+
+  std::printf("\nTable I operation families (one instance each):\n");
+  struct Row {
+    const char* type;
+    isa::Inst inst;
+    const char* semantics;
+  };
+  const Row rows[] = {
+      {"Arithmetic", {.op = isa::Op::FADD_H, .rd = 10, .rs1 = 11, .rs2 = 12},
+       "rd = rs1 + rs2"},
+      {"Conversions", {.op = isa::Op::FCVT_H_S, .rd = 10, .rs1 = 11},
+       "rd = (f16)rs1"},
+      {"Vector Arith.", {.op = isa::Op::VFADD_H, .rd = 10, .rs1 = 11, .rs2 = 12},
+       "rd[] = rs1[] + rs2[]"},
+      {"Vector Conv.", {.op = isa::Op::VFCVT_X_H, .rd = 10, .rs1 = 11},
+       "rd[] = (int16v)rs1[]"},
+      {"Cast-and-Pack",
+       {.op = isa::Op::VFCPKA_H_S, .rd = 10, .rs1 = 11, .rs2 = 12},
+       "rd[] = {(f16)rs1, (f16)rs2}"},
+      {"Expanding", {.op = isa::Op::FMACEX_S_H, .rd = 10, .rs1 = 11, .rs2 = 12},
+       "rd = (f32)(rs1*rs2) + rd"},
+      {"Other", {.op = isa::Op::VFDOTPEX_S_H, .rd = 10, .rs1 = 11, .rs2 = 12},
+       "rd = (f32)dotp(rs1[], rs2[]) + rd"},
+  };
+  std::printf("%-14s %-28s %-10s %-8s %s\n", "op type", "instruction",
+              "encoding", "ext", "semantics");
+  print_row_rule(100);
+  for (const auto& r : rows) {
+    std::printf("%-14s %-28s 0x%08x %-8s %s\n", r.type,
+                isa::disassemble(r.inst).c_str(), isa::encode(r.inst),
+                std::string(isa::ext_name(isa::extension(r.inst.op))).c_str(),
+                r.semantics);
+  }
+  std::printf(
+      "\nencoding scheme: fmt=10 for binary16 (unused slot), fmt=11 for "
+      "binary8 (repurposed Q), vectorial ops use the OP opcode with bit 31 "
+      "set (unused prefix)\n");
+}
+
+}  // namespace
+}  // namespace sfrv::bench
+
+int main() {
+  sfrv::bench::run_table1();
+  return 0;
+}

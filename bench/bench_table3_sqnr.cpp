@@ -1,0 +1,50 @@
+// Table III reproduction: quality of results as SQNR (dB) per benchmark and
+// smallFloat type, measured on the program outputs of the manually
+// vectorized kernels against double-precision golden references.
+//
+// Paper reference (dB):
+//            SVM   GEMM  ATAX  SYRK  SYR2K FDTD2D
+//  float16   40.5  60.5  36.9  59.4  60.1  45.7
+//  float16alt 25.9 43.3  39.0  42.3  42.3  31.2
+//  float8   -12.1  14.0   1.0  10.1   6.8  -8.8
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace sfrv::bench {
+namespace {
+
+void run_table3() {
+  print_header("Table III: SQNR (dB) of smallFloat program outputs");
+  const ir::ScalarType types[] = {ir::ScalarType::F16, ir::ScalarType::F16Alt,
+                                  ir::ScalarType::F8};
+  std::printf("%-12s", "type");
+  for (const auto& b : kernels::benchmark_suite()) {
+    std::printf(" %8s", b.name.c_str());
+  }
+  std::printf("\n");
+  print_row_rule(70);
+  for (const auto t : types) {
+    std::printf("%-12s", std::string(ir::type_name(t)).c_str());
+    for (const auto& b : kernels::benchmark_suite()) {
+      const auto spec = b.make(TypeConfig::uniform(t));
+      const auto r = kernels::run_kernel(spec, ir::CodegenMode::ManualVec);
+      const double s =
+          kernels::sqnr_db(golden_concat(spec), r.concat_outputs(spec.output_arrays));
+      std::printf(" %8.1f", s);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper (dB):  float16: 40.5 60.5 36.9 59.4 60.1 45.7 | float16alt: "
+      "25.9 43.3 39.0 42.3 42.3 31.2 | float8: -12.1 14.0 1.0 10.1 6.8 -8.8\n"
+      "expected shape: float16 > float16alt >> float8 on every benchmark\n");
+}
+
+}  // namespace
+}  // namespace sfrv::bench
+
+int main() {
+  sfrv::bench::run_table3();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "kernels/qor.hpp"
+#include "kernels/suite.hpp"
+
+namespace sfrv::bench {
+
+using kernels::Benchmark;
+using kernels::KernelSpec;
+using kernels::RunResult;
+using kernels::TypeConfig;
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Geometric mean (the natural average for speedups).
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double logsum = 0;
+  for (double x : v) logsum += std::log(x);
+  return std::exp(logsum / static_cast<double>(v.size()));
+}
+
+/// Run a benchmark at a type/mode/memory configuration.
+inline RunResult run(const Benchmark& b, TypeConfig tc, ir::CodegenMode mode,
+                     sim::MemConfig mem = {}) {
+  const KernelSpec spec = b.make(tc);
+  return kernels::run_kernel(spec, mode, mem);
+}
+
+inline std::vector<double> golden_concat(const KernelSpec& spec) {
+  std::vector<double> all;
+  for (const auto& g : spec.golden) all.insert(all.end(), g.begin(), g.end());
+  return all;
+}
+
+}  // namespace sfrv::bench

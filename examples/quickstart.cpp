@@ -1,0 +1,64 @@
+// Quickstart: assemble a tiny smallFloat SIMD program with the macro
+// assembler, run it on the simulator, and read the results back.
+//
+// The program packs two binary32 scalars into a binary16 vector with the
+// cast-and-pack instruction (vfcpka.h.s), squares it lane-wise with a packed
+// multiply-accumulate (vfmac.h), and converts lane 0 back to binary32.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "asmb/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "sim/core.hpp"
+#include "softfloat/softfloat.hpp"
+
+int main() {
+  using namespace sfrv;
+  namespace reg = asmb::reg;
+  using isa::Op;
+
+  asmb::Assembler a;
+
+  // Two binary32 inputs in the data segment.
+  const float x = 1.5f, y = -2.25f;
+  const auto dx = a.data_bytes(&x, sizeof x, 4);
+  const auto dy = a.data_bytes(&y, sizeof y, 4);
+  const auto dout = a.data_zero(4);
+
+  a.la(reg::s0, dx);
+  a.la(reg::s1, dy);
+  a.la(reg::s2, dout);
+  a.flw(reg::fa0, 0, reg::s0);                       // fa0 = 1.5f
+  a.flw(reg::fa1, 0, reg::s1);                       // fa1 = -2.25f
+  a.fp_rrr(Op::VFCPKA_H_S, reg::fa2, reg::fa0, reg::fa1);  // fa2 = {h(1.5), h(-2.25)}
+  a.fp_rr(Op::FMV_S_X, reg::fa3, reg::zero);         // fa3 = packed zeros
+  a.fp_rrr(Op::VFMAC_H, reg::fa3, reg::fa2, reg::fa2);     // fa3 = fa2 * fa2
+  a.fp_rr(Op::FCVT_S_H, reg::fa4, reg::fa3);         // widen lane 0
+  a.fsw(reg::fa4, 0, reg::s2);
+  a.ebreak();
+
+  const auto prog = a.finish();
+
+  std::printf("program (%zu instructions):\n", prog.text.size());
+  for (std::size_t i = 0; i < prog.text.size(); ++i) {
+    const auto pc = prog.text_base + static_cast<std::uint32_t>(i * 4);
+    std::printf("  %04x: %08x  %s\n", pc, prog.text_words[i],
+                isa::disassemble(prog.text[i], pc).c_str());
+  }
+
+  sim::Core core;  // RV32IMF + all smallFloat extensions, FLEN=32
+  core.load_program(prog);
+  core.run();
+
+  float out = 0;
+  core.memory().read_block(dout, &out, sizeof out);
+  std::printf("\nlane0: (1.5)^2 computed via binary16 SIMD = %g\n", out);
+  std::printf("lane1 bits: 0x%04llx = %g (binary16 of (-2.25)^2)\n",
+              static_cast<unsigned long long>((core.f_bits(reg::fa3) >> 16) & 0xffff),
+              fp::rt_to_double(fp::FpFormat::F16, (core.f_bits(reg::fa3) >> 16) & 0xffff));
+  std::printf("cycles: %llu, instructions: %llu\n",
+              static_cast<unsigned long long>(core.stats().cycles),
+              static_cast<unsigned long long>(core.stats().instructions));
+  return 0;
+}

@@ -1,0 +1,265 @@
+#include "asmb/assembler.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace sfrv::asmb {
+
+using isa::Inst;
+using isa::Op;
+
+Assembler::Assembler(std::uint32_t text_base, std::uint32_t data_base) {
+  prog_.text_base = text_base;
+  prog_.data_base = data_base;
+}
+
+Assembler::Label Assembler::make_label() {
+  label_addr_.push_back(-1);
+  return static_cast<Label>(label_addr_.size() - 1);
+}
+
+void Assembler::bind(Label l) {
+  assert(label_addr_[static_cast<std::size_t>(l)] == -1 && "label bound twice");
+  label_addr_[static_cast<std::size_t>(l)] = pc();
+}
+
+Assembler::Label Assembler::here() {
+  const Label l = make_label();
+  bind(l);
+  return l;
+}
+
+void Assembler::emit(Inst inst) {
+  assert(!finished_);
+  prog_.text.push_back(inst);
+}
+
+std::uint32_t Assembler::pc() const {
+  return prog_.text_base + static_cast<std::uint32_t>(prog_.text.size()) * 4;
+}
+
+// ---- integer ops ----------------------------------------------------------
+
+void Assembler::lui(std::uint8_t rd, std::int32_t imm) {
+  emit({.op = Op::LUI, .rd = rd, .imm = imm});
+}
+void Assembler::auipc(std::uint8_t rd, std::int32_t imm) {
+  emit({.op = Op::AUIPC, .rd = rd, .imm = imm});
+}
+void Assembler::addi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+  assert(imm >= -2048 && imm < 2048);
+  emit({.op = Op::ADDI, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+void Assembler::add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  emit({.op = Op::ADD, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+void Assembler::sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  emit({.op = Op::SUB, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+void Assembler::slli(std::uint8_t rd, std::uint8_t rs1, int sh) {
+  emit({.op = Op::SLLI, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+void Assembler::srli(std::uint8_t rd, std::uint8_t rs1, int sh) {
+  emit({.op = Op::SRLI, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+void Assembler::srai(std::uint8_t rd, std::uint8_t rs1, int sh) {
+  emit({.op = Op::SRAI, .rd = rd, .rs1 = rs1, .imm = sh});
+}
+void Assembler::mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  emit({.op = Op::MUL, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+void Assembler::lw(std::uint8_t rd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::LW, .rd = rd, .rs1 = base, .imm = off});
+}
+void Assembler::sw(std::uint8_t rs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::SW, .rs1 = base, .rs2 = rs2, .imm = off});
+}
+void Assembler::lh(std::uint8_t rd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::LH, .rd = rd, .rs1 = base, .imm = off});
+}
+void Assembler::lhu(std::uint8_t rd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::LHU, .rd = rd, .rs1 = base, .imm = off});
+}
+void Assembler::lbu(std::uint8_t rd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::LBU, .rd = rd, .rs1 = base, .imm = off});
+}
+void Assembler::sh(std::uint8_t rs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::SH, .rs1 = base, .rs2 = rs2, .imm = off});
+}
+void Assembler::sb(std::uint8_t rs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::SB, .rs1 = base, .rs2 = rs2, .imm = off});
+}
+
+// ---- pseudo-instructions ----------------------------------------------------
+
+void Assembler::nop() { addi(reg::zero, reg::zero, 0); }
+void Assembler::mv(std::uint8_t rd, std::uint8_t rs) { addi(rd, rs, 0); }
+
+void Assembler::li(std::uint8_t rd, std::int32_t value) {
+  if (value >= -2048 && value < 2048) {
+    addi(rd, reg::zero, value);
+    return;
+  }
+  // lui loads bits [31:12]; addi adds the sign-extended low 12 bits, so the
+  // upper part must be pre-compensated when bit 11 is set.
+  std::int32_t hi = value & ~0xfff;
+  const std::int32_t lo = value & 0xfff;
+  if (lo >= 0x800) hi += 0x1000;
+  lui(rd, hi);
+  const std::int32_t lo_signed = value - hi;
+  if (lo_signed != 0) addi(rd, rd, lo_signed);
+}
+
+void Assembler::la(std::uint8_t rd, std::uint32_t address) {
+  li(rd, static_cast<std::int32_t>(address));
+}
+
+void Assembler::j(Label target) { jal(reg::zero, target); }
+
+void Assembler::ret() { jalr(reg::zero, reg::ra, 0); }
+
+void Assembler::ebreak() { emit({.op = Op::EBREAK}); }
+
+// ---- control flow -----------------------------------------------------------
+
+namespace {
+Inst branch(Op op, std::uint8_t rs1, std::uint8_t rs2) {
+  return {.op = op, .rs1 = rs1, .rs2 = rs2};
+}
+}  // namespace
+
+void Assembler::beq(std::uint8_t a, std::uint8_t b, Label t) {
+  fixups_.push_back({prog_.text.size(), t});
+  emit(branch(Op::BEQ, a, b));
+}
+void Assembler::bne(std::uint8_t a, std::uint8_t b, Label t) {
+  fixups_.push_back({prog_.text.size(), t});
+  emit(branch(Op::BNE, a, b));
+}
+void Assembler::blt(std::uint8_t a, std::uint8_t b, Label t) {
+  fixups_.push_back({prog_.text.size(), t});
+  emit(branch(Op::BLT, a, b));
+}
+void Assembler::bge(std::uint8_t a, std::uint8_t b, Label t) {
+  fixups_.push_back({prog_.text.size(), t});
+  emit(branch(Op::BGE, a, b));
+}
+void Assembler::bltu(std::uint8_t a, std::uint8_t b, Label t) {
+  fixups_.push_back({prog_.text.size(), t});
+  emit(branch(Op::BLTU, a, b));
+}
+void Assembler::bgeu(std::uint8_t a, std::uint8_t b, Label t) {
+  fixups_.push_back({prog_.text.size(), t});
+  emit(branch(Op::BGEU, a, b));
+}
+
+void Assembler::jal(std::uint8_t rd, Label target) {
+  fixups_.push_back({prog_.text.size(), target});
+  emit({.op = Op::JAL, .rd = rd});
+}
+
+void Assembler::jalr(std::uint8_t rd, std::uint8_t rs1, std::int32_t off) {
+  emit({.op = Op::JALR, .rd = rd, .rs1 = rs1, .imm = off});
+}
+
+// ---- FP ---------------------------------------------------------------------
+
+void Assembler::flw(std::uint8_t frd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::FLW, .rd = frd, .rs1 = base, .imm = off});
+}
+void Assembler::fsw(std::uint8_t frs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::FSW, .rs1 = base, .rs2 = frs2, .imm = off});
+}
+void Assembler::flh(std::uint8_t frd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::FLH, .rd = frd, .rs1 = base, .imm = off});
+}
+void Assembler::fsh(std::uint8_t frs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::FSH, .rs1 = base, .rs2 = frs2, .imm = off});
+}
+void Assembler::flb(std::uint8_t frd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::FLB, .rd = frd, .rs1 = base, .imm = off});
+}
+void Assembler::fsb(std::uint8_t frs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::FSB, .rs1 = base, .rs2 = frs2, .imm = off});
+}
+
+void Assembler::fp_rrr(Op op, std::uint8_t rd, std::uint8_t rs1,
+                       std::uint8_t rs2, std::uint8_t rm) {
+  Inst i{.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2};
+  if (isa::layout(op) == isa::Lay::FpRrm) i.rm = rm;
+  emit(i);
+}
+
+void Assembler::fp_rr(Op op, std::uint8_t rd, std::uint8_t rs1,
+                      std::uint8_t rm) {
+  Inst i{.op = op, .rd = rd, .rs1 = rs1};
+  if (isa::layout(op) == isa::Lay::FpUnaryRm) i.rm = rm;
+  emit(i);
+}
+
+void Assembler::fp_r4(Op op, std::uint8_t rd, std::uint8_t rs1,
+                      std::uint8_t rs2, std::uint8_t rs3, std::uint8_t rm) {
+  emit({.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2, .rs3 = rs3, .rm = rm});
+}
+
+// ---- CSR ---------------------------------------------------------------------
+
+void Assembler::csrrw(std::uint8_t rd, std::int32_t csr, std::uint8_t rs1) {
+  emit({.op = Op::CSRRW, .rd = rd, .rs1 = rs1, .imm = csr});
+}
+void Assembler::csrrs(std::uint8_t rd, std::int32_t csr, std::uint8_t rs1) {
+  emit({.op = Op::CSRRS, .rd = rd, .rs1 = rs1, .imm = csr});
+}
+void Assembler::csrrwi(std::uint8_t rd, std::int32_t csr, std::uint8_t zimm) {
+  emit({.op = Op::CSRRWI, .rd = rd, .rs1 = zimm, .imm = csr});
+}
+void Assembler::set_frm(fp::RoundingMode rm) {
+  csrrwi(reg::zero, 0x002, static_cast<std::uint8_t>(rm));
+}
+
+// ---- data --------------------------------------------------------------------
+
+std::uint32_t Assembler::data_bytes(const void* bytes, std::size_t n, int align) {
+  while (prog_.data.size() % static_cast<std::size_t>(align) != 0)
+    prog_.data.push_back(0);
+  const auto addr = prog_.data_base + static_cast<std::uint32_t>(prog_.data.size());
+  const auto* p = static_cast<const std::uint8_t*>(bytes);
+  prog_.data.insert(prog_.data.end(), p, p + n);
+  return addr;
+}
+
+std::uint32_t Assembler::data_u32(std::uint32_t v) {
+  return data_bytes(&v, sizeof v, 4);
+}
+
+std::uint32_t Assembler::data_zero(std::size_t n, int align) {
+  while (prog_.data.size() % static_cast<std::size_t>(align) != 0)
+    prog_.data.push_back(0);
+  const auto addr = prog_.data_base + static_cast<std::uint32_t>(prog_.data.size());
+  prog_.data.insert(prog_.data.end(), n, 0);
+  return addr;
+}
+
+void Assembler::set_symbol(const std::string& name, std::uint32_t addr) {
+  prog_.symbols[name] = addr;
+}
+
+// ---- finalize -------------------------------------------------------------
+
+Program Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    const std::int64_t target = label_addr_[static_cast<std::size_t>(f.label)];
+    if (target < 0) throw std::runtime_error("unbound label in assembler");
+    const std::int64_t at =
+        prog_.text_base + static_cast<std::int64_t>(f.index) * 4;
+    prog_.text[f.index].imm = static_cast<std::int32_t>(target - at);
+  }
+  prog_.text_words.clear();
+  prog_.text_words.reserve(prog_.text.size());
+  for (const Inst& i : prog_.text) prog_.text_words.push_back(isa::encode(i));
+  finished_ = true;
+  return std::move(prog_);
+}
+
+}  // namespace sfrv::asmb

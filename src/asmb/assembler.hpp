@@ -1,0 +1,142 @@
+// Macro-assembler: the programmatic interface used by the kernel compiler,
+// tests and examples to build simulator programs.
+//
+// Register indices are plain unsigned (0-31); named ABI constants are in
+// asmb::reg. Labels are forward-referenceable; finish() patches all fixups
+// and encodes the final word stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmb/program.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfrv::asmb {
+
+namespace reg {
+// Integer ABI names.
+inline constexpr std::uint8_t zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+inline constexpr std::uint8_t t0 = 5, t1 = 6, t2 = 7;
+inline constexpr std::uint8_t s0 = 8, s1 = 9;
+inline constexpr std::uint8_t a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14,
+                              a5 = 15, a6 = 16, a7 = 17;
+inline constexpr std::uint8_t s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22,
+                              s7 = 23, s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+inline constexpr std::uint8_t t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+// FP ABI names.
+inline constexpr std::uint8_t ft0 = 0, ft1 = 1, ft2 = 2, ft3 = 3, ft4 = 4,
+                              ft5 = 5, ft6 = 6, ft7 = 7;
+inline constexpr std::uint8_t fs0 = 8, fs1 = 9;
+inline constexpr std::uint8_t fa0 = 10, fa1 = 11, fa2 = 12, fa3 = 13, fa4 = 14,
+                              fa5 = 15, fa6 = 16, fa7 = 17;
+inline constexpr std::uint8_t fs2 = 18, fs3 = 19, fs4 = 20, fs5 = 21, fs6 = 22,
+                              fs7 = 23, fs8 = 24, fs9 = 25, fs10 = 26,
+                              fs11 = 27;
+inline constexpr std::uint8_t ft8 = 28, ft9 = 29, ft10 = 30, ft11 = 31;
+}  // namespace reg
+
+class Assembler {
+ public:
+  using Label = int;
+
+  explicit Assembler(std::uint32_t text_base = kDefaultTextBase,
+                     std::uint32_t data_base = kDefaultDataBase);
+
+  // ---- labels -------------------------------------------------------------
+  [[nodiscard]] Label make_label();
+  void bind(Label l);
+  /// Convenience: fresh label bound at the current position.
+  Label here();
+
+  // ---- raw emission -------------------------------------------------------
+  void emit(isa::Inst inst);
+  /// Current text address of the next emitted instruction.
+  [[nodiscard]] std::uint32_t pc() const;
+
+  // ---- integer ops --------------------------------------------------------
+  void lui(std::uint8_t rd, std::int32_t imm20_shifted);
+  void auipc(std::uint8_t rd, std::int32_t imm20_shifted);
+  void addi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm);
+  void add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+  void sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+  void slli(std::uint8_t rd, std::uint8_t rs1, int sh);
+  void srli(std::uint8_t rd, std::uint8_t rs1, int sh);
+  void srai(std::uint8_t rd, std::uint8_t rs1, int sh);
+  void mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+  void lw(std::uint8_t rd, std::int32_t off, std::uint8_t base);
+  void sw(std::uint8_t rs2, std::int32_t off, std::uint8_t base);
+  void lh(std::uint8_t rd, std::int32_t off, std::uint8_t base);
+  void lhu(std::uint8_t rd, std::int32_t off, std::uint8_t base);
+  void lbu(std::uint8_t rd, std::int32_t off, std::uint8_t base);
+  void sh(std::uint8_t rs2, std::int32_t off, std::uint8_t base);
+  void sb(std::uint8_t rs2, std::int32_t off, std::uint8_t base);
+
+  // ---- pseudo-instructions ------------------------------------------------
+  void nop();
+  void mv(std::uint8_t rd, std::uint8_t rs);
+  void li(std::uint8_t rd, std::int32_t value);   // lui+addi as needed
+  void la(std::uint8_t rd, std::uint32_t address);  // absolute address load
+  void j(Label target);
+  void ret();
+  void ebreak();
+
+  // ---- control flow -------------------------------------------------------
+  void beq(std::uint8_t rs1, std::uint8_t rs2, Label target);
+  void bne(std::uint8_t rs1, std::uint8_t rs2, Label target);
+  void blt(std::uint8_t rs1, std::uint8_t rs2, Label target);
+  void bge(std::uint8_t rs1, std::uint8_t rs2, Label target);
+  void bltu(std::uint8_t rs1, std::uint8_t rs2, Label target);
+  void bgeu(std::uint8_t rs1, std::uint8_t rs2, Label target);
+  void jal(std::uint8_t rd, Label target);
+  void jalr(std::uint8_t rd, std::uint8_t rs1, std::int32_t off = 0);
+
+  // ---- FP loads/stores ----------------------------------------------------
+  void flw(std::uint8_t frd, std::int32_t off, std::uint8_t base);
+  void fsw(std::uint8_t frs2, std::int32_t off, std::uint8_t base);
+  void flh(std::uint8_t frd, std::int32_t off, std::uint8_t base);
+  void fsh(std::uint8_t frs2, std::int32_t off, std::uint8_t base);
+  void flb(std::uint8_t frd, std::int32_t off, std::uint8_t base);
+  void fsb(std::uint8_t frs2, std::int32_t off, std::uint8_t base);
+
+  // ---- generic FP emission (any scalar/vector op from the table) ----------
+  void fp_rrr(isa::Op op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+              std::uint8_t rm = isa::kRmDyn);
+  void fp_rr(isa::Op op, std::uint8_t rd, std::uint8_t rs1,
+             std::uint8_t rm = isa::kRmDyn);
+  void fp_r4(isa::Op op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+             std::uint8_t rs3, std::uint8_t rm = isa::kRmDyn);
+
+  // ---- CSR ----------------------------------------------------------------
+  void csrrw(std::uint8_t rd, std::int32_t csr, std::uint8_t rs1);
+  void csrrs(std::uint8_t rd, std::int32_t csr, std::uint8_t rs1);
+  void csrrwi(std::uint8_t rd, std::int32_t csr, std::uint8_t zimm);
+  /// Set the dynamic rounding mode (frm CSR).
+  void set_frm(fp::RoundingMode rm);
+
+  // ---- data segment -------------------------------------------------------
+  /// Append raw bytes; returns the absolute address.
+  std::uint32_t data_bytes(const void* bytes, std::size_t n, int align = 4);
+  std::uint32_t data_u32(std::uint32_t v);
+  /// Reserve zero-initialized space; returns the absolute address.
+  std::uint32_t data_zero(std::size_t n, int align = 4);
+  void set_symbol(const std::string& name, std::uint32_t addr);
+
+  // ---- finalize -----------------------------------------------------------
+  /// Patch fixups, encode everything, and return the program image.
+  [[nodiscard]] Program finish();
+
+ private:
+  struct Fixup {
+    std::size_t index;  // instruction index in text
+    Label label;
+  };
+
+  Program prog_;
+  std::vector<std::int64_t> label_addr_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace sfrv::asmb

@@ -1,0 +1,32 @@
+// An assembled program image: text, data, and symbols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace sfrv::asmb {
+
+/// Memory layout defaults (flat physical address space).
+inline constexpr std::uint32_t kDefaultTextBase = 0x0000'1000;
+inline constexpr std::uint32_t kDefaultDataBase = 0x0010'0000;
+inline constexpr std::uint32_t kDefaultStackTop = 0x007f'fff0;
+
+struct Program {
+  std::uint32_t text_base = kDefaultTextBase;
+  std::uint32_t data_base = kDefaultDataBase;
+  std::vector<isa::Inst> text;            ///< decoded form (simulator input)
+  std::vector<std::uint32_t> text_words;  ///< encoded form (bit-exact image)
+  std::vector<std::uint8_t> data;         ///< initialized data segment
+  std::unordered_map<std::string, std::uint32_t> symbols;
+
+  [[nodiscard]] std::uint32_t entry() const { return text_base; }
+  [[nodiscard]] std::uint32_t symbol(const std::string& name) const {
+    return symbols.at(name);
+  }
+};
+
+}  // namespace sfrv::asmb

@@ -1,0 +1,83 @@
+#include "energy/model.hpp"
+
+namespace sfrv::energy {
+
+namespace {
+
+int simd_lanes(isa::Op op) {
+  if (!isa::is_vector(op)) return 1;
+  return isa::vector_lanes(isa::to_fp_format(isa::op_format(op)), 32);
+}
+
+}  // namespace
+
+double EnergyModel::unit_energy(isa::Op op) const {
+  using isa::Cls;
+  const Cls c = isa::op_class(op);
+  switch (c) {
+    case Cls::IntAlu:
+    case Cls::Branch:
+    case Cls::Jump:
+    case Cls::Csr:
+    case Cls::Sys:
+      return int_alu;
+    case Cls::IntMul:
+      return int_mul;
+    case Cls::IntDiv:
+      return int_div;
+    case Cls::Load:
+    case Cls::Store:
+    case Cls::FpLoad:
+    case Cls::FpStore:
+      return int_alu;  // address generation; access energy added separately
+    default:
+      break;
+  }
+  // FP operation: scale by format, fuse/divide factors, SIMD lanes.
+  double per_lane = fp32_op;
+  switch (isa::op_format(op)) {
+    case isa::OpFmt::S: per_lane = fp32_op; break;
+    case isa::OpFmt::H:
+    case isa::OpFmt::AH: per_lane = fp16_op; break;
+    case isa::OpFmt::B: per_lane = fp8_op; break;
+    case isa::OpFmt::None: per_lane = fp32_op; break;
+  }
+  double e = per_lane;
+  switch (c) {
+    case Cls::FpFma:
+      e *= fma_factor;
+      break;
+    case Cls::FpDiv:
+    case Cls::FpSqrt:
+      e *= divsqrt_factor;
+      break;
+    case Cls::FpDotp:
+    case Cls::FpMacEx:
+      e = e * fma_factor + expanding_extra;
+      break;
+    case Cls::FpMulEx:
+      e += expanding_extra;
+      break;
+    default:
+      break;
+  }
+  const int lanes = simd_lanes(op);
+  if (lanes > 1) e *= lanes * simd_factor;
+  return e;
+}
+
+double EnergyModel::total_pj(const sim::Stats& stats,
+                             const sim::MemConfig& mem) const {
+  double total = leakage_per_cycle * static_cast<double>(stats.cycles);
+  total += base_per_instr * static_cast<double>(stats.instructions);
+  for (std::size_t i = 0; i < isa::kNumOps; ++i) {
+    const auto n = stats.op_count[i];
+    if (n == 0) continue;
+    total += static_cast<double>(n) * unit_energy(static_cast<isa::Op>(i));
+  }
+  total += mem_energy(mem.load_latency) *
+           static_cast<double>(stats.load_count + stats.store_count);
+  return total;
+}
+
+}  // namespace sfrv::energy

@@ -1,0 +1,170 @@
+// Loop-kernel intermediate representation.
+//
+// This is the "compiler support" substrate of the reproduction: the same
+// kernel description is lowered three ways (scalar, GCC-like automatic
+// vectorization, manual vectorization with Xfvec/Xfaux intrinsics), exactly
+// the comparison the paper's Section IV/V draws.
+//
+// The IR is deliberately restricted to the affine loop nests the evaluation
+// kernels need: perfectly or imperfectly nested counted loops, array accesses
+// whose column index is `loopvar + constant`, per-variable element types with
+// C-like implicit promotion, and reduction/elementwise statements.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace sfrv::ir {
+
+/// Affine index: value = loop_var + offset (var = -1 means constant offset).
+struct Index {
+  int var = -1;
+  int offset = 0;
+
+  static Index constant(int c) { return {-1, c}; }
+};
+
+/// Reference to arrays[array] at [row][col]; 1-D arrays use row = constant 0.
+struct ArrayRef {
+  int array = -1;
+  Index row = Index::constant(0);
+  Index col;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { Load, Var, Const, Add, Sub, Mul, Div };
+  Kind kind;
+  ArrayRef ref;       // Load
+  int var = -1;       // Var (scalar variable id)
+  double cval = 0;    // Const
+  ExprPtr lhs, rhs;   // binary ops
+
+  static ExprPtr load(ArrayRef r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Load;
+    e->ref = r;
+    return e;
+  }
+  static ExprPtr variable(int v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Var;
+    e->var = v;
+    return e;
+  }
+  static ExprPtr constant(double c) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Const;
+    e->cval = c;
+    return e;
+  }
+  static ExprPtr bin(Kind k, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = k;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+  }
+  static ExprPtr add(ExprPtr l, ExprPtr r) { return bin(Kind::Add, std::move(l), std::move(r)); }
+  static ExprPtr sub(ExprPtr l, ExprPtr r) { return bin(Kind::Sub, std::move(l), std::move(r)); }
+  static ExprPtr mul(ExprPtr l, ExprPtr r) { return bin(Kind::Mul, std::move(l), std::move(r)); }
+  static ExprPtr div(ExprPtr l, ExprPtr r) { return bin(Kind::Div, std::move(l), std::move(r)); }
+};
+
+struct Stmt {
+  enum class Kind {
+    StoreArray,    // dst[...] = value
+    AccumArray,    // dst[...] += value
+    AssignScalar,  // var = value
+    AccumScalar,   // var += value
+  };
+  Kind kind;
+  ArrayRef dst;      // array statements
+  int dst_var = -1;  // scalar statements
+  ExprPtr value;
+};
+
+struct Loop;
+using Node = std::variant<Loop, Stmt>;
+
+/// Loop upper bound: constant, or `loop_var + offset` (triangular nests).
+struct Bound {
+  int constant = 0;
+  int var = -1;  // when >= 0: bound = var_value + offset
+  int offset = 0;
+
+  static Bound fixed(int n) { return {n, -1, 0}; }
+  static Bound of_var(int v, int off) { return {0, v, off}; }
+  [[nodiscard]] bool is_constant() const { return var < 0; }
+};
+
+struct Loop {
+  int var = -1;  // loop variable id
+  int lower = 0;
+  Bound upper;
+  std::vector<Node> body;
+};
+
+struct ArrayDecl {
+  std::string name;
+  ScalarType type = ScalarType::F32;
+  int rows = 1;  // 1 for 1-D arrays
+  int cols = 0;
+  [[nodiscard]] int elems() const { return rows * cols; }
+};
+
+struct VarDecl {
+  std::string name;
+  ScalarType type = ScalarType::F32;
+};
+
+/// A complete kernel: declarations plus a top-level loop-nest forest.
+struct Kernel {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<VarDecl> vars;
+  std::vector<Node> body;
+  int num_loop_vars = 0;
+
+  int add_array(std::string n, ScalarType t, int rows, int cols) {
+    arrays.push_back({std::move(n), t, rows, cols});
+    return static_cast<int>(arrays.size()) - 1;
+  }
+  int add_var(std::string n, ScalarType t) {
+    vars.push_back({std::move(n), t});
+    return static_cast<int>(vars.size()) - 1;
+  }
+  int fresh_loop_var() { return num_loop_vars++; }
+
+  [[nodiscard]] int array_index(std::string_view n) const {
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+      if (arrays[i].name == n) return static_cast<int>(i);
+    }
+    assert(false && "unknown array");
+    return -1;
+  }
+};
+
+// ---- small helpers used by the kernel builders -------------------------------
+
+inline Stmt store(ArrayRef dst, ExprPtr v) {
+  return {Stmt::Kind::StoreArray, dst, -1, std::move(v)};
+}
+inline Stmt accum(ArrayRef dst, ExprPtr v) {
+  return {Stmt::Kind::AccumArray, dst, -1, std::move(v)};
+}
+inline Stmt assign_var(int var, ExprPtr v) {
+  return {Stmt::Kind::AssignScalar, {}, var, std::move(v)};
+}
+inline Stmt accum_var(int var, ExprPtr v) {
+  return {Stmt::Kind::AccumScalar, {}, var, std::move(v)};
+}
+
+}  // namespace sfrv::ir

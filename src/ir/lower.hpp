@@ -1,0 +1,55 @@
+// Lowering of kernel IR to smallFloat RISC-V programs.
+//
+// Three code generators, mirroring the paper's compiler story:
+//  * Scalar      - optimized scalar code (pointer-incremented innermost
+//                  loops, fused multiply-adds, LICM of invariant loads).
+//  * AutoVec     - models the extended GCC auto-vectorizer: packed-SIMD main
+//                  loops, but with the inefficiencies the paper reports --
+//                  per-iteration indexed addressing instead of pointer
+//                  bumping, runtime prologue guards and scalar epilogue loops
+//                  for variable trip counts, and widening reductions done as
+//                  unpack + fcvt + scalar fadd (Fig. 5 left).
+//  * ManualVec   - intrinsics-quality code: pointer bumping, no guards when
+//                  the trip count is statically divisible, and Xfaux
+//                  expanding operations (vfdotpex/fmacex) for widening
+//                  reductions (Fig. 5 right).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asmb/program.hpp"
+#include "ir/kernel.hpp"
+
+namespace sfrv::ir {
+
+enum class CodegenMode { Scalar, AutoVec, ManualVec };
+
+[[nodiscard]] constexpr std::string_view mode_name(CodegenMode m) {
+  switch (m) {
+    case CodegenMode::Scalar: return "scalar";
+    case CodegenMode::AutoVec: return "auto-vec";
+    case CodegenMode::ManualVec: return "manual-vec";
+  }
+  return "?";
+}
+
+struct LoweredKernel {
+  asmb::Program program;
+  /// Absolute address of each array's storage.
+  std::unordered_map<std::string, std::uint32_t> array_addr;
+  /// Text ranges [begin, end) of innermost-loop code (for ideal-speedup
+  /// attribution).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> inner_ranges;
+};
+
+/// Lower `kernel` with the given mode. `array_init` provides initial contents
+/// per array id (values are quantized to the array element type); missing or
+/// empty entries are zero-initialized.
+[[nodiscard]] LoweredKernel lower(
+    const Kernel& kernel, CodegenMode mode,
+    const std::vector<std::vector<double>>& array_init);
+
+}  // namespace sfrv::ir

@@ -1,0 +1,165 @@
+// Scalar element types of the kernel IR and their ISA mappings.
+#pragma once
+
+#include <string_view>
+
+#include "isa/isa.hpp"
+#include "softfloat/formats.hpp"
+
+namespace sfrv::ir {
+
+/// The paper's C-level type system: float plus the three smallFloat keywords.
+enum class ScalarType : std::uint8_t { F32, F16, F16Alt, F8 };
+
+[[nodiscard]] constexpr fp::FpFormat fp_format(ScalarType t) {
+  switch (t) {
+    case ScalarType::F32: return fp::FpFormat::F32;
+    case ScalarType::F16: return fp::FpFormat::F16;
+    case ScalarType::F16Alt: return fp::FpFormat::F16Alt;
+    case ScalarType::F8: return fp::FpFormat::F8;
+  }
+  return fp::FpFormat::F32;
+}
+
+[[nodiscard]] constexpr int width_bits(ScalarType t) {
+  return fp::format_width(fp_format(t));
+}
+[[nodiscard]] constexpr int width_bytes(ScalarType t) { return width_bits(t) / 8; }
+
+[[nodiscard]] constexpr std::string_view type_name(ScalarType t) {
+  switch (t) {
+    case ScalarType::F32: return "float";
+    case ScalarType::F16: return "float16";
+    case ScalarType::F16Alt: return "float16alt";
+    case ScalarType::F8: return "float8";
+  }
+  return "?";
+}
+
+/// True when `wide` can represent every value of `narrow` (defines the
+/// implicit-promotion lattice; the two 16-bit formats are unordered).
+[[nodiscard]] constexpr bool is_wider_or_equal(ScalarType wide, ScalarType narrow) {
+  if (wide == narrow) return true;
+  if (wide == ScalarType::F32) return true;
+  if ((wide == ScalarType::F16 || wide == ScalarType::F16Alt) &&
+      narrow == ScalarType::F8) {
+    return true;
+  }
+  return false;
+}
+
+/// SIMD lanes for a type at FLEN=32 (the evaluation configuration).
+[[nodiscard]] constexpr int lanes32(ScalarType t) {
+  return isa::vector_lanes(fp_format(t), 32);
+}
+
+// ---- opcode selection tables -------------------------------------------------
+
+struct ScalarOps {
+  isa::Op load, store, fadd, fsub, fmul, fdiv, fmadd, fmin, fmax, fsgnj,
+      fcvt_from_w, fcvt_w, flt, fle, feq;
+};
+
+[[nodiscard]] constexpr ScalarOps scalar_ops(ScalarType t) {
+  using isa::Op;
+  switch (t) {
+    case ScalarType::F32:
+      return {Op::FLW, Op::FSW, Op::FADD_S, Op::FSUB_S, Op::FMUL_S, Op::FDIV_S,
+              Op::FMADD_S, Op::FMIN_S, Op::FMAX_S, Op::FSGNJ_S, Op::FCVT_S_W,
+              Op::FCVT_W_S, Op::FLT_S, Op::FLE_S, Op::FEQ_S};
+    case ScalarType::F16:
+      return {Op::FLH, Op::FSH, Op::FADD_H, Op::FSUB_H, Op::FMUL_H, Op::FDIV_H,
+              Op::FMADD_H, Op::FMIN_H, Op::FMAX_H, Op::FSGNJ_H, Op::FCVT_H_W,
+              Op::FCVT_W_H, Op::FLT_H, Op::FLE_H, Op::FEQ_H};
+    case ScalarType::F16Alt:
+      return {Op::FLH, Op::FSH, Op::FADD_AH, Op::FSUB_AH, Op::FMUL_AH,
+              Op::FDIV_AH, Op::FMADD_AH, Op::FMIN_AH, Op::FMAX_AH, Op::FSGNJ_AH,
+              Op::FCVT_AH_W, Op::FCVT_W_AH, Op::FLT_AH, Op::FLE_AH, Op::FEQ_AH};
+    case ScalarType::F8:
+      return {Op::FLB, Op::FSB, Op::FADD_B, Op::FSUB_B, Op::FMUL_B, Op::FDIV_B,
+              Op::FMADD_B, Op::FMIN_B, Op::FMAX_B, Op::FSGNJ_B, Op::FCVT_B_W,
+              Op::FCVT_W_B, Op::FLT_B, Op::FLE_B, Op::FEQ_B};
+  }
+  return scalar_ops(ScalarType::F32);
+}
+
+struct VectorOps {
+  isa::Op vfadd, vfsub, vfmul, vfdiv, vfmac, vfadd_r, vfsub_r, vfmul_r,
+      vfdiv_r, vfmac_r, vfdotpex, vfcpka;
+};
+
+/// Vector opcodes; only valid for the three smallFloat types.
+[[nodiscard]] constexpr VectorOps vector_ops(ScalarType t) {
+  using isa::Op;
+  switch (t) {
+    case ScalarType::F16:
+      return {Op::VFADD_H, Op::VFSUB_H, Op::VFMUL_H, Op::VFDIV_H, Op::VFMAC_H,
+              Op::VFADD_R_H, Op::VFSUB_R_H, Op::VFMUL_R_H, Op::VFDIV_R_H,
+              Op::VFMAC_R_H, Op::VFDOTPEX_S_H, Op::VFCPKA_H_S};
+    case ScalarType::F16Alt:
+      return {Op::VFADD_AH, Op::VFSUB_AH, Op::VFMUL_AH, Op::VFDIV_AH,
+              Op::VFMAC_AH, Op::VFADD_R_AH, Op::VFSUB_R_AH, Op::VFMUL_R_AH,
+              Op::VFDIV_R_AH, Op::VFMAC_R_AH, Op::VFDOTPEX_S_AH, Op::VFCPKA_AH_S};
+    case ScalarType::F8:
+      return {Op::VFADD_B, Op::VFSUB_B, Op::VFMUL_B, Op::VFDIV_B, Op::VFMAC_B,
+              Op::VFADD_R_B, Op::VFSUB_R_B, Op::VFMUL_R_B, Op::VFDIV_R_B,
+              Op::VFMAC_R_B, Op::VFDOTPEX_S_B, Op::VFCPKA_B_S};
+    default:
+      break;
+  }
+  return vector_ops(ScalarType::F16);
+}
+
+/// Conversion opcode between two scalar types (must differ).
+[[nodiscard]] constexpr isa::Op convert_op(ScalarType to, ScalarType from) {
+  using isa::Op;
+  switch (to) {
+    case ScalarType::F32:
+      switch (from) {
+        case ScalarType::F16: return Op::FCVT_S_H;
+        case ScalarType::F16Alt: return Op::FCVT_S_AH;
+        case ScalarType::F8: return Op::FCVT_S_B;
+        default: break;
+      }
+      break;
+    case ScalarType::F16:
+      switch (from) {
+        case ScalarType::F32: return Op::FCVT_H_S;
+        case ScalarType::F16Alt: return Op::FCVT_H_AH;
+        case ScalarType::F8: return Op::FCVT_H_B;
+        default: break;
+      }
+      break;
+    case ScalarType::F16Alt:
+      switch (from) {
+        case ScalarType::F32: return Op::FCVT_AH_S;
+        case ScalarType::F16: return Op::FCVT_AH_H;
+        case ScalarType::F8: return Op::FCVT_AH_B;
+        default: break;
+      }
+      break;
+    case ScalarType::F8:
+      switch (from) {
+        case ScalarType::F32: return Op::FCVT_B_S;
+        case ScalarType::F16: return Op::FCVT_B_H;
+        case ScalarType::F16Alt: return Op::FCVT_B_AH;
+        default: break;
+      }
+      break;
+  }
+  return Op::FCVT_S_H;  // unreachable for valid pairs
+}
+
+/// Expanding multiply-accumulate opcode (Xfaux) for a smallFloat source type.
+[[nodiscard]] constexpr isa::Op fmacex_op(ScalarType from) {
+  using isa::Op;
+  switch (from) {
+    case ScalarType::F16: return Op::FMACEX_S_H;
+    case ScalarType::F16Alt: return Op::FMACEX_S_AH;
+    case ScalarType::F8: return Op::FMACEX_S_B;
+    default: break;
+  }
+  return Op::FMACEX_S_H;
+}
+
+}  // namespace sfrv::ir

@@ -1,0 +1,131 @@
+#include "isa/disasm.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace sfrv::isa {
+
+namespace {
+
+constexpr std::array<std::string_view, 32> kXNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+constexpr std::array<std::string_view, 32> kFNames = {
+    "ft0", "ft1", "ft2",  "ft3",  "ft4", "ft5", "ft6",  "ft7",
+    "fs0", "fs1", "fa0",  "fa1",  "fa2", "fa3", "fa4",  "fa5",
+    "fa6", "fa7", "fs2",  "fs3",  "fs4", "fs5", "fs6",  "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+
+std::string_view rd_name(const Inst& i) {
+  return rd_is_int(i.op) ? kXNames[i.rd] : kFNames[i.rd];
+}
+std::string_view rs1_name(const Inst& i) {
+  return rs1_is_int(i.op) ? kXNames[i.rs1] : kFNames[i.rs1];
+}
+std::string_view rs2_name(const Inst& i) {
+  // rs2 is an FP register for every FP-class op (including FP stores' data
+  // operand); integer otherwise.
+  return touches_fp_regs(i.op) ? kFNames[i.rs2] : kXNames[i.rs2];
+}
+
+std::string_view csr_name(std::int32_t addr) {
+  switch (addr) {
+    case 0x001: return "fflags";
+    case 0x002: return "frm";
+    case 0x003: return "fcsr";
+    case 0xc00: return "cycle";
+    case 0xc02: return "instret";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+std::string_view xreg_name(unsigned idx) { return kXNames[idx & 31]; }
+std::string_view freg_name(unsigned idx) { return kFNames[idx & 31]; }
+
+std::string disassemble(const Inst& i, std::uint32_t pc) {
+  std::ostringstream os;
+  os << mnemonic(i.op);
+  auto sep = [&os, first = true]() mutable -> std::ostringstream& {
+    os << (first ? " " : ", ");
+    first = false;
+    return os;
+  };
+  switch (layout(i.op)) {
+    case Lay::U:
+      sep() << rd_name(i);
+      sep() << "0x" << std::hex << (static_cast<std::uint32_t>(i.imm) >> 12);
+      break;
+    case Lay::J:
+      sep() << rd_name(i);
+      sep() << "0x" << std::hex << pc + static_cast<std::uint32_t>(i.imm);
+      break;
+    case Lay::Iimm:
+      if (op_class(i.op) == Cls::Load || op_class(i.op) == Cls::FpLoad) {
+        sep() << rd_name(i);
+        sep() << std::dec << i.imm << "(" << kXNames[i.rs1] << ")";
+      } else {
+        sep() << rd_name(i);
+        sep() << rs1_name(i);
+        sep() << std::dec << i.imm;
+      }
+      break;
+    case Lay::Bimm:
+      sep() << kXNames[i.rs1];
+      sep() << kXNames[i.rs2];
+      sep() << "0x" << std::hex << pc + static_cast<std::uint32_t>(i.imm);
+      break;
+    case Lay::Simm:
+      sep() << rs2_name(i);
+      sep() << std::dec << i.imm << "(" << kXNames[i.rs1] << ")";
+      break;
+    case Lay::Shamt:
+      sep() << rd_name(i);
+      sep() << rs1_name(i);
+      sep() << std::dec << i.imm;
+      break;
+    case Lay::R:
+    case Lay::FpR2:
+    case Lay::FpRrm:
+    case Lay::Vec:
+      sep() << rd_name(i);
+      sep() << rs1_name(i);
+      sep() << rs2_name(i);
+      break;
+    case Lay::FpR4:
+      sep() << rd_name(i);
+      sep() << rs1_name(i);
+      sep() << rs2_name(i);
+      sep() << kFNames[i.rs3];
+      break;
+    case Lay::FpUnaryRm:
+    case Lay::FpUnary:
+    case Lay::VecUnary:
+      sep() << rd_name(i);
+      sep() << rs1_name(i);
+      break;
+    case Lay::FullWord:
+      break;
+    case Lay::Csr: {
+      sep() << kXNames[i.rd];
+      const auto name = csr_name(i.imm);
+      if (!name.empty()) {
+        sep() << name;
+      } else {
+        sep() << "0x" << std::hex << i.imm << std::dec;
+      }
+      if (i.op == Op::CSRRWI || i.op == Op::CSRRSI || i.op == Op::CSRRCI) {
+        sep() << unsigned{i.rs1};
+      } else {
+        sep() << kXNames[i.rs1];
+      }
+      break;
+    }
+  }
+  return std::move(os).str();
+}
+
+}  // namespace sfrv::isa

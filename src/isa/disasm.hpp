@@ -1,0 +1,19 @@
+// Textual disassembly of decoded instructions (debugging / examples).
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace sfrv::isa {
+
+/// Render one instruction, e.g. "vfmac.h f10, f11, f12" or
+/// "lw a5, 12(sp)". `pc` resolves branch/jump targets to absolute addresses.
+[[nodiscard]] std::string disassemble(const Inst& inst, std::uint32_t pc = 0);
+
+/// ABI name of an integer register (x2 -> "sp").
+[[nodiscard]] std::string_view xreg_name(unsigned idx);
+/// ABI name of an FP register (f10 -> "fa0").
+[[nodiscard]] std::string_view freg_name(unsigned idx);
+
+}  // namespace sfrv::isa

@@ -1,0 +1,305 @@
+#include "isa/encoding.hpp"
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+namespace sfrv::isa {
+
+namespace {
+
+struct RawEnc {
+  std::int32_t opc;
+  std::int32_t f3;
+  std::int32_t f7;
+  std::int32_t sub;
+};
+
+constexpr std::array<RawEnc, kNumOps> kRawEnc = {{
+#define SFRV_ENC(NAME, MNEM, EXT, CLS, FMT, VEC, LAY, OPC, F3, F7, SUB) \
+  RawEnc{OPC, F3, F7, SUB},
+    SFRV_FOREACH_OP(SFRV_ENC)
+#undef SFRV_ENC
+}};
+
+constexpr std::uint32_t kOpcodeMask = 0x0000007f;
+constexpr std::uint32_t kF3Mask = 0x00007000;
+constexpr std::uint32_t kF7Mask = 0xfe000000;
+constexpr std::uint32_t kRs2Mask = 0x01f00000;
+constexpr std::uint32_t kFmt2Mask = 0x06000000;  // funct2 of the R4 layout
+
+EncPattern build_pattern(Op op) {
+  const RawEnc& r = kRawEnc[static_cast<std::size_t>(op)];
+  const Lay lay = layout(op);
+  std::uint32_t match = static_cast<std::uint32_t>(r.opc);
+  std::uint32_t mask = kOpcodeMask;
+  auto add_f3 = [&] {
+    match |= static_cast<std::uint32_t>(r.f3) << 12;
+    mask |= kF3Mask;
+  };
+  auto add_f7 = [&] {
+    match |= static_cast<std::uint32_t>(r.f7) << 25;
+    mask |= kF7Mask;
+  };
+  auto add_sub = [&] {
+    match |= static_cast<std::uint32_t>(r.sub) << 20;
+    mask |= kRs2Mask;
+  };
+  switch (lay) {
+    case Lay::U:
+    case Lay::J:
+      break;
+    case Lay::Iimm:
+    case Lay::Bimm:
+    case Lay::Simm:
+    case Lay::Csr:
+      add_f3();
+      break;
+    case Lay::Shamt:
+    case Lay::R:
+      add_f3();
+      add_f7();
+      break;
+    case Lay::FullWord:
+      add_f3();
+      if (r.opc == 0x73) {  // ecall/ebreak: the entire word is fixed
+        match |= static_cast<std::uint32_t>(r.sub) << 20;
+        mask = 0xffffffff;
+      }
+      break;
+    case Lay::FpRrm:
+      add_f7();
+      break;
+    case Lay::FpR2:
+      add_f3();
+      add_f7();
+      break;
+    case Lay::FpR4:
+      // f7 column carries the 2-bit format field at funct2 ([26:25]).
+      match |= static_cast<std::uint32_t>(r.f7) << 25;
+      mask |= kFmt2Mask;
+      break;
+    case Lay::FpUnaryRm:
+      add_f7();
+      add_sub();
+      break;
+    case Lay::FpUnary:
+      add_f3();
+      add_f7();
+      add_sub();
+      break;
+    case Lay::Vec:
+      add_f3();
+      add_f7();
+      break;
+    case Lay::VecUnary:
+      add_f3();
+      add_f7();
+      add_sub();
+      break;
+  }
+  return {match, mask};
+}
+
+struct Tables {
+  std::array<EncPattern, kNumOps> patterns;
+  // Decode acceleration: candidate ops bucketed by major opcode.
+  std::array<std::vector<Op>, 128> by_opcode;
+
+  Tables() {
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const Op op = static_cast<Op>(i);
+      patterns[i] = build_pattern(op);
+      by_opcode[patterns[i].match & kOpcodeMask].push_back(op);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+// Immediate scatter/gather for the RISC-V B/J formats.
+
+std::uint32_t enc_imm_b(std::int32_t imm) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 12) & 1) << 31 | ((u >> 5) & 0x3f) << 25 | ((u >> 1) & 0xf) << 8 |
+         ((u >> 11) & 1) << 7;
+}
+
+std::int32_t dec_imm_b(std::uint32_t w) {
+  std::uint32_t u = ((w >> 31) & 1) << 12 | ((w >> 7) & 1) << 11 |
+                    ((w >> 25) & 0x3f) << 5 | ((w >> 8) & 0xf) << 1;
+  if (u & 0x1000) u |= 0xffffe000;
+  return static_cast<std::int32_t>(u);
+}
+
+std::uint32_t enc_imm_j(std::int32_t imm) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 20) & 1) << 31 | ((u >> 1) & 0x3ff) << 21 | ((u >> 11) & 1) << 20 |
+         ((u >> 12) & 0xff) << 12;
+}
+
+std::int32_t dec_imm_j(std::uint32_t w) {
+  std::uint32_t u = ((w >> 31) & 1) << 20 | ((w >> 12) & 0xff) << 12 |
+                    ((w >> 20) & 1) << 11 | ((w >> 21) & 0x3ff) << 1;
+  if (u & 0x100000) u |= 0xffe00000;
+  return static_cast<std::int32_t>(u);
+}
+
+std::int32_t dec_imm_i(std::uint32_t w) {
+  return static_cast<std::int32_t>(w) >> 20;
+}
+
+std::int32_t dec_imm_s(std::uint32_t w) {
+  const std::int32_t hi = static_cast<std::int32_t>(w) >> 25;
+  return (hi << 5) | static_cast<std::int32_t>((w >> 7) & 0x1f);
+}
+
+}  // namespace
+
+EncPattern encoding_pattern(Op op) {
+  return tables().patterns[static_cast<std::size_t>(op)];
+}
+
+std::uint32_t encode(const Inst& i) {
+  assert(i.rd < 32 && i.rs1 < 32 && i.rs2 < 32 && i.rs3 < 32 && i.rm < 8);
+  std::uint32_t w = encoding_pattern(i.op).match;
+  const auto rd = static_cast<std::uint32_t>(i.rd) << 7;
+  const auto rs1 = static_cast<std::uint32_t>(i.rs1) << 15;
+  const auto rs2 = static_cast<std::uint32_t>(i.rs2) << 20;
+  const auto rs3 = static_cast<std::uint32_t>(i.rs3) << 27;
+  const auto rm = static_cast<std::uint32_t>(i.rm) << 12;
+  const auto uimm = static_cast<std::uint32_t>(i.imm);
+  switch (layout(i.op)) {
+    case Lay::U:
+      w |= rd | (uimm & 0xfffff000);
+      break;
+    case Lay::J:
+      w |= rd | enc_imm_j(i.imm);
+      break;
+    case Lay::Iimm:
+      w |= rd | rs1 | (uimm & 0xfff) << 20;
+      break;
+    case Lay::Bimm:
+      w |= rs1 | rs2 | enc_imm_b(i.imm);
+      break;
+    case Lay::Simm:
+      w |= rs1 | rs2 | (uimm & 0x1f) << 7 | ((uimm >> 5) & 0x7f) << 25;
+      break;
+    case Lay::Shamt:
+      w |= rd | rs1 | (uimm & 0x1f) << 20;
+      break;
+    case Lay::R:
+    case Lay::FpR2:
+    case Lay::Vec:
+      w |= rd | rs1 | rs2;
+      break;
+    case Lay::FullWord:
+      break;
+    case Lay::Csr:
+      w |= rd | rs1 | (uimm & 0xfff) << 20;
+      break;
+    case Lay::FpRrm:
+      w |= rd | rs1 | rs2 | rm;
+      break;
+    case Lay::FpR4:
+      w |= rd | rs1 | rs2 | rs3 | rm;
+      break;
+    case Lay::FpUnaryRm:
+      w |= rd | rs1 | rm;
+      break;
+    case Lay::FpUnary:
+    case Lay::VecUnary:
+      w |= rd | rs1;
+      break;
+  }
+  return w;
+}
+
+std::optional<Inst> decode(std::uint32_t w) {
+  const auto& t = tables();
+  for (Op op : t.by_opcode[w & kOpcodeMask]) {
+    const EncPattern& p = t.patterns[static_cast<std::size_t>(op)];
+    if ((w & p.mask) != p.match) continue;
+    Inst i;
+    i.op = op;
+    const auto rd = static_cast<std::uint8_t>((w >> 7) & 0x1f);
+    const auto rs1 = static_cast<std::uint8_t>((w >> 15) & 0x1f);
+    const auto rs2 = static_cast<std::uint8_t>((w >> 20) & 0x1f);
+    const auto rs3 = static_cast<std::uint8_t>((w >> 27) & 0x1f);
+    const auto rm = static_cast<std::uint8_t>((w >> 12) & 0x7);
+    switch (layout(op)) {
+      case Lay::U:
+        i.rd = rd;
+        i.imm = static_cast<std::int32_t>(w & 0xfffff000);
+        break;
+      case Lay::J:
+        i.rd = rd;
+        i.imm = dec_imm_j(w);
+        break;
+      case Lay::Iimm:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = dec_imm_i(w);
+        break;
+      case Lay::Bimm:
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        i.imm = dec_imm_b(w);
+        break;
+      case Lay::Simm:
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        i.imm = dec_imm_s(w);
+        break;
+      case Lay::Shamt:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = static_cast<std::int32_t>((w >> 20) & 0x1f);
+        break;
+      case Lay::R:
+      case Lay::FpR2:
+      case Lay::Vec:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        break;
+      case Lay::FullWord:
+        break;
+      case Lay::Csr:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = static_cast<std::int32_t>((w >> 20) & 0xfff);
+        break;
+      case Lay::FpRrm:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        i.rm = rm;
+        break;
+      case Lay::FpR4:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        i.rs3 = rs3;
+        i.rm = rm;
+        break;
+      case Lay::FpUnaryRm:
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rm = rm;
+        break;
+      case Lay::FpUnary:
+      case Lay::VecUnary:
+        i.rd = rd;
+        i.rs1 = rs1;
+        break;
+    }
+    return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sfrv::isa

@@ -1,0 +1,28 @@
+// 32-bit instruction word encoder/decoder.
+//
+// The encoder and decoder share one table derived from the opcode list, so
+// they are inverses by construction; an exhaustive round-trip test pins this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.hpp"
+
+namespace sfrv::isa {
+
+/// Encode a decoded instruction into its 32-bit word.
+/// Precondition: register indices < 32, immediate in range for the layout.
+[[nodiscard]] std::uint32_t encode(const Inst& inst);
+
+/// Decode a 32-bit word; nullopt for unallocated encodings.
+[[nodiscard]] std::optional<Inst> decode(std::uint32_t word);
+
+/// Fixed-bit pattern of an opcode (operand fields zero) and its mask.
+struct EncPattern {
+  std::uint32_t match = 0;
+  std::uint32_t mask = 0;
+};
+[[nodiscard]] EncPattern encoding_pattern(Op op);
+
+}  // namespace sfrv::isa

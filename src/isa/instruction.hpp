@@ -1,0 +1,29 @@
+// Decoded instruction representation.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcodes.hpp"
+#include "softfloat/flags.hpp"
+
+namespace sfrv::isa {
+
+/// Rounding-mode field values: 0-4 are the IEEE modes, 7 = DYN (use fcsr.frm).
+inline constexpr std::uint8_t kRmDyn = 0b111;
+
+/// A decoded (or to-be-encoded) instruction. Field applicability depends on
+/// the layout of `op`; unused fields must be zero so that encode(decode(w))
+/// round-trips bit-exactly.
+struct Inst {
+  Op op = Op::EBREAK;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  std::uint8_t rm = 0;      ///< rounding-mode field for FpRrm/FpR4/FpUnaryRm
+  std::int32_t imm = 0;     ///< sign-extended immediate (csr address for Csr)
+
+  friend constexpr bool operator==(const Inst&, const Inst&) = default;
+};
+
+}  // namespace sfrv::isa

@@ -1,0 +1,75 @@
+// ISA configuration: enabled extensions and FLEN-dependent SIMD geometry.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "isa/opcodes.hpp"
+#include "softfloat/formats.hpp"
+
+namespace sfrv::isa {
+
+/// Width of a packed element of the given format, in bits.
+[[nodiscard]] constexpr int element_width(fp::FpFormat f) {
+  return fp::format_width(f);
+}
+
+/// Number of SIMD lanes for `fmt` with an FP register file of width `flen`
+/// (paper Table II). Zero means "not a vector format at this FLEN" (the
+/// element does not fit at least twice, or the scalar format itself does not
+/// fit the register file).
+[[nodiscard]] constexpr int vector_lanes(fp::FpFormat fmt, int flen) {
+  const int w = element_width(fmt);
+  if (w > flen) return 0;   // scalar format unsupported at this FLEN
+  if (w == flen) return 0;  // fits exactly once: scalar only, no SIMD
+  return flen / w;
+}
+
+/// Configuration of a hart: which extensions are implemented and the FP
+/// register width. The paper's baseline is RV32IMFC + smallFloat extensions
+/// with FLEN=32 (RVC omitted here: code-size only, no timing effect).
+struct IsaConfig {
+  std::uint16_t ext_mask = 0;
+  int flen = 32;
+
+  static constexpr std::uint16_t bit(Ext e) {
+    return static_cast<std::uint16_t>(1u << static_cast<unsigned>(e));
+  }
+
+  constexpr IsaConfig() = default;
+  constexpr IsaConfig(std::initializer_list<Ext> exts, int flen_bits)
+      : flen(flen_bits) {
+    for (Ext e : exts) ext_mask |= bit(e);
+  }
+
+  [[nodiscard]] constexpr bool has(Ext e) const {
+    return (ext_mask & bit(e)) != 0;
+  }
+
+  /// Does this configuration implement the given instruction?
+  /// Vector instructions additionally require a usable lane count.
+  [[nodiscard]] bool supports(Op op) const {
+    if (!has(extension(op))) return false;
+    if (is_vector(op)) {
+      if (!has(Ext::Xfvec)) return false;
+      const OpFmt f = op_format(op);
+      if (f == OpFmt::None) return false;
+      if (vector_lanes(to_fp_format(f), flen) < 2) return false;
+    }
+    return true;
+  }
+
+  /// The paper's full configuration: RV32IMF + all smallFloat extensions.
+  [[nodiscard]] static constexpr IsaConfig full(int flen_bits = 32) {
+    return IsaConfig({Ext::I, Ext::M, Ext::Zicsr, Ext::F, Ext::Xf16,
+                      Ext::Xf16alt, Ext::Xf8, Ext::Xfvec, Ext::Xfaux},
+                     flen_bits);
+  }
+
+  /// Plain RV32IMF baseline (no smallFloat support).
+  [[nodiscard]] static constexpr IsaConfig rv32imf() {
+    return IsaConfig({Ext::I, Ext::M, Ext::Zicsr, Ext::F}, 32);
+  }
+};
+
+}  // namespace sfrv::isa

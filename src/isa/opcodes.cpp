@@ -1,0 +1,124 @@
+#include "isa/opcodes.hpp"
+
+#include <array>
+
+namespace sfrv::isa {
+
+namespace {
+
+struct Meta {
+  std::string_view mnem;
+  Ext ext;
+  Cls cls;
+  OpFmt fmt;
+  bool vec;
+  Lay lay;
+};
+
+constexpr std::array<Meta, kNumOps> kMeta = {{
+#define SFRV_META(NAME, MNEM, EXT, CLS, FMT, VEC, LAY, OPC, F3, F7, SUB) \
+  Meta{MNEM, EXT, CLS, FMT, VEC, LAY},
+    SFRV_FOREACH_OP(SFRV_META)
+#undef SFRV_META
+}};
+
+const Meta& meta(Op op) { return kMeta[static_cast<std::size_t>(op)]; }
+
+}  // namespace
+
+std::string_view mnemonic(Op op) { return meta(op).mnem; }
+Ext extension(Op op) { return meta(op).ext; }
+Cls op_class(Op op) { return meta(op).cls; }
+OpFmt op_format(Op op) { return meta(op).fmt; }
+bool is_vector(Op op) { return meta(op).vec; }
+Lay layout(Op op) { return meta(op).lay; }
+
+bool touches_fp_regs(Op op) {
+  switch (op_class(op)) {
+    case Cls::IntAlu: case Cls::IntMul: case Cls::IntDiv: case Cls::Load:
+    case Cls::Store: case Cls::Branch: case Cls::Jump: case Cls::Csr:
+    case Cls::Sys:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool rd_is_int(Op op) {
+  switch (op_class(op)) {
+    case Cls::FpCmp:
+    case Cls::FpMvToX:
+    case Cls::FpClass:
+      return true;
+    case Cls::FpCvtToInt:
+      return !is_vector(op);  // vector int-conversions stay in the FP lanes
+    default:
+      return !touches_fp_regs(op);
+  }
+}
+
+bool rs1_is_int(Op op) {
+  switch (op_class(op)) {
+    case Cls::FpMvFromX:
+      return true;
+    case Cls::FpCvtFromInt:
+      return !is_vector(op);
+    case Cls::FpLoad:
+    case Cls::FpStore:
+      return true;  // address base register
+    default:
+      return !touches_fp_regs(op);
+  }
+}
+
+std::string_view ext_name(Ext e) {
+  switch (e) {
+    case Ext::I: return "I";
+    case Ext::M: return "M";
+    case Ext::Zicsr: return "Zicsr";
+    case Ext::F: return "F";
+    case Ext::Xf16: return "Xf16";
+    case Ext::Xf16alt: return "Xf16alt";
+    case Ext::Xf8: return "Xf8";
+    case Ext::Xfvec: return "Xfvec";
+    case Ext::Xfaux: return "Xfaux";
+  }
+  return "?";
+}
+
+std::string_view cls_name(Cls c) {
+  switch (c) {
+    case Cls::IntAlu: return "int-alu";
+    case Cls::IntMul: return "int-mul";
+    case Cls::IntDiv: return "int-div";
+    case Cls::Load: return "load";
+    case Cls::Store: return "store";
+    case Cls::Branch: return "branch";
+    case Cls::Jump: return "jump";
+    case Cls::Csr: return "csr";
+    case Cls::Sys: return "sys";
+    case Cls::FpLoad: return "fp-load";
+    case Cls::FpStore: return "fp-store";
+    case Cls::FpAdd: return "fp-add";
+    case Cls::FpMul: return "fp-mul";
+    case Cls::FpDiv: return "fp-div";
+    case Cls::FpSqrt: return "fp-sqrt";
+    case Cls::FpFma: return "fp-fma";
+    case Cls::FpCmp: return "fp-cmp";
+    case Cls::FpMinMax: return "fp-minmax";
+    case Cls::FpSgnj: return "fp-sgnj";
+    case Cls::FpCvt: return "fp-cvt";
+    case Cls::FpCvtToInt: return "fp-cvt-to-int";
+    case Cls::FpCvtFromInt: return "fp-cvt-from-int";
+    case Cls::FpMvToX: return "fp-mv-to-x";
+    case Cls::FpMvFromX: return "fp-mv-from-x";
+    case Cls::FpClass: return "fp-class";
+    case Cls::FpCpk: return "fp-cpk";
+    case Cls::FpDotp: return "fp-dotp";
+    case Cls::FpMulEx: return "fp-mulex";
+    case Cls::FpMacEx: return "fp-macex";
+  }
+  return "?";
+}
+
+}  // namespace sfrv::isa

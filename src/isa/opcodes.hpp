@@ -1,0 +1,268 @@
+// Instruction inventory for RV32IMF plus the smallFloat extensions.
+//
+// A single X-macro table is the source of truth for the opcode enum, the
+// mnemonic, the owning ISA extension, the statistics/energy class, the FP
+// format, SIMD-ness, and the encoding template. Everything else (encoder,
+// decoder, disassembler, simulator dispatch, energy model) derives from it.
+//
+// Encoding scheme (documented deviations from the paper's bit-level choices
+// are collision-free simplifications; see encoding.cpp):
+//  * scalar smallFloat ops live in OP-FP with the 2-bit fmt field:
+//      00 = S (binary32), 01 = AH (binary16alt; the D slot, which this
+//      implementation does not provide), 10 = H (binary16, the unused
+//      configuration the paper assigns), 11 = B (binary8, the repurposed
+//      Q slot exactly as in the paper)
+//  * vectorial (Xfvec) ops use the OP major opcode with bit 31 set -- the
+//    "previously unused prefix" the paper describes.
+//  * auxiliary (Xfaux) expanding ops occupy free funct5 slots of OP-FP and
+//    a sub-group of the vectorial prefix.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "softfloat/formats.hpp"
+
+namespace sfrv::isa {
+
+/// ISA extensions (paper Section III).
+enum class Ext : std::uint8_t { I, M, Zicsr, F, Xf16, Xf16alt, Xf8, Xfvec, Xfaux };
+
+/// Statistics / energy class of an instruction.
+enum class Cls : std::uint8_t {
+  IntAlu, IntMul, IntDiv, Load, Store, Branch, Jump, Csr, Sys,
+  FpLoad, FpStore,
+  FpAdd, FpMul, FpDiv, FpSqrt, FpFma, FpCmp, FpMinMax, FpSgnj,
+  FpCvt,        // FP <-> FP conversion
+  FpCvtToInt, FpCvtFromInt,
+  FpMvToX, FpMvFromX, FpClass,
+  FpCpk,        // cast-and-pack (Xfvec)
+  FpDotp,       // expanding dot product (Xfaux)
+  FpMulEx, FpMacEx,  // expanding multiply / multiply-accumulate (Xfaux)
+};
+
+/// Operand FP format tag (None for integer instructions and FP loads/stores,
+/// which are format-agnostic width transfers).
+enum class OpFmt : std::uint8_t { None, S, AH, H, B };
+
+[[nodiscard]] constexpr fp::FpFormat to_fp_format(OpFmt f) {
+  switch (f) {
+    case OpFmt::S: return fp::FpFormat::F32;
+    case OpFmt::AH: return fp::FpFormat::F16Alt;
+    case OpFmt::H: return fp::FpFormat::F16;
+    case OpFmt::B: return fp::FpFormat::F8;
+    case OpFmt::None: break;
+  }
+  return fp::FpFormat::F32;
+}
+
+/// Encoding templates.
+enum class Lay : std::uint8_t {
+  U,         // rd, imm[31:12]
+  J,         // rd, +-1MiB jump immediate
+  Iimm,      // rd, rs1, 12-bit signed immediate (also loads incl. FP)
+  Bimm,      // rs1, rs2, branch immediate
+  Simm,      // rs1, rs2, store immediate (also FP stores)
+  Shamt,     // rd, rs1, 5-bit shift amount
+  R,         // rd, rs1, rs2
+  FullWord,  // no operands (ecall/ebreak/fence canonical forms)
+  Csr,       // rd, rs1(or zimm), csr address in imm
+  FpRrm,     // rd, rs1, rs2, rounding mode operand in funct3
+  FpR2,      // rd, rs1, rs2, funct3 fixed
+  FpR4,      // rd, rs1, rs2, rs3, rm (fused multiply-add family)
+  FpUnaryRm, // rd, rs1, rm; rs2 field fixed subcode (sqrt, conversions)
+  FpUnary,   // rd, rs1; funct3 and rs2 fixed (fmv, fclass)
+  Vec,       // rd, rs1, rs2; vectorial prefix, funct3 fixed
+  VecUnary,  // rd, rs1; vectorial prefix, rs2 fixed subcode
+};
+
+// clang-format off
+
+/// Scalar FP operation block, instantiated for each of the four formats.
+/// Columns: NAME suffix, mnemonic suffix, fmt2 encoding, owning extension.
+#define SFRV_FP_SCALAR_OPS(X, F, fs, FMT2, EXT) \
+  X(FADD_##F,    "fadd." fs,    EXT, Cls::FpAdd,        OpFmt::F, false, Lay::FpRrm,     0x53, -1, ((0x00 << 2) | FMT2), -1) \
+  X(FSUB_##F,    "fsub." fs,    EXT, Cls::FpAdd,        OpFmt::F, false, Lay::FpRrm,     0x53, -1, ((0x01 << 2) | FMT2), -1) \
+  X(FMUL_##F,    "fmul." fs,    EXT, Cls::FpMul,        OpFmt::F, false, Lay::FpRrm,     0x53, -1, ((0x02 << 2) | FMT2), -1) \
+  X(FDIV_##F,    "fdiv." fs,    EXT, Cls::FpDiv,        OpFmt::F, false, Lay::FpRrm,     0x53, -1, ((0x03 << 2) | FMT2), -1) \
+  X(FSGNJ_##F,   "fsgnj." fs,   EXT, Cls::FpSgnj,       OpFmt::F, false, Lay::FpR2,      0x53,  0, ((0x04 << 2) | FMT2), -1) \
+  X(FSGNJN_##F,  "fsgnjn." fs,  EXT, Cls::FpSgnj,       OpFmt::F, false, Lay::FpR2,      0x53,  1, ((0x04 << 2) | FMT2), -1) \
+  X(FSGNJX_##F,  "fsgnjx." fs,  EXT, Cls::FpSgnj,       OpFmt::F, false, Lay::FpR2,      0x53,  2, ((0x04 << 2) | FMT2), -1) \
+  X(FMIN_##F,    "fmin." fs,    EXT, Cls::FpMinMax,     OpFmt::F, false, Lay::FpR2,      0x53,  0, ((0x05 << 2) | FMT2), -1) \
+  X(FMAX_##F,    "fmax." fs,    EXT, Cls::FpMinMax,     OpFmt::F, false, Lay::FpR2,      0x53,  1, ((0x05 << 2) | FMT2), -1) \
+  X(FSQRT_##F,   "fsqrt." fs,   EXT, Cls::FpSqrt,       OpFmt::F, false, Lay::FpUnaryRm, 0x53, -1, ((0x0b << 2) | FMT2),  0) \
+  X(FEQ_##F,     "feq." fs,     EXT, Cls::FpCmp,        OpFmt::F, false, Lay::FpR2,      0x53,  2, ((0x14 << 2) | FMT2), -1) \
+  X(FLT_##F,     "flt." fs,     EXT, Cls::FpCmp,        OpFmt::F, false, Lay::FpR2,      0x53,  1, ((0x14 << 2) | FMT2), -1) \
+  X(FLE_##F,     "fle." fs,     EXT, Cls::FpCmp,        OpFmt::F, false, Lay::FpR2,      0x53,  0, ((0x14 << 2) | FMT2), -1) \
+  X(FCVT_W_##F,  "fcvt.w." fs,  EXT, Cls::FpCvtToInt,   OpFmt::F, false, Lay::FpUnaryRm, 0x53, -1, ((0x18 << 2) | FMT2),  0) \
+  X(FCVT_WU_##F, "fcvt.wu." fs, EXT, Cls::FpCvtToInt,   OpFmt::F, false, Lay::FpUnaryRm, 0x53, -1, ((0x18 << 2) | FMT2),  1) \
+  X(FCVT_##F##_W,  "fcvt." fs ".w",  EXT, Cls::FpCvtFromInt, OpFmt::F, false, Lay::FpUnaryRm, 0x53, -1, ((0x1a << 2) | FMT2), 0) \
+  X(FCVT_##F##_WU, "fcvt." fs ".wu", EXT, Cls::FpCvtFromInt, OpFmt::F, false, Lay::FpUnaryRm, 0x53, -1, ((0x1a << 2) | FMT2), 1) \
+  X(FMV_X_##F,   "fmv.x." fs,   EXT, Cls::FpMvToX,      OpFmt::F, false, Lay::FpUnary,   0x53,  0, ((0x1c << 2) | FMT2),  0) \
+  X(FCLASS_##F,  "fclass." fs,  EXT, Cls::FpClass,      OpFmt::F, false, Lay::FpUnary,   0x53,  1, ((0x1c << 2) | FMT2),  0) \
+  X(FMV_##F##_X, "fmv." fs ".x", EXT, Cls::FpMvFromX,   OpFmt::F, false, Lay::FpUnary,   0x53,  0, ((0x1e << 2) | FMT2),  0) \
+  X(FMADD_##F,   "fmadd." fs,   EXT, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x43, -1, FMT2, -1) \
+  X(FMSUB_##F,   "fmsub." fs,   EXT, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x47, -1, FMT2, -1) \
+  X(FNMSUB_##F,  "fnmsub." fs,  EXT, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x4b, -1, FMT2, -1) \
+  X(FNMADD_##F,  "fnmadd." fs,  EXT, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x4f, -1, FMT2, -1)
+
+/// Expanding scalar operations (Xfaux): smallFloat operands, binary32 result.
+#define SFRV_FP_EXPAND_OPS(X, F, fs, FMT2) \
+  X(FMULEX_S_##F, "fmulex.s." fs, Ext::Xfaux, Cls::FpMulEx, OpFmt::F, false, Lay::FpRrm, 0x53, -1, ((0x06 << 2) | FMT2), -1) \
+  X(FMACEX_S_##F, "fmacex.s." fs, Ext::Xfaux, Cls::FpMacEx, OpFmt::F, false, Lay::FpRrm, 0x53, -1, ((0x07 << 2) | FMT2), -1)
+
+// Vectorial prefix helper: funct7 = 0b1000000 | (vop << 2) | vfmt2.
+#define SFRV_VF7(vop, vfmt2) (0x40 | ((vop) << 2) | (vfmt2))
+
+/// Vectorial operation block (Xfvec/Xfaux), instantiated per packed format.
+/// funct3 bit 0 selects the .R (replicated scalar operand) variant.
+#define SFRV_FP_VECTOR_OPS(X, F, fs, VFMT2) \
+  X(VFADD_##F,    "vfadd." fs,    Ext::Xfvec, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x0, VFMT2), -1) \
+  X(VFADD_R_##F,  "vfadd.r." fs,  Ext::Xfvec, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x0, VFMT2), -1) \
+  X(VFSUB_##F,    "vfsub." fs,    Ext::Xfvec, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x1, VFMT2), -1) \
+  X(VFSUB_R_##F,  "vfsub.r." fs,  Ext::Xfvec, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x1, VFMT2), -1) \
+  X(VFMUL_##F,    "vfmul." fs,    Ext::Xfvec, Cls::FpMul,    OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x2, VFMT2), -1) \
+  X(VFMUL_R_##F,  "vfmul.r." fs,  Ext::Xfvec, Cls::FpMul,    OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x2, VFMT2), -1) \
+  X(VFDIV_##F,    "vfdiv." fs,    Ext::Xfvec, Cls::FpDiv,    OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x3, VFMT2), -1) \
+  X(VFDIV_R_##F,  "vfdiv.r." fs,  Ext::Xfvec, Cls::FpDiv,    OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x3, VFMT2), -1) \
+  X(VFMIN_##F,    "vfmin." fs,    Ext::Xfvec, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x4, VFMT2), -1) \
+  X(VFMIN_R_##F,  "vfmin.r." fs,  Ext::Xfvec, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x4, VFMT2), -1) \
+  X(VFMAX_##F,    "vfmax." fs,    Ext::Xfvec, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x5, VFMT2), -1) \
+  X(VFMAX_R_##F,  "vfmax.r." fs,  Ext::Xfvec, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x5, VFMT2), -1) \
+  X(VFSQRT_##F,   "vfsqrt." fs,   Ext::Xfvec, Cls::FpSqrt,   OpFmt::F, true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, VFMT2),  0) \
+  X(VFCVT_X_##F,  "vfcvt.x." fs,  Ext::Xfvec, Cls::FpCvtToInt,   OpFmt::F, true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, VFMT2), 1) \
+  X(VFCVT_##F##_X, "vfcvt." fs ".x", Ext::Xfvec, Cls::FpCvtFromInt, OpFmt::F, true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, VFMT2), 2) \
+  X(VFMAC_##F,    "vfmac." fs,    Ext::Xfvec, Cls::FpFma,    OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x7, VFMT2), -1) \
+  X(VFMAC_R_##F,  "vfmac.r." fs,  Ext::Xfvec, Cls::FpFma,    OpFmt::F, true, Lay::Vec,      0x33, 1, SFRV_VF7(0x7, VFMT2), -1) \
+  X(VFSGNJ_##F,   "vfsgnj." fs,   Ext::Xfvec, Cls::FpSgnj,   OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0x9, VFMT2), -1) \
+  X(VFSGNJN_##F,  "vfsgnjn." fs,  Ext::Xfvec, Cls::FpSgnj,   OpFmt::F, true, Lay::Vec,      0x33, 2, SFRV_VF7(0x9, VFMT2), -1) \
+  X(VFSGNJX_##F,  "vfsgnjx." fs,  Ext::Xfvec, Cls::FpSgnj,   OpFmt::F, true, Lay::Vec,      0x33, 4, SFRV_VF7(0x9, VFMT2), -1) \
+  X(VFEQ_##F,     "vfeq." fs,     Ext::Xfvec, Cls::FpCmp,    OpFmt::F, true, Lay::Vec,      0x33, 0, SFRV_VF7(0xa, VFMT2), -1) \
+  X(VFLT_##F,     "vflt." fs,     Ext::Xfvec, Cls::FpCmp,    OpFmt::F, true, Lay::Vec,      0x33, 2, SFRV_VF7(0xa, VFMT2), -1) \
+  X(VFLE_##F,     "vfle." fs,     Ext::Xfvec, Cls::FpCmp,    OpFmt::F, true, Lay::Vec,      0x33, 4, SFRV_VF7(0xa, VFMT2), -1) \
+  X(VFCPKA_##F##_S, "vfcpka." fs ".s", Ext::Xfvec, Cls::FpCpk, OpFmt::F, true, Lay::Vec,    0x33, 0, SFRV_VF7(0xb, VFMT2), -1) \
+  X(VFDOTPEX_S_##F,   "vfdotpex.s." fs,   Ext::Xfaux, Cls::FpDotp, OpFmt::F, true, Lay::Vec, 0x33, 0, SFRV_VF7(0xc, VFMT2), -1) \
+  X(VFDOTPEX_S_R_##F, "vfdotpex.s.r." fs, Ext::Xfaux, Cls::FpDotp, OpFmt::F, true, Lay::Vec, 0x33, 1, SFRV_VF7(0xc, VFMT2), -1)
+
+/// The full instruction table.
+/// Columns: NAME, mnemonic, extension, class, fmt, vector?, layout,
+///          major opcode, funct3 (-1 = operand/unused), funct7 (-1 = none;
+///          for FpR4 rows this column holds fmt2), rs2 subcode (-1 = operand).
+#define SFRV_FOREACH_OP(X) \
+  X(LUI,   "lui",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::U,    0x37, -1, -1, -1) \
+  X(AUIPC, "auipc", Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::U,    0x17, -1, -1, -1) \
+  X(JAL,   "jal",   Ext::I, Cls::Jump,   OpFmt::None, false, Lay::J,    0x6f, -1, -1, -1) \
+  X(JALR,  "jalr",  Ext::I, Cls::Jump,   OpFmt::None, false, Lay::Iimm, 0x67,  0, -1, -1) \
+  X(BEQ,   "beq",   Ext::I, Cls::Branch, OpFmt::None, false, Lay::Bimm, 0x63,  0, -1, -1) \
+  X(BNE,   "bne",   Ext::I, Cls::Branch, OpFmt::None, false, Lay::Bimm, 0x63,  1, -1, -1) \
+  X(BLT,   "blt",   Ext::I, Cls::Branch, OpFmt::None, false, Lay::Bimm, 0x63,  4, -1, -1) \
+  X(BGE,   "bge",   Ext::I, Cls::Branch, OpFmt::None, false, Lay::Bimm, 0x63,  5, -1, -1) \
+  X(BLTU,  "bltu",  Ext::I, Cls::Branch, OpFmt::None, false, Lay::Bimm, 0x63,  6, -1, -1) \
+  X(BGEU,  "bgeu",  Ext::I, Cls::Branch, OpFmt::None, false, Lay::Bimm, 0x63,  7, -1, -1) \
+  X(LB,    "lb",    Ext::I, Cls::Load,   OpFmt::None, false, Lay::Iimm, 0x03,  0, -1, -1) \
+  X(LH,    "lh",    Ext::I, Cls::Load,   OpFmt::None, false, Lay::Iimm, 0x03,  1, -1, -1) \
+  X(LW,    "lw",    Ext::I, Cls::Load,   OpFmt::None, false, Lay::Iimm, 0x03,  2, -1, -1) \
+  X(LBU,   "lbu",   Ext::I, Cls::Load,   OpFmt::None, false, Lay::Iimm, 0x03,  4, -1, -1) \
+  X(LHU,   "lhu",   Ext::I, Cls::Load,   OpFmt::None, false, Lay::Iimm, 0x03,  5, -1, -1) \
+  X(SB,    "sb",    Ext::I, Cls::Store,  OpFmt::None, false, Lay::Simm, 0x23,  0, -1, -1) \
+  X(SH,    "sh",    Ext::I, Cls::Store,  OpFmt::None, false, Lay::Simm, 0x23,  1, -1, -1) \
+  X(SW,    "sw",    Ext::I, Cls::Store,  OpFmt::None, false, Lay::Simm, 0x23,  2, -1, -1) \
+  X(ADDI,  "addi",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Iimm, 0x13,  0, -1, -1) \
+  X(SLTI,  "slti",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Iimm, 0x13,  2, -1, -1) \
+  X(SLTIU, "sltiu", Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Iimm, 0x13,  3, -1, -1) \
+  X(XORI,  "xori",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Iimm, 0x13,  4, -1, -1) \
+  X(ORI,   "ori",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Iimm, 0x13,  6, -1, -1) \
+  X(ANDI,  "andi",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Iimm, 0x13,  7, -1, -1) \
+  X(SLLI,  "slli",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Shamt, 0x13, 1, 0x00, -1) \
+  X(SRLI,  "srli",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Shamt, 0x13, 5, 0x00, -1) \
+  X(SRAI,  "srai",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::Shamt, 0x13, 5, 0x20, -1) \
+  X(ADD,   "add",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  0, 0x00, -1) \
+  X(SUB,   "sub",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  0, 0x20, -1) \
+  X(SLL,   "sll",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  1, 0x00, -1) \
+  X(SLT,   "slt",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  2, 0x00, -1) \
+  X(SLTU,  "sltu",  Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  3, 0x00, -1) \
+  X(XOR,   "xor",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  4, 0x00, -1) \
+  X(SRL,   "srl",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  5, 0x00, -1) \
+  X(SRA,   "sra",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  5, 0x20, -1) \
+  X(OR,    "or",    Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  6, 0x00, -1) \
+  X(AND,   "and",   Ext::I, Cls::IntAlu, OpFmt::None, false, Lay::R,    0x33,  7, 0x00, -1) \
+  X(FENCE, "fence", Ext::I, Cls::Sys,    OpFmt::None, false, Lay::FullWord, 0x0f,  0, -1, -1) \
+  X(ECALL, "ecall", Ext::I, Cls::Sys,    OpFmt::None, false, Lay::FullWord, 0x73,  0, -1,  0) \
+  X(EBREAK,"ebreak",Ext::I, Cls::Sys,    OpFmt::None, false, Lay::FullWord, 0x73,  0, -1,  1) \
+  X(CSRRW, "csrrw", Ext::Zicsr, Cls::Csr, OpFmt::None, false, Lay::Csr, 0x73,  1, -1, -1) \
+  X(CSRRS, "csrrs", Ext::Zicsr, Cls::Csr, OpFmt::None, false, Lay::Csr, 0x73,  2, -1, -1) \
+  X(CSRRC, "csrrc", Ext::Zicsr, Cls::Csr, OpFmt::None, false, Lay::Csr, 0x73,  3, -1, -1) \
+  X(CSRRWI,"csrrwi",Ext::Zicsr, Cls::Csr, OpFmt::None, false, Lay::Csr, 0x73,  5, -1, -1) \
+  X(CSRRSI,"csrrsi",Ext::Zicsr, Cls::Csr, OpFmt::None, false, Lay::Csr, 0x73,  6, -1, -1) \
+  X(CSRRCI,"csrrci",Ext::Zicsr, Cls::Csr, OpFmt::None, false, Lay::Csr, 0x73,  7, -1, -1) \
+  X(MUL,    "mul",    Ext::M, Cls::IntMul, OpFmt::None, false, Lay::R, 0x33, 0, 0x01, -1) \
+  X(MULH,   "mulh",   Ext::M, Cls::IntMul, OpFmt::None, false, Lay::R, 0x33, 1, 0x01, -1) \
+  X(MULHSU, "mulhsu", Ext::M, Cls::IntMul, OpFmt::None, false, Lay::R, 0x33, 2, 0x01, -1) \
+  X(MULHU,  "mulhu",  Ext::M, Cls::IntMul, OpFmt::None, false, Lay::R, 0x33, 3, 0x01, -1) \
+  X(DIV,    "div",    Ext::M, Cls::IntDiv, OpFmt::None, false, Lay::R, 0x33, 4, 0x01, -1) \
+  X(DIVU,   "divu",   Ext::M, Cls::IntDiv, OpFmt::None, false, Lay::R, 0x33, 5, 0x01, -1) \
+  X(REM,    "rem",    Ext::M, Cls::IntDiv, OpFmt::None, false, Lay::R, 0x33, 6, 0x01, -1) \
+  X(REMU,   "remu",   Ext::M, Cls::IntDiv, OpFmt::None, false, Lay::R, 0x33, 7, 0x01, -1) \
+  X(FLB, "flb", Ext::Xf8,  Cls::FpLoad,  OpFmt::None, false, Lay::Iimm, 0x07, 0, -1, -1) \
+  X(FLH, "flh", Ext::Xf16, Cls::FpLoad,  OpFmt::None, false, Lay::Iimm, 0x07, 1, -1, -1) \
+  X(FLW, "flw", Ext::F,    Cls::FpLoad,  OpFmt::None, false, Lay::Iimm, 0x07, 2, -1, -1) \
+  X(FSB, "fsb", Ext::Xf8,  Cls::FpStore, OpFmt::None, false, Lay::Simm, 0x27, 0, -1, -1) \
+  X(FSH, "fsh", Ext::Xf16, Cls::FpStore, OpFmt::None, false, Lay::Simm, 0x27, 1, -1, -1) \
+  X(FSW, "fsw", Ext::F,    Cls::FpStore, OpFmt::None, false, Lay::Simm, 0x27, 2, -1, -1) \
+  SFRV_FP_SCALAR_OPS(X, S,  "s",  0x0, Ext::F) \
+  SFRV_FP_SCALAR_OPS(X, AH, "ah", 0x1, Ext::Xf16alt) \
+  SFRV_FP_SCALAR_OPS(X, H,  "h",  0x2, Ext::Xf16) \
+  SFRV_FP_SCALAR_OPS(X, B,  "b",  0x3, Ext::Xf8) \
+  SFRV_FP_EXPAND_OPS(X, AH, "ah", 0x1) \
+  SFRV_FP_EXPAND_OPS(X, H,  "h",  0x2) \
+  SFRV_FP_EXPAND_OPS(X, B,  "b",  0x3) \
+  /* FP <-> FP conversions: rs2 subcode selects the source format */ \
+  X(FCVT_S_AH, "fcvt.s.ah", Ext::Xf16alt, Cls::FpCvt, OpFmt::S,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x0), 1) \
+  X(FCVT_S_H,  "fcvt.s.h",  Ext::Xf16,    Cls::FpCvt, OpFmt::S,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x0), 2) \
+  X(FCVT_S_B,  "fcvt.s.b",  Ext::Xf8,     Cls::FpCvt, OpFmt::S,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x0), 3) \
+  X(FCVT_AH_S, "fcvt.ah.s", Ext::Xf16alt, Cls::FpCvt, OpFmt::AH, false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x1), 0) \
+  X(FCVT_AH_H, "fcvt.ah.h", Ext::Xf16alt, Cls::FpCvt, OpFmt::AH, false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x1), 2) \
+  X(FCVT_AH_B, "fcvt.ah.b", Ext::Xf16alt, Cls::FpCvt, OpFmt::AH, false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x1), 3) \
+  X(FCVT_H_S,  "fcvt.h.s",  Ext::Xf16,    Cls::FpCvt, OpFmt::H,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x2), 0) \
+  X(FCVT_H_AH, "fcvt.h.ah", Ext::Xf16,    Cls::FpCvt, OpFmt::H,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x2), 1) \
+  X(FCVT_H_B,  "fcvt.h.b",  Ext::Xf16,    Cls::FpCvt, OpFmt::H,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x2), 3) \
+  X(FCVT_B_S,  "fcvt.b.s",  Ext::Xf8,     Cls::FpCvt, OpFmt::B,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x3), 0) \
+  X(FCVT_B_AH, "fcvt.b.ah", Ext::Xf8,     Cls::FpCvt, OpFmt::B,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x3), 1) \
+  X(FCVT_B_H,  "fcvt.b.h",  Ext::Xf8,     Cls::FpCvt, OpFmt::B,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x3), 2) \
+  SFRV_FP_VECTOR_OPS(X, H,  "h",  0x0) \
+  SFRV_FP_VECTOR_OPS(X, AH, "ah", 0x1) \
+  SFRV_FP_VECTOR_OPS(X, B,  "b",  0x2) \
+  /* same-width vector format conversions and the extra binary8 pack */ \
+  X(VFCVT_H_AH, "vfcvt.h.ah", Ext::Xfvec, Cls::FpCvt, OpFmt::H,  true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, 0x0), 3) \
+  X(VFCVT_AH_H, "vfcvt.ah.h", Ext::Xfvec, Cls::FpCvt, OpFmt::AH, true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, 0x1), 3) \
+  X(VFCPKB_B_S, "vfcpkb.b.s", Ext::Xfvec, Cls::FpCpk, OpFmt::B,  true, Lay::Vec,      0x33, 2, SFRV_VF7(0xb, 0x2), -1)
+
+// clang-format on
+
+enum class Op : std::uint16_t {
+#define SFRV_ENUM(NAME, ...) NAME,
+  SFRV_FOREACH_OP(SFRV_ENUM)
+#undef SFRV_ENUM
+      Count
+};
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::Count);
+
+[[nodiscard]] std::string_view mnemonic(Op op);
+[[nodiscard]] Ext extension(Op op);
+[[nodiscard]] Cls op_class(Op op);
+[[nodiscard]] OpFmt op_format(Op op);
+[[nodiscard]] bool is_vector(Op op);
+[[nodiscard]] Lay layout(Op op);
+
+/// True when the instruction reads/writes the FP register file at all.
+[[nodiscard]] bool touches_fp_regs(Op op);
+/// True when rd is an integer register (comparisons, fmv.x, fclass, fcvt.w).
+[[nodiscard]] bool rd_is_int(Op op);
+/// True when rs1 is an integer register (fmv.fmt.x, fcvt.fmt.w, loads, ...).
+[[nodiscard]] bool rs1_is_int(Op op);
+
+[[nodiscard]] std::string_view ext_name(Ext e);
+[[nodiscard]] std::string_view cls_name(Cls c);
+
+}  // namespace sfrv::isa

@@ -1,0 +1,49 @@
+// Quality-of-results metrics (paper Table III uses SQNR in dB).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace sfrv::kernels {
+
+/// Signal-to-quantization-noise ratio in dB between a golden reference and a
+/// reduced-precision output: 10*log10(sum ref^2 / sum (ref-out)^2).
+/// Identical signals return +99 dB (capped); non-finite outputs contribute
+/// their full signal power as noise.
+[[nodiscard]] inline double sqnr_db(std::span<const double> ref,
+                                    std::span<const double> out) {
+  double signal = 0;
+  double noise = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    signal += ref[i] * ref[i];
+    const double o = i < out.size() ? out[i] : 0.0;
+    const double d = std::isfinite(o) ? ref[i] - o : ref[i];
+    noise += d * d;
+  }
+  if (noise == 0) return 99.0;
+  if (signal == 0) return -99.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+/// Fraction of rows whose argmax matches `labels` (classification accuracy
+/// for the SVM case study, Fig. 6).
+[[nodiscard]] inline double classification_accuracy(
+    const std::vector<std::vector<double>>& scores,
+    const std::vector<int>& labels) {
+  if (scores.empty()) return 0;
+  int correct = 0;
+  for (std::size_t s = 0; s < scores.size(); ++s) {
+    int best = 0;
+    for (std::size_t c = 1; c < scores[s].size(); ++c) {
+      if (scores[s][c] > scores[s][static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(c);
+      }
+    }
+    if (best == labels[s]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+}  // namespace sfrv::kernels

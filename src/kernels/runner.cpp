@@ -1,0 +1,58 @@
+#include "kernels/runner.hpp"
+
+#include <stdexcept>
+
+#include "softfloat/runtime.hpp"
+
+namespace sfrv::kernels {
+
+double RunResult::ideal_cycles(int vl) const {
+  std::uint64_t inner = 0;
+  for (const auto& [b, e] : lowered.inner_ranges) {
+    inner += stats.cycles_in_range(text_base, b, e);
+  }
+  const auto total = static_cast<double>(stats.cycles);
+  return total - static_cast<double>(inner) +
+         static_cast<double>(inner) / static_cast<double>(vl);
+}
+
+std::vector<double> RunResult::concat_outputs(
+    const std::vector<std::string>& names) const {
+  std::vector<double> all;
+  for (const auto& n : names) {
+    const auto& v = outputs.at(n);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
+                     sim::MemConfig mem, isa::IsaConfig cfg) {
+  RunResult r;
+  r.lowered = ir::lower(spec.kernel, mode, spec.init);
+  sim::Core core(cfg, mem);
+  core.load_program(r.lowered.program);
+  if (core.run() != sim::Core::RunResult::Halted) {
+    throw std::runtime_error("kernel did not halt: " + spec.kernel.name);
+  }
+  r.stats = core.stats();
+  r.text_base = r.lowered.program.text_base;
+  for (const auto& name : spec.output_arrays) {
+    const auto& arr = spec.kernel.arrays[static_cast<std::size_t>(
+        spec.kernel.array_index(name))];
+    const auto addr = r.lowered.array_addr.at(name);
+    const int esize = ir::width_bytes(arr.type);
+    std::vector<double> vals(static_cast<std::size_t>(arr.elems()));
+    for (int e = 0; e < arr.elems(); ++e) {
+      std::uint64_t bits = 0;
+      core.memory().read_block(addr + static_cast<std::uint32_t>(e * esize),
+                               &bits, static_cast<std::size_t>(esize));
+      vals[static_cast<std::size_t>(e)] =
+          fp::rt_to_double(ir::fp_format(arr.type), bits);
+    }
+    r.outputs[name] = std::move(vals);
+  }
+  return r;
+}
+
+}  // namespace sfrv::kernels

@@ -1,0 +1,46 @@
+// Kernel execution harness: lower a kernel, run it on the simulator, pull
+// typed outputs back as doubles, and expose the statistics the benches need.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/lower.hpp"
+#include "sim/core.hpp"
+
+namespace sfrv::kernels {
+
+/// A benchmark instance: typed IR, input data, golden double reference.
+struct KernelSpec {
+  ir::Kernel kernel;
+  std::vector<std::vector<double>> init;          ///< per array id (inputs)
+  std::vector<std::string> output_arrays;         ///< arrays compared for QoR
+  std::vector<std::vector<double>> golden;        ///< per output array
+};
+
+struct RunResult {
+  sim::Stats stats;
+  std::unordered_map<std::string, std::vector<double>> outputs;
+  ir::LoweredKernel lowered;
+  std::uint32_t text_base = 0;
+
+  [[nodiscard]] std::uint64_t cycles() const { return stats.cycles; }
+
+  /// Amdahl-style ideal cycle count if every innermost loop ran `vl` times
+  /// faster with zero overhead (paper Fig. 1 dashed bars): total minus the
+  /// measured innermost-loop cycles plus those cycles divided by vl.
+  [[nodiscard]] double ideal_cycles(int vl) const;
+
+  /// Concatenated outputs in declaration order (for SQNR over a benchmark).
+  [[nodiscard]] std::vector<double> concat_outputs(
+      const std::vector<std::string>& names) const;
+};
+
+/// Lower with `mode`, execute to completion, and read back every array in
+/// `spec.output_arrays`.
+[[nodiscard]] RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
+                                   sim::MemConfig mem = {},
+                                   isa::IsaConfig cfg = isa::IsaConfig::full());
+
+}  // namespace sfrv::kernels

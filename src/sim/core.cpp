@@ -1,0 +1,801 @@
+#include "sim/core.hpp"
+
+#include <sstream>
+
+#include "isa/disasm.hpp"
+#include "softfloat/runtime.hpp"
+
+namespace sfrv::sim {
+
+using fp::Flags;
+using fp::FpFormat;
+using fp::RoundingMode;
+using isa::Cls;
+using isa::Inst;
+using isa::Op;
+
+namespace {
+
+constexpr std::uint64_t width_mask(int w) {
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+constexpr std::uint64_t get_lane(std::uint64_t v, int lane, int w) {
+  return (v >> (lane * w)) & width_mask(w);
+}
+
+constexpr std::uint64_t set_lane(std::uint64_t v, int lane, int w,
+                                 std::uint64_t x) {
+  const std::uint64_t m = width_mask(w) << (lane * w);
+  return (v & ~m) | ((x << (lane * w)) & m);
+}
+
+constexpr int fmt_width(FpFormat f) { return fp::format_width(f); }
+
+/// Saturating conversion of one FP lane to a signed integer of `w` bits.
+std::uint64_t lane_to_int(FpFormat fmt, std::uint64_t bits, int w,
+                          RoundingMode rm, Flags& fl) {
+  const std::int32_t v = fp::rt_to_int32(fmt, bits, rm, fl);
+  const std::int32_t hi = static_cast<std::int32_t>(width_mask(w - 1));
+  const std::int32_t lo = -hi - 1;
+  std::int32_t r = v;
+  if (v > hi) {
+    r = hi;
+    fl.raise(Flags::NV);
+  } else if (v < lo) {
+    r = lo;
+    fl.raise(Flags::NV);
+  }
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) & width_mask(w);
+}
+
+/// Sign-extend a `w`-bit lane and convert to FP.
+std::uint64_t lane_from_int(FpFormat fmt, std::uint64_t bits, int w,
+                            RoundingMode rm, Flags& fl) {
+  std::int64_t v = static_cast<std::int64_t>(bits & width_mask(w));
+  if (v & (std::int64_t{1} << (w - 1))) v -= (std::int64_t{1} << w);
+  return fp::rt_from_int32(fmt, static_cast<std::int32_t>(v), rm, fl);
+}
+
+/// Exact widening of a smallFloat value to binary32 (for Xfaux expanding ops).
+std::uint64_t widen_to_f32(FpFormat from, std::uint64_t bits, Flags& fl) {
+  return fp::rt_convert(FpFormat::F32, from, bits, RoundingMode::RNE, fl);
+}
+
+}  // namespace
+
+std::string SimError::to_hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+Core::Core(isa::IsaConfig cfg, MemConfig mem_cfg, Timing timing)
+    : cfg_(cfg), mem_(mem_cfg), timing_(timing) {}
+
+void Core::load_program(const asmb::Program& prog) {
+  if (!prog.text_words.empty()) {
+    mem_.write_block(prog.text_base, prog.text_words.data(),
+                     prog.text_words.size() * 4);
+  }
+  if (!prog.data.empty()) {
+    mem_.write_block(prog.data_base, prog.data.data(), prog.data.size());
+  }
+  decoded_ = prog.text;
+  text_base_ = prog.text_base;
+  pc_ = prog.entry();
+  x_[2] = asmb::kDefaultStackTop;  // sp
+  halted_ = false;
+  stats_.pc_cycles.assign(decoded_.size(), 0);
+}
+
+std::uint64_t Core::mask_flen(std::uint64_t v) const {
+  return v & width_mask(cfg_.flen);
+}
+
+std::uint64_t Core::read_fp(unsigned reg, int width) const {
+  return f_[reg & 31] & width_mask(width);
+}
+
+void Core::write_fp(unsigned reg, int width, std::uint64_t bits) {
+  // NaN-box: fill bits above `width` with ones up to FLEN.
+  const std::uint64_t boxed =
+      (bits & width_mask(width)) | (~std::uint64_t{0} << width);
+  f_[reg & 31] = mask_flen(boxed);
+}
+
+RoundingMode Core::resolve_rm(std::uint8_t rm_field) const {
+  if (rm_field <= 4) return static_cast<RoundingMode>(rm_field);
+  return frm();  // DYN (and reserved values fall back to fcsr)
+}
+
+Core::RunResult Core::run(std::uint64_t max_steps) {
+  for (std::uint64_t n = 0; n < max_steps; ++n) {
+    if (halted_) return RunResult::Halted;
+    step();
+  }
+  return halted_ ? RunResult::Halted : RunResult::MaxStepsReached;
+}
+
+void Core::step() {
+  if (halted_) return;
+  const std::uint32_t idx = (pc_ - text_base_) / 4;
+  if (pc_ < text_base_ || idx >= decoded_.size() || (pc_ & 3) != 0) {
+    throw SimError("instruction fetch outside text segment", pc_);
+  }
+  const Inst& i = decoded_[idx];
+  if (!cfg_.supports(i.op)) {
+    throw SimError(std::string("unsupported instruction: ") +
+                       std::string(isa::mnemonic(i.op)),
+                   pc_);
+  }
+  if (trace_ != nullptr) {
+    (*trace_) << std::hex << pc_ << std::dec << ": "
+              << isa::disassemble(i, pc_) << '\n';
+  }
+
+  branch_taken_ = false;
+  execute(i);
+
+  // Timing accumulation (see timing.hpp / memory.hpp for the model).
+  int cyc = timing_.base_cycles(i.op);
+  switch (isa::op_class(i.op)) {
+    case Cls::Load:
+    case Cls::FpLoad:
+      cyc += mem_.config().load_latency - 1;
+      ++stats_.load_count;
+      break;
+    case Cls::Store:
+    case Cls::FpStore:
+      cyc += mem_.config().store_latency - 1;
+      ++stats_.store_count;
+      break;
+    case Cls::Jump:
+      cyc += timing_.jump_penalty;
+      break;
+    case Cls::Branch:
+      if (branch_taken_) cyc += timing_.branch_taken_penalty;
+      break;
+    default:
+      break;
+  }
+  stats_.cycles += static_cast<std::uint64_t>(cyc);
+  ++stats_.instructions;
+  ++stats_.op_count[static_cast<std::size_t>(i.op)];
+  if (idx < stats_.pc_cycles.size()) {
+    stats_.pc_cycles[idx] += static_cast<std::uint64_t>(cyc);
+  }
+}
+
+void Core::execute(const Inst& i) {
+  switch (isa::op_class(i.op)) {
+    case Cls::IntAlu:
+    case Cls::IntMul:
+    case Cls::IntDiv:
+    case Cls::Load:
+    case Cls::Store:
+    case Cls::Branch:
+    case Cls::Jump:
+    case Cls::Sys:
+    case Cls::FpLoad:
+    case Cls::FpStore:
+      exec_int(i);
+      return;
+    case Cls::Csr:
+      exec_csr(i);
+      return;
+    default:
+      break;
+  }
+  if (isa::is_vector(i.op)) {
+    exec_fp_vector(i);
+  } else {
+    exec_fp_scalar(i);
+  }
+  pc_ += 4;
+}
+
+void Core::exec_int(const Inst& i) {
+  const std::uint32_t rs1 = x_[i.rs1];
+  const std::uint32_t rs2 = x_[i.rs2];
+  const auto imm = static_cast<std::uint32_t>(i.imm);
+  std::uint32_t next_pc = pc_ + 4;
+  auto wr = [this](unsigned rd, std::uint32_t v) {
+    if (rd != 0) x_[rd] = v;
+  };
+
+  switch (i.op) {
+    case Op::LUI: wr(i.rd, imm); break;
+    case Op::AUIPC: wr(i.rd, pc_ + imm); break;
+    case Op::JAL:
+      wr(i.rd, pc_ + 4);
+      next_pc = pc_ + imm;
+      break;
+    case Op::JALR:
+      wr(i.rd, pc_ + 4);
+      next_pc = (rs1 + imm) & ~1u;
+      break;
+    case Op::BEQ: if (rs1 == rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
+    case Op::BNE: if (rs1 != rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
+    case Op::BLT:
+      if (static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2)) {
+        next_pc = pc_ + imm;
+        branch_taken_ = true;
+      }
+      break;
+    case Op::BGE:
+      if (static_cast<std::int32_t>(rs1) >= static_cast<std::int32_t>(rs2)) {
+        next_pc = pc_ + imm;
+        branch_taken_ = true;
+      }
+      break;
+    case Op::BLTU: if (rs1 < rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
+    case Op::BGEU: if (rs1 >= rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
+
+    case Op::LB:
+      wr(i.rd, static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(static_cast<std::int8_t>(
+                       mem_.load8(rs1 + imm)))));
+      break;
+    case Op::LH:
+      wr(i.rd, static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(static_cast<std::int16_t>(
+                       mem_.load16(rs1 + imm)))));
+      break;
+    case Op::LW: wr(i.rd, mem_.load32(rs1 + imm)); break;
+    case Op::LBU: wr(i.rd, mem_.load8(rs1 + imm)); break;
+    case Op::LHU: wr(i.rd, mem_.load16(rs1 + imm)); break;
+    case Op::SB: mem_.store8(rs1 + imm, static_cast<std::uint8_t>(rs2)); break;
+    case Op::SH: mem_.store16(rs1 + imm, static_cast<std::uint16_t>(rs2)); break;
+    case Op::SW: mem_.store32(rs1 + imm, rs2); break;
+
+    case Op::ADDI: wr(i.rd, rs1 + imm); break;
+    case Op::SLTI:
+      wr(i.rd, static_cast<std::int32_t>(rs1) < i.imm ? 1 : 0);
+      break;
+    case Op::SLTIU: wr(i.rd, rs1 < imm ? 1 : 0); break;
+    case Op::XORI: wr(i.rd, rs1 ^ imm); break;
+    case Op::ORI: wr(i.rd, rs1 | imm); break;
+    case Op::ANDI: wr(i.rd, rs1 & imm); break;
+    case Op::SLLI: wr(i.rd, rs1 << (imm & 31)); break;
+    case Op::SRLI: wr(i.rd, rs1 >> (imm & 31)); break;
+    case Op::SRAI:
+      wr(i.rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) >>
+                                          (imm & 31)));
+      break;
+    case Op::ADD: wr(i.rd, rs1 + rs2); break;
+    case Op::SUB: wr(i.rd, rs1 - rs2); break;
+    case Op::SLL: wr(i.rd, rs1 << (rs2 & 31)); break;
+    case Op::SLT:
+      wr(i.rd,
+         static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2) ? 1 : 0);
+      break;
+    case Op::SLTU: wr(i.rd, rs1 < rs2 ? 1 : 0); break;
+    case Op::XOR: wr(i.rd, rs1 ^ rs2); break;
+    case Op::SRL: wr(i.rd, rs1 >> (rs2 & 31)); break;
+    case Op::SRA:
+      wr(i.rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) >>
+                                          (rs2 & 31)));
+      break;
+    case Op::OR: wr(i.rd, rs1 | rs2); break;
+    case Op::AND: wr(i.rd, rs1 & rs2); break;
+
+    case Op::MUL: wr(i.rd, rs1 * rs2); break;
+    case Op::MULH:
+      wr(i.rd, static_cast<std::uint32_t>(
+                   (static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) *
+                    static_cast<std::int64_t>(static_cast<std::int32_t>(rs2))) >>
+                   32));
+      break;
+    case Op::MULHSU:
+      wr(i.rd, static_cast<std::uint32_t>(
+                   (static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) *
+                    static_cast<std::int64_t>(rs2)) >>
+                   32));
+      break;
+    case Op::MULHU:
+      wr(i.rd, static_cast<std::uint32_t>(
+                   (static_cast<std::uint64_t>(rs1) * rs2) >> 32));
+      break;
+    case Op::DIV: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      std::int32_t q = -1;
+      if (b == 0) {
+        q = -1;
+      } else if (a == INT32_MIN && b == -1) {
+        q = INT32_MIN;
+      } else {
+        q = a / b;
+      }
+      wr(i.rd, static_cast<std::uint32_t>(q));
+      break;
+    }
+    case Op::DIVU: wr(i.rd, rs2 == 0 ? ~0u : rs1 / rs2); break;
+    case Op::REM: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      std::int32_t r = a;
+      if (b == 0) {
+        r = a;
+      } else if (a == INT32_MIN && b == -1) {
+        r = 0;
+      } else {
+        r = a % b;
+      }
+      wr(i.rd, static_cast<std::uint32_t>(r));
+      break;
+    }
+    case Op::REMU: wr(i.rd, rs2 == 0 ? rs1 : rs1 % rs2); break;
+
+    case Op::FENCE: break;
+    case Op::ECALL:
+    case Op::EBREAK:
+      halted_ = true;
+      break;
+
+    case Op::FLW: write_fp(i.rd, 32, mem_.load32(rs1 + imm)); break;
+    case Op::FLH: write_fp(i.rd, 16, mem_.load16(rs1 + imm)); break;
+    case Op::FLB: write_fp(i.rd, 8, mem_.load8(rs1 + imm)); break;
+    case Op::FSW:
+      mem_.store32(rs1 + imm, static_cast<std::uint32_t>(read_fp(i.rs2, 32)));
+      break;
+    case Op::FSH:
+      mem_.store16(rs1 + imm, static_cast<std::uint16_t>(read_fp(i.rs2, 16)));
+      break;
+    case Op::FSB:
+      mem_.store8(rs1 + imm, static_cast<std::uint8_t>(read_fp(i.rs2, 8)));
+      break;
+
+    default:
+      throw SimError("unhandled integer-path op", pc_);
+  }
+  pc_ = next_pc;
+}
+
+void Core::exec_csr(const Inst& i) {
+  const std::uint32_t old = csr_read(i.imm);
+  const bool is_imm =
+      (i.op == Op::CSRRWI || i.op == Op::CSRRSI || i.op == Op::CSRRCI);
+  const std::uint32_t src = is_imm ? i.rs1 : x_[i.rs1];
+  switch (i.op) {
+    case Op::CSRRW:
+    case Op::CSRRWI:
+      csr_write(i.imm, src);
+      break;
+    case Op::CSRRS:
+    case Op::CSRRSI:
+      if (i.rs1 != 0) csr_write(i.imm, old | src);
+      break;
+    case Op::CSRRC:
+    case Op::CSRRCI:
+      if (i.rs1 != 0) csr_write(i.imm, old & ~src);
+      break;
+    default:
+      throw SimError("unhandled csr op", pc_);
+  }
+  if (i.rd != 0) x_[i.rd] = old;
+  pc_ += 4;
+}
+
+std::uint32_t Core::csr_read(std::int32_t addr) const {
+  switch (addr) {
+    case 0x001: return fflags_;
+    case 0x002: return frm_;
+    case 0x003: return static_cast<std::uint32_t>(frm_) << 5 | fflags_;
+    case 0xc00: return static_cast<std::uint32_t>(stats_.cycles);
+    case 0xc02: return static_cast<std::uint32_t>(stats_.instructions);
+    case 0xc80: return static_cast<std::uint32_t>(stats_.cycles >> 32);
+    case 0xc82: return static_cast<std::uint32_t>(stats_.instructions >> 32);
+    default:
+      throw SimError("read of unimplemented CSR", pc_);
+  }
+}
+
+void Core::csr_write(std::int32_t addr, std::uint32_t v) {
+  switch (addr) {
+    case 0x001: fflags_ = v & 0x1f; break;
+    case 0x002: frm_ = v & 0x7; break;
+    case 0x003:
+      fflags_ = v & 0x1f;
+      frm_ = (v >> 5) & 0x7;
+      break;
+    case 0xc00:
+    case 0xc02:
+    case 0xc80:
+    case 0xc82:
+      break;  // counters: writes ignored
+    default:
+      throw SimError("write of unimplemented CSR", pc_);
+  }
+}
+
+// ---- scalar FP --------------------------------------------------------------
+
+// Case label helper covering all four scalar formats of an op family.
+#define SFRV_CASE4(NAME) \
+  case Op::NAME##_S:     \
+  case Op::NAME##_AH:    \
+  case Op::NAME##_H:     \
+  case Op::NAME##_B:
+
+void Core::exec_fp_scalar(const Inst& i) {
+  const FpFormat fmt = isa::to_fp_format(isa::op_format(i.op));
+  const int w = fmt_width(fmt);
+  const RoundingMode rm = resolve_rm(i.rm);
+  Flags fl;
+
+  const std::uint64_t a = read_fp(i.rs1, w);
+  const std::uint64_t b = read_fp(i.rs2, w);
+
+  switch (i.op) {
+    SFRV_CASE4(FADD)
+    write_fp(i.rd, w, fp::rt_add(fmt, a, b, rm, fl));
+    break;
+    SFRV_CASE4(FSUB)
+    write_fp(i.rd, w, fp::rt_sub(fmt, a, b, rm, fl));
+    break;
+    SFRV_CASE4(FMUL)
+    write_fp(i.rd, w, fp::rt_mul(fmt, a, b, rm, fl));
+    break;
+    SFRV_CASE4(FDIV)
+    write_fp(i.rd, w, fp::rt_div(fmt, a, b, rm, fl));
+    break;
+    SFRV_CASE4(FSQRT)
+    write_fp(i.rd, w, fp::rt_sqrt(fmt, a, rm, fl));
+    break;
+    SFRV_CASE4(FSGNJ)
+    write_fp(i.rd, w, fp::rt_sgnj(fmt, a, b));
+    break;
+    SFRV_CASE4(FSGNJN)
+    write_fp(i.rd, w, fp::rt_sgnjn(fmt, a, b));
+    break;
+    SFRV_CASE4(FSGNJX)
+    write_fp(i.rd, w, fp::rt_sgnjx(fmt, a, b));
+    break;
+    SFRV_CASE4(FMIN)
+    write_fp(i.rd, w, fp::rt_min(fmt, a, b, fl));
+    break;
+    SFRV_CASE4(FMAX)
+    write_fp(i.rd, w, fp::rt_max(fmt, a, b, fl));
+    break;
+    SFRV_CASE4(FEQ)
+    set_x(i.rd, fp::rt_feq(fmt, a, b, fl) ? 1 : 0);
+    break;
+    SFRV_CASE4(FLT)
+    set_x(i.rd, fp::rt_flt(fmt, a, b, fl) ? 1 : 0);
+    break;
+    SFRV_CASE4(FLE)
+    set_x(i.rd, fp::rt_fle(fmt, a, b, fl) ? 1 : 0);
+    break;
+    SFRV_CASE4(FCLASS)
+    set_x(i.rd, fp::rt_classify(fmt, a));
+    break;
+    SFRV_CASE4(FCVT_W)
+    set_x(i.rd, static_cast<std::uint32_t>(fp::rt_to_int32(fmt, a, rm, fl)));
+    break;
+    SFRV_CASE4(FCVT_WU)
+    set_x(i.rd, fp::rt_to_uint32(fmt, a, rm, fl));
+    break;
+
+    case Op::FCVT_S_W:
+    case Op::FCVT_AH_W:
+    case Op::FCVT_H_W:
+    case Op::FCVT_B_W:
+      write_fp(i.rd, w,
+               fp::rt_from_int32(fmt, static_cast<std::int32_t>(x_[i.rs1]), rm, fl));
+      break;
+    case Op::FCVT_S_WU:
+    case Op::FCVT_AH_WU:
+    case Op::FCVT_H_WU:
+    case Op::FCVT_B_WU:
+      write_fp(i.rd, w, fp::rt_from_uint32(fmt, x_[i.rs1], rm, fl));
+      break;
+
+    SFRV_CASE4(FMV_X) {
+      // Sign-extend the raw bits to XLEN (RISC-V FMV.X.H convention).
+      std::uint32_t v = static_cast<std::uint32_t>(a);
+      if (w < 32 && (v & (1u << (w - 1)))) v |= ~width_mask(w);
+      set_x(i.rd, v);
+      break;
+    }
+    case Op::FMV_S_X:
+    case Op::FMV_AH_X:
+    case Op::FMV_H_X:
+    case Op::FMV_B_X:
+      write_fp(i.rd, w, x_[i.rs1] & width_mask(w));
+      break;
+
+    SFRV_CASE4(FMADD)
+    write_fp(i.rd, w, fp::rt_fma(fmt, a, b, read_fp(i.rs3, w), rm, fl));
+    break;
+    SFRV_CASE4(FMSUB)
+    write_fp(i.rd, w,
+             fp::rt_fma(fmt, a, b, fp::rt_sgnjn(fmt, read_fp(i.rs3, w), read_fp(i.rs3, w)),
+                        rm, fl));
+    break;
+    SFRV_CASE4(FNMSUB)
+    write_fp(i.rd, w, fp::rt_fma(fmt, fp::rt_sgnjn(fmt, a, a), b, read_fp(i.rs3, w), rm, fl));
+    break;
+    SFRV_CASE4(FNMADD)
+    write_fp(i.rd, w,
+             fp::rt_fma(fmt, fp::rt_sgnjn(fmt, a, a), b,
+                        fp::rt_sgnjn(fmt, read_fp(i.rs3, w), read_fp(i.rs3, w)), rm, fl));
+    break;
+
+    // Expanding operations (Xfaux): smallFloat operands, binary32 result.
+    case Op::FMULEX_S_AH:
+    case Op::FMULEX_S_H:
+    case Op::FMULEX_S_B: {
+      const std::uint64_t wa = widen_to_f32(fmt, a, fl);
+      const std::uint64_t wb = widen_to_f32(fmt, b, fl);
+      write_fp(i.rd, 32, fp::rt_mul(FpFormat::F32, wa, wb, rm, fl));
+      break;
+    }
+    case Op::FMACEX_S_AH:
+    case Op::FMACEX_S_H:
+    case Op::FMACEX_S_B: {
+      const std::uint64_t wa = widen_to_f32(fmt, a, fl);
+      const std::uint64_t wb = widen_to_f32(fmt, b, fl);
+      const std::uint64_t acc = read_fp(i.rd, 32);
+      write_fp(i.rd, 32, fp::rt_fma(FpFormat::F32, wa, wb, acc, rm, fl));
+      break;
+    }
+
+    // FP <-> FP conversions.
+    case Op::FCVT_S_AH:
+      write_fp(i.rd, 32, fp::rt_convert(FpFormat::F32, FpFormat::F16Alt,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_S_H:
+      write_fp(i.rd, 32, fp::rt_convert(FpFormat::F32, FpFormat::F16,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_S_B:
+      write_fp(i.rd, 32, fp::rt_convert(FpFormat::F32, FpFormat::F8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_AH_S:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16Alt, FpFormat::F32,
+                                        read_fp(i.rs1, 32), rm, fl));
+      break;
+    case Op::FCVT_AH_H:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16Alt, FpFormat::F16,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_AH_B:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16Alt, FpFormat::F8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_H_S:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16, FpFormat::F32,
+                                        read_fp(i.rs1, 32), rm, fl));
+      break;
+    case Op::FCVT_H_AH:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16, FpFormat::F16Alt,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_H_B:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16, FpFormat::F8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_B_S:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::F8, FpFormat::F32,
+                                       read_fp(i.rs1, 32), rm, fl));
+      break;
+    case Op::FCVT_B_AH:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::F8, FpFormat::F16Alt,
+                                       read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_B_H:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::F8, FpFormat::F16,
+                                       read_fp(i.rs1, 16), rm, fl));
+      break;
+
+    default:
+      throw SimError("unhandled scalar FP op", pc_);
+  }
+  fflags_ |= fl.bits;
+}
+
+// ---- vectorial FP -----------------------------------------------------------
+
+#define SFRV_VCASE3(NAME) \
+  case Op::NAME##_H:      \
+  case Op::NAME##_AH:     \
+  case Op::NAME##_B:
+
+void Core::exec_fp_vector(const Inst& i) {
+  const FpFormat fmt = isa::to_fp_format(isa::op_format(i.op));
+  const int w = fmt_width(fmt);
+  const int lanes = isa::vector_lanes(fmt, cfg_.flen);
+  const RoundingMode rm = resolve_rm(isa::kRmDyn);
+  Flags fl;
+
+  const std::uint64_t va = f_[i.rs1];
+  const std::uint64_t vb = f_[i.rs2];
+  std::uint64_t vd = f_[i.rd];
+
+  using BinFn = std::uint64_t (*)(FpFormat, std::uint64_t, std::uint64_t,
+                                  RoundingMode, Flags&);
+  auto lanewise = [&](BinFn fn, bool replicate) {
+    std::uint64_t out = 0;
+    const std::uint64_t b0 = get_lane(vb, 0, w);
+    for (int l = 0; l < lanes; ++l) {
+      const std::uint64_t bl = replicate ? b0 : get_lane(vb, l, w);
+      out = set_lane(out, l, w, fn(fmt, get_lane(va, l, w), bl, rm, fl));
+    }
+    f_[i.rd] = mask_flen(out);
+  };
+  using CmpFn = bool (*)(FpFormat, std::uint64_t, std::uint64_t, Flags&);
+  auto cmpwise = [&](CmpFn fn) {
+    std::uint32_t mask = 0;
+    for (int l = 0; l < lanes; ++l) {
+      if (fn(fmt, get_lane(va, l, w), get_lane(vb, l, w), fl)) {
+        mask |= 1u << l;
+      }
+    }
+    set_x(i.rd, mask);
+  };
+  auto macwise = [&](bool replicate) {
+    std::uint64_t out = vd;
+    const std::uint64_t b0 = get_lane(vb, 0, w);
+    for (int l = 0; l < lanes; ++l) {
+      const std::uint64_t bl = replicate ? b0 : get_lane(vb, l, w);
+      out = set_lane(out, l, w,
+                     fp::rt_fma(fmt, get_lane(va, l, w), bl,
+                                get_lane(vd, l, w), rm, fl));
+    }
+    f_[i.rd] = mask_flen(out);
+  };
+  auto no_round_min = [](FpFormat f, std::uint64_t a, std::uint64_t b,
+                         RoundingMode, Flags& flg) {
+    return fp::rt_min(f, a, b, flg);
+  };
+  auto no_round_max = [](FpFormat f, std::uint64_t a, std::uint64_t b,
+                         RoundingMode, Flags& flg) {
+    return fp::rt_max(f, a, b, flg);
+  };
+
+  switch (i.op) {
+    SFRV_VCASE3(VFADD) lanewise(fp::rt_add, false); break;
+    SFRV_VCASE3(VFADD_R) lanewise(fp::rt_add, true); break;
+    SFRV_VCASE3(VFSUB) lanewise(fp::rt_sub, false); break;
+    SFRV_VCASE3(VFSUB_R) lanewise(fp::rt_sub, true); break;
+    SFRV_VCASE3(VFMUL) lanewise(fp::rt_mul, false); break;
+    SFRV_VCASE3(VFMUL_R) lanewise(fp::rt_mul, true); break;
+    SFRV_VCASE3(VFDIV) lanewise(fp::rt_div, false); break;
+    SFRV_VCASE3(VFDIV_R) lanewise(fp::rt_div, true); break;
+    SFRV_VCASE3(VFMIN) lanewise(no_round_min, false); break;
+    SFRV_VCASE3(VFMIN_R) lanewise(no_round_min, true); break;
+    SFRV_VCASE3(VFMAX) lanewise(no_round_max, false); break;
+    SFRV_VCASE3(VFMAX_R) lanewise(no_round_max, true); break;
+    SFRV_VCASE3(VFMAC) macwise(false); break;
+    SFRV_VCASE3(VFMAC_R) macwise(true); break;
+
+    SFRV_VCASE3(VFSGNJ) {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w,
+                       fp::rt_sgnj(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+    SFRV_VCASE3(VFSGNJN) {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w,
+                       fp::rt_sgnjn(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+    SFRV_VCASE3(VFSGNJX) {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w,
+                       fp::rt_sgnjx(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+
+    SFRV_VCASE3(VFEQ) cmpwise(fp::rt_feq); break;
+    SFRV_VCASE3(VFLT) cmpwise(fp::rt_flt); break;
+    SFRV_VCASE3(VFLE) cmpwise(fp::rt_fle); break;
+
+    SFRV_VCASE3(VFSQRT) {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w, fp::rt_sqrt(fmt, get_lane(va, l, w), rm, fl));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+    SFRV_VCASE3(VFCVT_X) {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w, lane_to_int(fmt, get_lane(va, l, w), w, rm, fl));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+    case Op::VFCVT_H_X:
+    case Op::VFCVT_AH_X:
+    case Op::VFCVT_B_X: {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w,
+                       lane_from_int(fmt, get_lane(va, l, w), w, rm, fl));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+    case Op::VFCVT_H_AH: {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w,
+                       fp::rt_convert(FpFormat::F16, FpFormat::F16Alt,
+                                      get_lane(va, l, w), rm, fl));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+    case Op::VFCVT_AH_H: {
+      std::uint64_t out = 0;
+      for (int l = 0; l < lanes; ++l)
+        out = set_lane(out, l, w,
+                       fp::rt_convert(FpFormat::F16Alt, FpFormat::F16,
+                                      get_lane(va, l, w), rm, fl));
+      f_[i.rd] = mask_flen(out);
+      break;
+    }
+
+    // Cast-and-pack: convert two binary32 scalars into adjacent lanes
+    // (paper Table I / Section III-B). vfcpka fills lanes 0-1, vfcpkb 2-3.
+    case Op::VFCPKA_H_S:
+    case Op::VFCPKA_AH_S:
+    case Op::VFCPKA_B_S: {
+      const std::uint64_t s1 = read_fp(i.rs1, 32);
+      const std::uint64_t s2 = read_fp(i.rs2, 32);
+      vd = set_lane(vd, 0, w, fp::rt_convert(fmt, FpFormat::F32, s1, rm, fl));
+      vd = set_lane(vd, 1, w, fp::rt_convert(fmt, FpFormat::F32, s2, rm, fl));
+      f_[i.rd] = mask_flen(vd);
+      break;
+    }
+    case Op::VFCPKB_B_S: {
+      const std::uint64_t s1 = read_fp(i.rs1, 32);
+      const std::uint64_t s2 = read_fp(i.rs2, 32);
+      vd = set_lane(vd, 2, w, fp::rt_convert(fmt, FpFormat::F32, s1, rm, fl));
+      vd = set_lane(vd, 3, w, fp::rt_convert(fmt, FpFormat::F32, s2, rm, fl));
+      f_[i.rd] = mask_flen(vd);
+      break;
+    }
+
+    // Expanding dot product (Xfaux): rd(f32) += sum_l rs1[l] * rs2[l],
+    // accumulated with fused f32 steps in lane order.
+    SFRV_VCASE3(VFDOTPEX_S) {
+      std::uint64_t acc = read_fp(i.rd, 32);
+      for (int l = 0; l < lanes; ++l) {
+        const std::uint64_t wa = widen_to_f32(fmt, get_lane(va, l, w), fl);
+        const std::uint64_t wb = widen_to_f32(fmt, get_lane(vb, l, w), fl);
+        acc = fp::rt_fma(FpFormat::F32, wa, wb, acc, rm, fl);
+      }
+      write_fp(i.rd, 32, acc);
+      break;
+    }
+    SFRV_VCASE3(VFDOTPEX_S_R) {
+      std::uint64_t acc = read_fp(i.rd, 32);
+      const std::uint64_t wb = widen_to_f32(fmt, get_lane(vb, 0, w), fl);
+      for (int l = 0; l < lanes; ++l) {
+        const std::uint64_t wa = widen_to_f32(fmt, get_lane(va, l, w), fl);
+        acc = fp::rt_fma(FpFormat::F32, wa, wb, acc, rm, fl);
+      }
+      write_fp(i.rd, 32, acc);
+      break;
+    }
+
+    default:
+      throw SimError("unhandled vector FP op", pc_);
+  }
+  fflags_ |= fl.bits;
+}
+
+#undef SFRV_CASE4
+#undef SFRV_VCASE3
+
+}  // namespace sfrv::sim

@@ -1,0 +1,125 @@
+// RV32IMF + smallFloat functional simulator with a RISCY-like timing model.
+//
+// Substitution note (DESIGN.md section 2): this core stands in for the PULP
+// virtual platform. It executes the same instruction stream a RISCY + FPnew
+// core would, produces bit-accurate FP results through the soft-float
+// library, and accounts cycles with the in-order single-issue model of
+// timing.hpp. FP registers are FLEN bits wide; packed-SIMD lanes follow
+// paper Table II.
+//
+// Scalar sub-FLEN results are written NaN-boxed (upper bits all ones, the
+// RISC-V convention); reads take the low bits without a box check because the
+// vectorial extension legitimately leaves packed data in the registers (the
+// same relaxation the PULP FPU makes when Xfvec is enabled).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "asmb/program.hpp"
+#include "isa/isa.hpp"
+#include "sim/memory.hpp"
+#include "sim/stats.hpp"
+#include "sim/timing.hpp"
+
+namespace sfrv::sim {
+
+/// Raised on illegal instructions, unsupported extensions, or bad fetches.
+class SimError : public std::runtime_error {
+ public:
+  SimError(const std::string& what, std::uint32_t pc)
+      : std::runtime_error(what + " (pc=0x" + to_hex(pc) + ")"), pc_(pc) {}
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+
+ private:
+  static std::string to_hex(std::uint32_t v);
+  std::uint32_t pc_;
+};
+
+class Core {
+ public:
+  explicit Core(isa::IsaConfig cfg = isa::IsaConfig::full(),
+                MemConfig mem_cfg = {}, Timing timing = {});
+
+  /// Copy a program image into memory, point the PC at its entry, and set up
+  /// the stack pointer.
+  void load_program(const asmb::Program& prog);
+
+  enum class RunResult { Halted, MaxStepsReached };
+
+  /// Execute until ebreak/ecall or the step limit.
+  RunResult run(std::uint64_t max_steps = 400'000'000);
+
+  /// Execute a single instruction.
+  void step();
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint32_t exit_code() const { return x_[10]; }
+
+  // ---- architectural state ----
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  [[nodiscard]] std::uint32_t x(unsigned i) const { return x_[i & 31]; }
+  void set_x(unsigned i, std::uint32_t v) {
+    if ((i & 31) != 0) x_[i & 31] = v;
+  }
+  /// Raw FP register bits (low `flen` bits are valid).
+  [[nodiscard]] std::uint64_t f_bits(unsigned i) const { return f_[i & 31]; }
+  void set_f_bits(unsigned i, std::uint64_t v) { f_[i & 31] = mask_flen(v); }
+  [[nodiscard]] std::uint8_t fflags() const { return fflags_; }
+  void set_fflags(std::uint8_t v) { fflags_ = v & 0x1f; }
+  [[nodiscard]] fp::RoundingMode frm() const {
+    return static_cast<fp::RoundingMode>(frm_ <= 4 ? frm_ : 0);
+  }
+  void set_frm(fp::RoundingMode rm) { frm_ = static_cast<std::uint8_t>(rm); }
+
+  [[nodiscard]] Memory& memory() { return mem_; }
+  [[nodiscard]] const Memory& memory() const { return mem_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+  [[nodiscard]] const isa::IsaConfig& config() const { return cfg_; }
+  [[nodiscard]] const Timing& timing() const { return timing_; }
+
+  /// Stream instruction-level trace output (nullptr disables).
+  void set_trace(std::ostream* os) { trace_ = os; }
+
+ private:
+  void execute(const isa::Inst& i);
+
+  // FP register access helpers.
+  [[nodiscard]] std::uint64_t read_fp(unsigned reg, int width) const;
+  void write_fp(unsigned reg, int width, std::uint64_t bits);
+  [[nodiscard]] std::uint64_t mask_flen(std::uint64_t v) const;
+  [[nodiscard]] fp::RoundingMode resolve_rm(std::uint8_t rm_field) const;
+
+  // Execution helper families (implemented in core.cpp).
+  void exec_int(const isa::Inst& i);
+  void exec_fp_scalar(const isa::Inst& i);
+  void exec_fp_vector(const isa::Inst& i);
+  void exec_csr(const isa::Inst& i);
+  [[nodiscard]] std::uint32_t csr_read(std::int32_t addr) const;
+  void csr_write(std::int32_t addr, std::uint32_t v);
+
+  isa::IsaConfig cfg_;
+  Memory mem_;
+  Timing timing_;
+  Stats stats_;
+
+  std::uint32_t pc_ = 0;
+  std::array<std::uint32_t, 32> x_{};
+  std::array<std::uint64_t, 32> f_{};
+  std::uint8_t fflags_ = 0;
+  std::uint8_t frm_ = 0;
+  bool halted_ = false;
+  bool branch_taken_ = false;  // set by execute() for timing
+
+  std::uint32_t text_base_ = 0;
+  std::vector<isa::Inst> decoded_;  // predecoded text (no self-modifying code)
+
+  std::ostream* trace_ = nullptr;
+};
+
+}  // namespace sfrv::sim

@@ -1,0 +1,93 @@
+// Flat little-endian memory with a configurable access-latency model.
+//
+// The paper's Figures 2/3 sweep the memory latency: L1 = 1 cycle (TCDM-like),
+// L2 = 10 cycles, L3 = 100 cycles. Loads stall the in-order pipeline for the
+// full latency; stores retire through a store buffer (1 cycle issue) unless a
+// store latency is configured explicitly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace sfrv::sim {
+
+/// Named latency presets from the paper.
+struct MemLevel {
+  const char* name;
+  int load_latency;
+};
+inline constexpr MemLevel kMemL1{"L1", 1};
+inline constexpr MemLevel kMemL2{"L2", 10};
+inline constexpr MemLevel kMemL3{"L3", 100};
+
+struct MemConfig {
+  std::uint32_t size = 8u << 20;  ///< bytes of backing storage
+  int load_latency = 1;           ///< cycles per load (stall-until-fill)
+  int store_latency = 1;          ///< cycles per store (1 = posted store buffer)
+};
+
+class Memory {
+ public:
+  explicit Memory(MemConfig cfg = {}) : cfg_(cfg), bytes_(cfg.size, 0) {}
+
+  [[nodiscard]] const MemConfig& config() const { return cfg_; }
+
+  [[nodiscard]] std::uint8_t load8(std::uint32_t addr) const {
+    check(addr, 1);
+    return bytes_[addr];
+  }
+  [[nodiscard]] std::uint16_t load16(std::uint32_t addr) const {
+    check(addr, 2);
+    return static_cast<std::uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+  }
+  [[nodiscard]] std::uint32_t load32(std::uint32_t addr) const {
+    check(addr, 4);
+    return static_cast<std::uint32_t>(bytes_[addr]) |
+           (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+  }
+
+  void store8(std::uint32_t addr, std::uint8_t v) {
+    check(addr, 1);
+    bytes_[addr] = v;
+  }
+  void store16(std::uint32_t addr, std::uint16_t v) {
+    check(addr, 2);
+    bytes_[addr] = static_cast<std::uint8_t>(v);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+  }
+  void store32(std::uint32_t addr, std::uint32_t v) {
+    check(addr, 4);
+    bytes_[addr] = static_cast<std::uint8_t>(v);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[addr + 2] = static_cast<std::uint8_t>(v >> 16);
+    bytes_[addr + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+
+  /// Bulk image load (program text/data).
+  void write_block(std::uint32_t addr, const void* src, std::size_t n) {
+    check(addr, static_cast<std::uint32_t>(n));
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    std::copy(p, p + n, bytes_.begin() + addr);
+  }
+  void read_block(std::uint32_t addr, void* dst, std::size_t n) const {
+    check(addr, static_cast<std::uint32_t>(n));
+    std::copy(bytes_.begin() + addr, bytes_.begin() + addr + n,
+              static_cast<std::uint8_t*>(dst));
+  }
+
+ private:
+  void check(std::uint32_t addr, std::uint32_t n) const {
+    if (addr + n > bytes_.size() || addr + n < addr) {
+      throw std::out_of_range("memory access out of bounds: addr=" +
+                              std::to_string(addr));
+    }
+  }
+
+  MemConfig cfg_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace sfrv::sim

@@ -1,0 +1,65 @@
+// Per-opcode execution statistics: the raw material for the paper's
+// instruction-count breakdowns (Fig. 4), speedups (Figs. 1/2/6) and the
+// energy model (Figs. 3/6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+
+namespace sfrv::sim {
+
+struct Stats {
+  std::array<std::uint64_t, isa::kNumOps> op_count{};
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t load_count = 0;
+  std::uint64_t store_count = 0;
+  /// Cycles attributed per text-segment instruction slot (index =
+  /// (pc - text_base) / 4); sized by Core::load_program. Used to compute
+  /// Amdahl-style ideal vectorization speedups for Fig. 1.
+  std::vector<std::uint64_t> pc_cycles;
+
+  void clear() {
+    const auto n = pc_cycles.size();
+    *this = Stats{};
+    pc_cycles.assign(n, 0);
+  }
+
+  /// Total cycles spent in [begin, end) text addresses.
+  [[nodiscard]] std::uint64_t cycles_in_range(std::uint32_t text_base,
+                                              std::uint32_t begin,
+                                              std::uint32_t end) const {
+    std::uint64_t total = 0;
+    for (std::uint32_t pc = begin; pc < end; pc += 4) {
+      const auto idx = (pc - text_base) / 4;
+      if (idx < pc_cycles.size()) total += pc_cycles[idx];
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t count(isa::Op op) const {
+    return op_count[static_cast<std::size_t>(op)];
+  }
+
+  /// Total count over all opcodes satisfying `pred`.
+  [[nodiscard]] std::uint64_t count_where(
+      const std::function<bool(isa::Op)>& pred) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < isa::kNumOps; ++i) {
+      if (op_count[i] != 0 && pred(static_cast<isa::Op>(i))) {
+        total += op_count[i];
+      }
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t count_class(isa::Cls c) const {
+    return count_where([c](isa::Op op) { return isa::op_class(op) == c; });
+  }
+};
+
+}  // namespace sfrv::sim

@@ -1,0 +1,49 @@
+// RISCY-like timing model: in-order, single-issue, one instruction per cycle
+// plus stall sources. Loads block for the configured memory latency; taken
+// control flow pays a refetch penalty; iterative units (integer divide, FP
+// divide/sqrt) occupy the pipe for multiple cycles, fewer for narrower
+// formats (smaller mantissa -> fewer radix iterations).
+#pragma once
+
+#include "isa/opcodes.hpp"
+#include "softfloat/formats.hpp"
+
+namespace sfrv::sim {
+
+struct Timing {
+  int branch_taken_penalty = 1;  ///< extra cycles for a taken branch
+  int jump_penalty = 1;          ///< extra cycles for jal/jalr
+  int int_div_cycles = 32;       ///< RISCY serial divider
+
+  [[nodiscard]] int fp_div_cycles(fp::FpFormat f) const {
+    switch (f) {
+      case fp::FpFormat::F8: return 5;
+      case fp::FpFormat::F16:
+      case fp::FpFormat::F16Alt: return 9;
+      case fp::FpFormat::F32: return 15;
+      case fp::FpFormat::F64: return 29;
+    }
+    return 15;
+  }
+
+  [[nodiscard]] int fp_sqrt_cycles(fp::FpFormat f) const {
+    return fp_div_cycles(f);
+  }
+
+  /// Occupancy of one instruction, excluding memory-latency and control-flow
+  /// penalties (added by the core, which knows the outcome).
+  [[nodiscard]] int base_cycles(isa::Op op) const {
+    switch (isa::op_class(op)) {
+      case isa::Cls::IntDiv:
+        return int_div_cycles;
+      case isa::Cls::FpDiv:
+        return fp_div_cycles(isa::to_fp_format(isa::op_format(op)));
+      case isa::Cls::FpSqrt:
+        return fp_sqrt_cycles(isa::to_fp_format(isa::op_format(op)));
+      default:
+        return 1;
+    }
+  }
+};
+
+}  // namespace sfrv::sim

@@ -1,0 +1,84 @@
+// Comparisons, min/max with RISC-V NaN semantics.
+#pragma once
+
+#include "softfloat/flags.hpp"
+#include "softfloat/float.hpp"
+
+namespace sfrv::fp {
+
+namespace detail {
+
+/// Total order on the non-NaN subset: returns true when a < b numerically.
+template <class F>
+[[nodiscard]] constexpr bool lt_numeric(Float<F> a, Float<F> b) {
+  if (a.is_zero() && b.is_zero()) return false;  // -0 == +0
+  const bool sa = a.sign();
+  const bool sb = b.sign();
+  if (sa != sb) return sa;  // negative < positive (zeros handled above)
+  const auto ma = static_cast<std::uint64_t>(a.bits & F::abs_mask);
+  const auto mb = static_cast<std::uint64_t>(b.bits & F::abs_mask);
+  return sa ? (ma > mb) : (ma < mb);
+}
+
+template <class F>
+[[nodiscard]] constexpr bool eq_numeric(Float<F> a, Float<F> b) {
+  if (a.is_zero() && b.is_zero()) return true;
+  return a.bits == b.bits;
+}
+
+}  // namespace detail
+
+/// FEQ: quiet comparison. NV only for signaling NaNs; NaN compares unequal.
+template <class F>
+[[nodiscard]] constexpr bool feq(Float<F> a, Float<F> b, Flags& fl) {
+  if (a.is_nan() || b.is_nan()) {
+    if (a.is_signaling_nan() || b.is_signaling_nan()) fl.raise(Flags::NV);
+    return false;
+  }
+  return detail::eq_numeric(a, b);
+}
+
+/// FLT: signaling comparison. Any NaN operand raises NV and compares false.
+template <class F>
+[[nodiscard]] constexpr bool flt(Float<F> a, Float<F> b, Flags& fl) {
+  if (a.is_nan() || b.is_nan()) {
+    fl.raise(Flags::NV);
+    return false;
+  }
+  return detail::lt_numeric(a, b);
+}
+
+/// FLE: signaling comparison.
+template <class F>
+[[nodiscard]] constexpr bool fle(Float<F> a, Float<F> b, Flags& fl) {
+  if (a.is_nan() || b.is_nan()) {
+    fl.raise(Flags::NV);
+    return false;
+  }
+  return detail::eq_numeric(a, b) || detail::lt_numeric(a, b);
+}
+
+/// FMIN: IEEE 754-2008 minNum. One NaN -> other operand; both NaN ->
+/// canonical NaN; signaling NaN raises NV. fmin(-0, +0) = -0.
+template <class F>
+[[nodiscard]] constexpr Float<F> fmin(Float<F> a, Float<F> b, Flags& fl) {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) fl.raise(Flags::NV);
+  if (a.is_nan() && b.is_nan()) return Float<F>::quiet_nan();
+  if (a.is_nan()) return b;
+  if (b.is_nan()) return a;
+  if (a.is_zero() && b.is_zero()) return a.sign() ? a : b;  // prefer -0
+  return detail::lt_numeric(a, b) ? a : b;
+}
+
+/// FMAX: IEEE 754-2008 maxNum. fmax(-0, +0) = +0.
+template <class F>
+[[nodiscard]] constexpr Float<F> fmax(Float<F> a, Float<F> b, Flags& fl) {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) fl.raise(Flags::NV);
+  if (a.is_nan() && b.is_nan()) return Float<F>::quiet_nan();
+  if (a.is_nan()) return b;
+  if (b.is_nan()) return a;
+  if (a.is_zero() && b.is_zero()) return a.sign() ? b : a;  // prefer +0
+  return detail::lt_numeric(a, b) ? b : a;
+}
+
+}  // namespace sfrv::fp

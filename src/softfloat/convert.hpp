@@ -1,0 +1,158 @@
+// Correctly rounded conversions: FP<->FP across all formats, FP<->int32.
+// Semantics (NaN results, clamping, flag behaviour) follow the RISC-V F
+// extension, which the smallFloat extensions mirror for each new format.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "softfloat/arith.hpp"
+#include "softfloat/flags.hpp"
+#include "softfloat/float.hpp"
+#include "softfloat/roundpack.hpp"
+
+namespace sfrv::fp {
+
+/// Convert between any two supported formats with a single rounding.
+/// Widening conversions (more precision and range) are always exact.
+template <class To, class From>
+[[nodiscard]] constexpr Float<To> convert(Float<From> x, RoundingMode rm,
+                                          Flags& fl) {
+  if (x.is_nan()) {
+    if (x.is_signaling_nan()) fl.raise(Flags::NV);
+    return Float<To>::quiet_nan();
+  }
+  if (x.is_inf()) return Float<To>::inf(x.sign());
+  if (x.is_zero()) return Float<To>::zero(x.sign());
+
+  const detail::Unpacked u = detail::unpack_finite(x);
+  const int sh = From::man_bits - (To::man_bits + detail::kGrsBits);
+  detail::u64 sig;
+  if (sh > 0) {
+    sig = detail::shift_right_sticky(u.sig, sh);
+  } else {
+    sig = u.sig << (-sh);
+  }
+  return detail::round_pack<To>(u.sign, u.e, sig, rm, fl);
+}
+
+namespace detail {
+
+/// Round the magnitude of a finite value to an unsigned 64-bit integer.
+/// Returns the rounded magnitude; sets NX in `fl` when bits are discarded.
+/// Values with unbiased exponent above 62 saturate (caller range-checks).
+template <class F>
+[[nodiscard]] constexpr u64 round_to_integer_magnitude(Unpacked u, RoundingMode rm,
+                                                       Flags& fl) {
+  constexpr int M = F::man_bits;
+  // value = sig * 2^(e - M); integer scale shift = e - M.
+  const int shift = u.e - M;
+  if (shift >= 0) {
+    if (shift > 62 - M) return ~u64{0};  // saturate, caller clamps
+    return u.sig << shift;
+  }
+  // Fractional part present: move into GRS space and round.
+  u64 sig = shift_right_sticky(u.sig << kGrsBits, -shift);
+  const unsigned round_bits = static_cast<unsigned>(sig & ((1u << kGrsBits) - 1));
+  const bool lsb = (sig >> kGrsBits) & 1;
+  sig >>= kGrsBits;
+  if (round_increment(rm, u.sign, round_bits, lsb)) ++sig;
+  if (round_bits != 0) fl.raise(Flags::NX);
+  return sig;
+}
+
+}  // namespace detail
+
+/// FCVT.W.fmt: convert to signed 32-bit integer. Out-of-range / NaN inputs
+/// raise NV and return the RISC-V-mandated clamp values.
+template <class F>
+[[nodiscard]] constexpr std::int32_t to_int32(Float<F> x, RoundingMode rm,
+                                              Flags& fl) {
+  if (x.is_nan()) {
+    fl.raise(Flags::NV);
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  if (x.is_inf()) {
+    fl.raise(Flags::NV);
+    return x.sign() ? std::numeric_limits<std::int32_t>::min()
+                    : std::numeric_limits<std::int32_t>::max();
+  }
+  if (x.is_zero()) return 0;
+  const detail::Unpacked u = detail::unpack_finite(x);
+  Flags local;
+  const detail::u64 mag = detail::round_to_integer_magnitude<F>(u, rm, local);
+  if (!u.sign && mag > 0x7fffffffu) {
+    fl.raise(Flags::NV);
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  if (u.sign && mag > 0x80000000u) {
+    fl.raise(Flags::NV);
+    return std::numeric_limits<std::int32_t>::min();
+  }
+  fl.bits |= local.bits;
+  return u.sign ? static_cast<std::int32_t>(-static_cast<std::int64_t>(mag))
+                : static_cast<std::int32_t>(mag);
+}
+
+/// FCVT.WU.fmt: convert to unsigned 32-bit integer.
+template <class F>
+[[nodiscard]] constexpr std::uint32_t to_uint32(Float<F> x, RoundingMode rm,
+                                                Flags& fl) {
+  if (x.is_nan()) {
+    fl.raise(Flags::NV);
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  if (x.is_inf()) {
+    fl.raise(Flags::NV);
+    return x.sign() ? 0 : std::numeric_limits<std::uint32_t>::max();
+  }
+  if (x.is_zero()) return 0;
+  const detail::Unpacked u = detail::unpack_finite(x);
+  Flags local;
+  const detail::u64 mag = detail::round_to_integer_magnitude<F>(u, rm, local);
+  if (u.sign) {
+    if (mag != 0) {  // negative non-zero result is invalid for unsigned
+      fl.raise(Flags::NV);
+      return 0;
+    }
+    fl.bits |= local.bits;  // e.g. -0.25 rounds to 0: just inexact
+    return 0;
+  }
+  if (mag > 0xffffffffu) {
+    fl.raise(Flags::NV);
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  fl.bits |= local.bits;
+  return static_cast<std::uint32_t>(mag);
+}
+
+/// FCVT.fmt.W: convert from signed 32-bit integer.
+template <class F>
+[[nodiscard]] constexpr Float<F> from_int32(std::int32_t v, RoundingMode rm,
+                                            Flags& fl) {
+  if (v == 0) return Float<F>::zero(false);
+  const bool sign = v < 0;
+  const detail::u64 mag =
+      sign ? static_cast<detail::u64>(-static_cast<std::int64_t>(v))
+           : static_cast<detail::u64>(v);
+  const int msb = 63 - std::countl_zero(mag);
+  const int target = F::man_bits + detail::kGrsBits;
+  detail::u64 sig = (msb <= target) ? (mag << (target - msb))
+                                    : detail::shift_right_sticky(mag, msb - target);
+  return detail::round_pack<F>(sign, msb, sig, rm, fl);
+}
+
+/// FCVT.fmt.WU: convert from unsigned 32-bit integer.
+template <class F>
+[[nodiscard]] constexpr Float<F> from_uint32(std::uint32_t v, RoundingMode rm,
+                                             Flags& fl) {
+  if (v == 0) return Float<F>::zero(false);
+  const detail::u64 mag = v;
+  const int msb = 63 - std::countl_zero(mag);
+  const int target = F::man_bits + detail::kGrsBits;
+  detail::u64 sig = (msb <= target) ? (mag << (target - msb))
+                                    : detail::shift_right_sticky(mag, msb - target);
+  return detail::round_pack<F>(false, msb, sig, rm, fl);
+}
+
+}  // namespace sfrv::fp

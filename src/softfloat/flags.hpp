@@ -1,0 +1,49 @@
+// IEEE 754 rounding modes and exception flags with RISC-V encodings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sfrv::fp {
+
+/// Rounding modes, numbered as in the RISC-V `rm` field.
+enum class RoundingMode : std::uint8_t {
+  RNE = 0,  ///< round to nearest, ties to even
+  RTZ = 1,  ///< round towards zero
+  RDN = 2,  ///< round down (towards -inf)
+  RUP = 3,  ///< round up (towards +inf)
+  RMM = 4,  ///< round to nearest, ties to max magnitude
+};
+
+constexpr std::string_view rounding_mode_name(RoundingMode rm) {
+  switch (rm) {
+    case RoundingMode::RNE: return "rne";
+    case RoundingMode::RTZ: return "rtz";
+    case RoundingMode::RDN: return "rdn";
+    case RoundingMode::RUP: return "rup";
+    case RoundingMode::RMM: return "rmm";
+  }
+  return "?";
+}
+
+/// Accumulated IEEE exception flags, bit positions as in RISC-V `fflags`.
+struct Flags {
+  static constexpr std::uint8_t NX = 1 << 0;  ///< inexact
+  static constexpr std::uint8_t UF = 1 << 1;  ///< underflow
+  static constexpr std::uint8_t OF = 1 << 2;  ///< overflow
+  static constexpr std::uint8_t DZ = 1 << 3;  ///< divide by zero
+  static constexpr std::uint8_t NV = 1 << 4;  ///< invalid operation
+
+  std::uint8_t bits = 0;
+
+  constexpr void raise(std::uint8_t mask) { bits |= mask; }
+  [[nodiscard]] constexpr bool any() const { return bits != 0; }
+  [[nodiscard]] constexpr bool test(std::uint8_t mask) const {
+    return (bits & mask) != 0;
+  }
+  constexpr void clear() { bits = 0; }
+
+  friend constexpr bool operator==(const Flags&, const Flags&) = default;
+};
+
+}  // namespace sfrv::fp

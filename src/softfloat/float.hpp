@@ -1,0 +1,138 @@
+// Bit-pattern value type and classification helpers for a floating format.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "softfloat/formats.hpp"
+
+namespace sfrv::fp {
+
+/// A floating-point value of format F, stored as its raw bit pattern.
+/// All arithmetic lives in free functions (arith.hpp / convert.hpp /
+/// compare.hpp); this type only provides packing and classification.
+template <class F>
+struct Float {
+  using Format = F;
+  using Storage = typename F::Storage;
+
+  Storage bits = 0;
+
+  constexpr Float() = default;
+  constexpr explicit Float(Storage raw) : bits(raw) {}
+
+  [[nodiscard]] static constexpr Float from_bits(std::uint64_t raw) {
+    return Float{static_cast<Storage>(raw & ((F::width == 64)
+                                                 ? ~std::uint64_t{0}
+                                                 : ((std::uint64_t{1} << F::width) - 1)))};
+  }
+
+  /// Assemble from sign, biased exponent field and mantissa field.
+  /// `man` may carry into the exponent field (used after rounding carries a
+  /// subnormal up to the smallest normal).
+  [[nodiscard]] static constexpr Float from_parts(bool sign, unsigned exp_field,
+                                                  std::uint64_t man) {
+    std::uint64_t raw = (std::uint64_t{sign} << (F::width - 1)) +
+                        (static_cast<std::uint64_t>(exp_field) << F::man_bits) + man;
+    return from_bits(raw);
+  }
+
+  [[nodiscard]] constexpr bool sign() const {
+    return (bits >> (F::width - 1)) & 1;
+  }
+  [[nodiscard]] constexpr unsigned exp_field() const {
+    return static_cast<unsigned>((bits >> F::man_bits) &
+                                 static_cast<unsigned>(F::exp_field_max));
+  }
+  [[nodiscard]] constexpr std::uint64_t man_field() const {
+    return bits & F::man_mask;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (bits & F::abs_mask) == 0;
+  }
+  [[nodiscard]] constexpr bool is_subnormal() const {
+    return exp_field() == 0 && man_field() != 0;
+  }
+  [[nodiscard]] constexpr bool is_normal() const {
+    return exp_field() != 0 && exp_field() != static_cast<unsigned>(F::exp_field_max);
+  }
+  [[nodiscard]] constexpr bool is_finite() const {
+    return exp_field() != static_cast<unsigned>(F::exp_field_max);
+  }
+  [[nodiscard]] constexpr bool is_inf() const {
+    return exp_field() == static_cast<unsigned>(F::exp_field_max) && man_field() == 0;
+  }
+  [[nodiscard]] constexpr bool is_nan() const {
+    return exp_field() == static_cast<unsigned>(F::exp_field_max) && man_field() != 0;
+  }
+  [[nodiscard]] constexpr bool is_quiet_nan() const {
+    return is_nan() && (man_field() & F::quiet_bit) != 0;
+  }
+  [[nodiscard]] constexpr bool is_signaling_nan() const {
+    return is_nan() && (man_field() & F::quiet_bit) == 0;
+  }
+
+  [[nodiscard]] static constexpr Float zero(bool sign = false) {
+    return from_parts(sign, 0, 0);
+  }
+  [[nodiscard]] static constexpr Float inf(bool sign = false) {
+    return from_parts(sign, static_cast<unsigned>(F::exp_field_max), 0);
+  }
+  /// Canonical quiet NaN (positive, quiet bit set, rest zero) as mandated by
+  /// RISC-V for every NaN-producing operation.
+  [[nodiscard]] static constexpr Float quiet_nan() {
+    return from_parts(false, static_cast<unsigned>(F::exp_field_max), F::quiet_bit);
+  }
+  [[nodiscard]] static constexpr Float max_finite(bool sign = false) {
+    return from_parts(sign, static_cast<unsigned>(F::exp_field_max) - 1, F::man_mask);
+  }
+  [[nodiscard]] static constexpr Float min_normal(bool sign = false) {
+    return from_parts(sign, 1, 0);
+  }
+  [[nodiscard]] static constexpr Float min_subnormal(bool sign = false) {
+    return from_parts(sign, 0, 1);
+  }
+  [[nodiscard]] static constexpr Float one(bool sign = false) {
+    return from_parts(sign, static_cast<unsigned>(F::bias), 0);
+  }
+
+  /// Bit-pattern equality (distinguishes -0 from +0 and NaN payloads).
+  friend constexpr bool operator==(const Float&, const Float&) = default;
+};
+
+using F8 = Float<Binary8>;
+using F16 = Float<Binary16>;
+using BF16 = Float<Binary16Alt>;
+using F32 = Float<Binary32>;
+using F64 = Float<Binary64>;
+
+/// RISC-V FCLASS result mask bits.
+enum class FpClass : std::uint16_t {
+  NegInf = 1 << 0,
+  NegNormal = 1 << 1,
+  NegSubnormal = 1 << 2,
+  NegZero = 1 << 3,
+  PosZero = 1 << 4,
+  PosSubnormal = 1 << 5,
+  PosNormal = 1 << 6,
+  PosInf = 1 << 7,
+  SignalingNan = 1 << 8,
+  QuietNan = 1 << 9,
+};
+
+template <class F>
+[[nodiscard]] constexpr std::uint16_t classify(Float<F> x) {
+  if (x.is_signaling_nan()) return static_cast<std::uint16_t>(FpClass::SignalingNan);
+  if (x.is_nan()) return static_cast<std::uint16_t>(FpClass::QuietNan);
+  const bool s = x.sign();
+  if (x.is_inf())
+    return static_cast<std::uint16_t>(s ? FpClass::NegInf : FpClass::PosInf);
+  if (x.is_zero())
+    return static_cast<std::uint16_t>(s ? FpClass::NegZero : FpClass::PosZero);
+  if (x.is_subnormal())
+    return static_cast<std::uint16_t>(s ? FpClass::NegSubnormal : FpClass::PosSubnormal);
+  return static_cast<std::uint16_t>(s ? FpClass::NegNormal : FpClass::PosNormal);
+}
+
+}  // namespace sfrv::fp

@@ -1,0 +1,99 @@
+// Format descriptors for the smallFloat type family.
+//
+// The paper (Tagliavini et al., DATE 2019) defines three smaller-than-32-bit
+// formats collectively called "smallFloat":
+//   binary16    - IEEE 754 half precision      (1 sign, 5 exp, 10 mantissa)
+//   binary16alt - bfloat16-style alternative   (1 sign, 8 exp,  7 mantissa)
+//   binary8     - custom minifloat             (1 sign, 5 exp,  2 mantissa)
+// binary32/binary64 are included as the standard F/D formats they interact
+// with (conversions, expanding operations, golden references).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sfrv::fp {
+
+/// Compile-time description of a binary interchange floating-point format.
+/// Every format trait below satisfies this shape; generic arithmetic in
+/// arith.hpp is templated over it.
+template <int Width, int ExpBits, int ManBits, typename StorageT>
+struct FormatTraits {
+  static constexpr int width = Width;
+  static constexpr int exp_bits = ExpBits;
+  static constexpr int man_bits = ManBits;
+  using Storage = StorageT;
+
+  static constexpr int bias = (1 << (ExpBits - 1)) - 1;
+  static constexpr int emax = bias;              // max unbiased exponent
+  static constexpr int emin = 1 - bias;          // min normal unbiased exponent
+  static constexpr int exp_field_max = (1 << ExpBits) - 1;
+
+  static constexpr std::uint64_t sign_mask = std::uint64_t{1} << (Width - 1);
+  static constexpr std::uint64_t man_mask = (std::uint64_t{1} << ManBits) - 1;
+  static constexpr std::uint64_t exp_mask =
+      static_cast<std::uint64_t>(exp_field_max) << ManBits;
+  static constexpr std::uint64_t abs_mask = exp_mask | man_mask;
+  /// Quiet bit: MSB of the mantissa field.
+  static constexpr std::uint64_t quiet_bit = std::uint64_t{1} << (ManBits - 1);
+
+  static_assert(Width == 1 + ExpBits + ManBits, "format fields must fill the width");
+  static_assert(sizeof(StorageT) * 8 >= static_cast<unsigned>(Width));
+};
+
+struct Binary8 : FormatTraits<8, 5, 2, std::uint8_t> {
+  static constexpr std::string_view name = "binary8";
+};
+struct Binary16 : FormatTraits<16, 5, 10, std::uint16_t> {
+  static constexpr std::string_view name = "binary16";
+};
+struct Binary16Alt : FormatTraits<16, 8, 7, std::uint16_t> {
+  static constexpr std::string_view name = "binary16alt";
+};
+struct Binary32 : FormatTraits<32, 8, 23, std::uint32_t> {
+  static constexpr std::string_view name = "binary32";
+};
+struct Binary64 : FormatTraits<64, 11, 52, std::uint64_t> {
+  static constexpr std::string_view name = "binary64";
+};
+
+/// Runtime tag for the supported formats; used by the ISA layer and the
+/// simulator to dispatch into the templated arithmetic.
+enum class FpFormat : std::uint8_t { F8, F16, F16Alt, F32, F64 };
+
+constexpr std::string_view format_name(FpFormat f) {
+  switch (f) {
+    case FpFormat::F8: return Binary8::name;
+    case FpFormat::F16: return Binary16::name;
+    case FpFormat::F16Alt: return Binary16Alt::name;
+    case FpFormat::F32: return Binary32::name;
+    case FpFormat::F64: return Binary64::name;
+  }
+  return "?";
+}
+
+constexpr int format_width(FpFormat f) {
+  switch (f) {
+    case FpFormat::F8: return 8;
+    case FpFormat::F16:
+    case FpFormat::F16Alt: return 16;
+    case FpFormat::F32: return 32;
+    case FpFormat::F64: return 64;
+  }
+  return 0;
+}
+
+/// Invoke `fn.template operator()<F>()` with the trait type for a runtime tag.
+template <typename Fn>
+constexpr decltype(auto) dispatch_format(FpFormat f, Fn&& fn) {
+  switch (f) {
+    case FpFormat::F8: return fn.template operator()<Binary8>();
+    case FpFormat::F16: return fn.template operator()<Binary16>();
+    case FpFormat::F16Alt: return fn.template operator()<Binary16Alt>();
+    case FpFormat::F32: return fn.template operator()<Binary32>();
+    case FpFormat::F64: return fn.template operator()<Binary64>();
+  }
+  return fn.template operator()<Binary32>();  // unreachable
+}
+
+}  // namespace sfrv::fp

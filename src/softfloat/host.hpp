@@ -1,0 +1,63 @@
+// Bridges between smallFloat bit patterns and host float/double.
+// Every supported format is a subset of binary64, so widening to double is
+// exact; narrowing from double goes through the correctly rounded converter.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "softfloat/convert.hpp"
+#include "softfloat/float.hpp"
+
+namespace sfrv::fp {
+
+[[nodiscard]] inline F64 from_host(double v) {
+  return F64{std::bit_cast<std::uint64_t>(v)};
+}
+[[nodiscard]] inline double to_host(F64 v) { return std::bit_cast<double>(v.bits); }
+
+[[nodiscard]] inline F32 from_host(float v) {
+  return F32{std::bit_cast<std::uint32_t>(v)};
+}
+[[nodiscard]] inline float to_host_float(F32 v) {
+  return std::bit_cast<float>(v.bits);
+}
+
+/// Exact widening of any format to host double.
+template <class F>
+[[nodiscard]] inline double to_double(Float<F> x) {
+  if constexpr (std::is_same_v<F, Binary64>) {
+    return to_host(x);
+  } else {
+    Flags fl;  // widening is exact; flags can only fire for signaling NaN
+    return to_host(convert<Binary64>(x, RoundingMode::RNE, fl));
+  }
+}
+
+/// Correctly rounded narrowing from host double.
+template <class F>
+[[nodiscard]] inline Float<F> from_double(double v, RoundingMode rm, Flags& fl) {
+  if constexpr (std::is_same_v<F, Binary64>) {
+    (void)rm;
+    (void)fl;
+    return from_host(v);
+  } else {
+    return convert<F>(from_host(v), rm, fl);
+  }
+}
+
+/// Convenience: round-to-nearest-even narrowing, flags discarded.
+template <class F>
+[[nodiscard]] inline Float<F> from_double(double v) {
+  Flags fl;
+  return from_double<F>(v, RoundingMode::RNE, fl);
+}
+
+/// Quantize a host double through format F and widen back (the "store and
+/// reload" effect used by golden references and the precision tuner).
+template <class F>
+[[nodiscard]] inline double quantize(double v) {
+  return to_double(from_double<F>(v));
+}
+
+}  // namespace sfrv::fp

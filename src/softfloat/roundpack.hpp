@@ -1,0 +1,138 @@
+// Internal rounding/packing machinery shared by all arithmetic routines.
+//
+// Convention: intermediate results are carried as
+//     value = (-1)^sign * sig * 2^(e - (F::man_bits + kGrsBits))
+// with `sig` normalized so its most significant set bit is at position
+// F::man_bits + kGrsBits (i.e. the value reads 1.xxx * 2^e) and the bottom
+// kGrsBits holding guard/round/sticky information.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "softfloat/flags.hpp"
+#include "softfloat/float.hpp"
+
+namespace sfrv::fp::detail {
+
+inline constexpr int kGrsBits = 3;
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// Right shift preserving stickiness: any bit shifted out ORs into bit 0.
+[[nodiscard]] constexpr u64 shift_right_sticky(u64 x, int n) {
+  if (n <= 0) return x;
+  if (n >= 64) return x != 0 ? 1 : 0;
+  const u64 lost = x & ((u64{1} << n) - 1);
+  return (x >> n) | (lost != 0 ? 1 : 0);
+}
+
+[[nodiscard]] constexpr u128 shift_right_sticky128(u128 x, int n) {
+  if (n <= 0) return x;
+  if (n >= 128) return x != 0 ? 1 : 0;
+  const u128 lost = x & ((u128{1} << n) - 1);
+  return (x >> n) | (lost != 0 ? 1 : 0);
+}
+
+[[nodiscard]] constexpr int clz128(u128 x) {
+  const u64 hi = static_cast<u64>(x >> 64);
+  if (hi != 0) return std::countl_zero(hi);
+  return 64 + std::countl_zero(static_cast<u64>(x));
+}
+
+/// Should the magnitude be incremented given the rounding bits?
+/// `round_bits` is the low kGrsBits of the significand, `lsb` the bit that
+/// will become the result LSB.
+[[nodiscard]] constexpr bool round_increment(RoundingMode rm, bool sign,
+                                             unsigned round_bits, bool lsb) {
+  constexpr unsigned half = 1u << (kGrsBits - 1);
+  switch (rm) {
+    case RoundingMode::RNE:
+      return round_bits > half || (round_bits == half && lsb);
+    case RoundingMode::RTZ:
+      return false;
+    case RoundingMode::RDN:
+      return sign && round_bits != 0;
+    case RoundingMode::RUP:
+      return !sign && round_bits != 0;
+    case RoundingMode::RMM:
+      return round_bits >= half;
+  }
+  return false;
+}
+
+/// Round and pack a normalized intermediate (see file comment for the
+/// contract). Handles overflow, subnormals and underflow. Tininess is
+/// detected after rounding, matching RISC-V behaviour.
+template <class F>
+[[nodiscard]] constexpr Float<F> round_pack(bool sign, int e, u64 sig,
+                                            RoundingMode rm, Flags& fl) {
+  constexpr int M = F::man_bits;
+  if (sig == 0) return Float<F>::zero(sign);
+
+  bool subnormal_path = false;
+  if (e < F::emin) {
+    const int shift = F::emin - e;
+    sig = shift_right_sticky(sig, shift);
+    e = F::emin;
+    subnormal_path = true;
+  }
+
+  const unsigned round_bits = static_cast<unsigned>(sig & ((1u << kGrsBits) - 1));
+  const bool lsb = (sig >> kGrsBits) & 1;
+  sig >>= kGrsBits;
+  if (round_increment(rm, sign, round_bits, lsb)) ++sig;
+  if (round_bits != 0) fl.raise(Flags::NX);
+
+  if (subnormal_path) {
+    // sig <= 2^M here; a carry to exactly 2^M is the smallest normal, which
+    // from_parts() packs correctly (mantissa carries into the exponent field).
+    if (sig < (u64{1} << M) && round_bits != 0) fl.raise(Flags::UF);
+    return Float<F>::from_parts(sign, 0, sig);
+  }
+
+  if (sig >= (u64{1} << (M + 1))) {  // rounding carried into a new binade
+    sig >>= 1;                       // even value, nothing lost
+    ++e;
+  }
+  if (e > F::emax) {
+    fl.raise(Flags::OF);
+    fl.raise(Flags::NX);
+    const bool to_inf = (rm == RoundingMode::RNE) || (rm == RoundingMode::RMM) ||
+                        (rm == RoundingMode::RUP && !sign) ||
+                        (rm == RoundingMode::RDN && sign);
+    return to_inf ? Float<F>::inf(sign) : Float<F>::max_finite(sign);
+  }
+  return Float<F>::from_parts(sign, static_cast<unsigned>(e + F::bias),
+                              sig - (u64{1} << M));
+}
+
+/// Unpacked finite non-zero value: value = (-1)^sign * sig * 2^(e - man_bits),
+/// with sig normalized to [2^man_bits, 2^(man_bits+1)) even for subnormal
+/// inputs (their exponent is decreased accordingly).
+struct Unpacked {
+  bool sign = false;
+  int e = 0;
+  u64 sig = 0;
+};
+
+template <class F>
+[[nodiscard]] constexpr Unpacked unpack_finite(Float<F> x) {
+  Unpacked u;
+  u.sign = x.sign();
+  const unsigned ef = x.exp_field();
+  u64 man = x.man_field();
+  if (ef == 0) {
+    // Subnormal: normalize so the hidden-bit position is occupied.
+    const int lead = std::countl_zero(man) - (64 - F::man_bits - 1);
+    u.sig = man << lead;
+    u.e = F::emin - lead;
+  } else {
+    u.sig = man | (u64{1} << F::man_bits);
+    u.e = static_cast<int>(ef) - F::bias;
+  }
+  return u;
+}
+
+}  // namespace sfrv::fp::detail

@@ -1,0 +1,157 @@
+#include "softfloat/runtime.hpp"
+
+#include "softfloat/arith.hpp"
+#include "softfloat/compare.hpp"
+#include "softfloat/convert.hpp"
+#include "softfloat/host.hpp"
+
+namespace sfrv::fp {
+
+namespace {
+
+template <class F>
+Float<F> as(std::uint64_t bits) {
+  return Float<F>::from_bits(bits);
+}
+
+}  // namespace
+
+std::uint64_t rt_add(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
+                     Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return add(as<F>(a), as<F>(b), rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_sub(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
+                     Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return sub(as<F>(a), as<F>(b), rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_mul(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
+                     Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return mul(as<F>(a), as<F>(b), rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_div(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
+                     Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return div(as<F>(a), as<F>(b), rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_sqrt(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return sqrt(as<F>(a), rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_fma(FpFormat f, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                     RoundingMode rm, Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return fma(as<F>(a), as<F>(b), as<F>(c), rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_min(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return fmin(as<F>(a), as<F>(b), fl).bits;
+  });
+}
+
+std::uint64_t rt_max(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return fmax(as<F>(a), as<F>(b), fl).bits;
+  });
+}
+
+std::uint64_t rt_sgnj(FpFormat f, std::uint64_t a, std::uint64_t b) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return copy_sign(as<F>(a), as<F>(b)).bits;
+  });
+}
+
+std::uint64_t rt_sgnjn(FpFormat f, std::uint64_t a, std::uint64_t b) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return copy_sign_neg(as<F>(a), as<F>(b)).bits;
+  });
+}
+
+std::uint64_t rt_sgnjx(FpFormat f, std::uint64_t a, std::uint64_t b) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return copy_sign_xor(as<F>(a), as<F>(b)).bits;
+  });
+}
+
+bool rt_feq(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
+  return dispatch_format(
+      f, [&]<class F>() -> bool { return feq(as<F>(a), as<F>(b), fl); });
+}
+
+bool rt_flt(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
+  return dispatch_format(
+      f, [&]<class F>() -> bool { return flt(as<F>(a), as<F>(b), fl); });
+}
+
+bool rt_fle(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
+  return dispatch_format(
+      f, [&]<class F>() -> bool { return fle(as<F>(a), as<F>(b), fl); });
+}
+
+std::uint16_t rt_classify(FpFormat f, std::uint64_t a) {
+  return dispatch_format(
+      f, [&]<class F>() -> std::uint16_t { return classify(as<F>(a)); });
+}
+
+std::uint64_t rt_convert(FpFormat to, FpFormat from, std::uint64_t a,
+                         RoundingMode rm, Flags& fl) {
+  return dispatch_format(to, [&]<class To>() -> std::uint64_t {
+    return dispatch_format(from, [&]<class From>() -> std::uint64_t {
+      return convert<To>(as<From>(a), rm, fl).bits;
+    });
+  });
+}
+
+std::int32_t rt_to_int32(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::int32_t {
+    return to_int32(as<F>(a), rm, fl);
+  });
+}
+
+std::uint32_t rt_to_uint32(FpFormat f, std::uint64_t a, RoundingMode rm,
+                           Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint32_t {
+    return to_uint32(as<F>(a), rm, fl);
+  });
+}
+
+std::uint64_t rt_from_int32(FpFormat f, std::int32_t v, RoundingMode rm,
+                            Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return from_int32<F>(v, rm, fl).bits;
+  });
+}
+
+std::uint64_t rt_from_uint32(FpFormat f, std::uint32_t v, RoundingMode rm,
+                             Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return from_uint32<F>(v, rm, fl).bits;
+  });
+}
+
+double rt_to_double(FpFormat f, std::uint64_t a) {
+  return dispatch_format(
+      f, [&]<class F>() -> double { return to_double(as<F>(a)); });
+}
+
+std::uint64_t rt_from_double(FpFormat f, double v, RoundingMode rm, Flags& fl) {
+  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
+    return from_double<F>(v, rm, fl).bits;
+  });
+}
+
+}  // namespace sfrv::fp

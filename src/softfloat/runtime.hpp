@@ -1,0 +1,48 @@
+// Runtime-dispatched operations on raw bit patterns.
+// The ISA simulator stores FP register contents as untyped bits and selects
+// the format from the decoded instruction; these helpers bridge into the
+// templated arithmetic. All values are carried in the low bits of a uint64.
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/flags.hpp"
+#include "softfloat/formats.hpp"
+
+namespace sfrv::fp {
+
+struct RtBinaryOp {
+  std::uint64_t (*fn)(std::uint64_t, std::uint64_t, RoundingMode, Flags&);
+};
+
+std::uint64_t rt_add(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm, Flags& fl);
+std::uint64_t rt_sub(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm, Flags& fl);
+std::uint64_t rt_mul(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm, Flags& fl);
+std::uint64_t rt_div(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm, Flags& fl);
+std::uint64_t rt_sqrt(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl);
+/// a * b + c, single rounding.
+std::uint64_t rt_fma(FpFormat f, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                     RoundingMode rm, Flags& fl);
+std::uint64_t rt_min(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl);
+std::uint64_t rt_max(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl);
+std::uint64_t rt_sgnj(FpFormat f, std::uint64_t a, std::uint64_t b);
+std::uint64_t rt_sgnjn(FpFormat f, std::uint64_t a, std::uint64_t b);
+std::uint64_t rt_sgnjx(FpFormat f, std::uint64_t a, std::uint64_t b);
+bool rt_feq(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl);
+bool rt_flt(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl);
+bool rt_fle(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl);
+std::uint16_t rt_classify(FpFormat f, std::uint64_t a);
+/// Format-to-format conversion (single rounding).
+std::uint64_t rt_convert(FpFormat to, FpFormat from, std::uint64_t a,
+                         RoundingMode rm, Flags& fl);
+std::int32_t rt_to_int32(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl);
+std::uint32_t rt_to_uint32(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl);
+std::uint64_t rt_from_int32(FpFormat f, std::int32_t v, RoundingMode rm, Flags& fl);
+std::uint64_t rt_from_uint32(FpFormat f, std::uint32_t v, RoundingMode rm, Flags& fl);
+
+/// Exact widening to host double (for tracing and QoR extraction).
+double rt_to_double(FpFormat f, std::uint64_t a);
+/// Correctly rounded narrowing from host double.
+std::uint64_t rt_from_double(FpFormat f, double v, RoundingMode rm, Flags& fl);
+
+}  // namespace sfrv::fp

@@ -1,0 +1,19 @@
+// Umbrella header for the smallFloat soft-float library.
+//
+// The library implements bit-accurate IEEE-754-style arithmetic for the
+// format family of the DATE 2019 smallFloat paper:
+//   binary8 (1/5/2), binary16 (1/5/10), binary16alt (1/8/7, bfloat16-like),
+//   binary32 and binary64.
+// All operations honour the five RISC-V rounding modes and accumulate the
+// standard exception flags.
+#pragma once
+
+#include "softfloat/arith.hpp"      // IWYU pragma: export
+#include "softfloat/compare.hpp"    // IWYU pragma: export
+#include "softfloat/convert.hpp"    // IWYU pragma: export
+#include "softfloat/flags.hpp"      // IWYU pragma: export
+#include "softfloat/float.hpp"      // IWYU pragma: export
+#include "softfloat/formats.hpp"    // IWYU pragma: export
+#include "softfloat/host.hpp"       // IWYU pragma: export
+#include "softfloat/runtime.hpp"    // IWYU pragma: export
+#include "softfloat/scalar.hpp"     // IWYU pragma: export

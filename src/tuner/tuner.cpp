@@ -1,0 +1,104 @@
+#include "tuner/tuner.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace sfrv::tuner {
+
+namespace {
+
+Evaluation evaluate(const Problem& p, const TypeVector& types,
+                    std::vector<Evaluation>& log) {
+  Evaluation e;
+  e.types = types;
+  e.qor = p.qor(types);
+  e.cost = p.cost(types);
+  e.feasible = e.qor >= p.qor_threshold;
+  log.push_back(e);
+  return e;
+}
+
+}  // namespace
+
+Result tune_exhaustive(const Problem& p) {
+  assert(!p.slot_domains.empty());
+  Result res;
+  TypeVector current(p.slot_domains.size());
+  std::vector<std::size_t> idx(p.slot_domains.size(), 0);
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (;;) {
+    for (std::size_t s = 0; s < idx.size(); ++s) {
+      current[s] = p.slot_domains[s][idx[s]];
+    }
+    const Evaluation e = evaluate(p, current, res.explored);
+    if (e.feasible && e.cost < best_cost) {
+      best_cost = e.cost;
+      res.best = e;
+      res.found = true;
+    }
+    // Odometer increment.
+    std::size_t s = 0;
+    for (; s < idx.size(); ++s) {
+      if (++idx[s] < p.slot_domains[s].size()) break;
+      idx[s] = 0;
+    }
+    if (s == idx.size()) break;
+  }
+  return res;
+}
+
+Result tune_greedy(const Problem& p) {
+  Result res;
+  std::vector<std::size_t> idx(p.slot_domains.size(), 0);  // narrowest
+  auto types_of = [&](const std::vector<std::size_t>& ix) {
+    TypeVector t(ix.size());
+    for (std::size_t s = 0; s < ix.size(); ++s) t[s] = p.slot_domains[s][ix[s]];
+    return t;
+  };
+
+  Evaluation cur = evaluate(p, types_of(idx), res.explored);
+  while (!cur.feasible) {
+    // Try promoting each slot by one step; pick the best QoR-per-cost step.
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_slot = p.slot_domains.size();
+    Evaluation best_eval;
+    for (std::size_t s = 0; s < p.slot_domains.size(); ++s) {
+      if (idx[s] + 1 >= p.slot_domains[s].size()) continue;
+      auto trial = idx;
+      ++trial[s];
+      const Evaluation e = evaluate(p, types_of(trial), res.explored);
+      const double dq = e.qor - cur.qor;
+      const double dc = e.cost - cur.cost;
+      const double score = dq - 1e-9 * dc;  // QoR first, cost as tie-break
+      if (e.feasible) {
+        // A feasible step wins immediately if it is the cheapest feasible.
+        if (best_slot == p.slot_domains.size() || !best_eval.feasible ||
+            e.cost < best_eval.cost) {
+          best_slot = s;
+          best_eval = e;
+          best_score = std::numeric_limits<double>::infinity();
+        }
+        continue;
+      }
+      if (score > best_score && !(best_slot != p.slot_domains.size() &&
+                                  best_eval.feasible)) {
+        best_score = score;
+        best_slot = s;
+        best_eval = e;
+      }
+    }
+    if (best_slot == p.slot_domains.size()) {
+      // No promotion possible: infeasible problem.
+      res.best = cur;
+      res.found = false;
+      return res;
+    }
+    ++idx[best_slot];
+    cur = best_eval;
+  }
+  res.best = cur;
+  res.found = true;
+  return res;
+}
+
+}  // namespace sfrv::tuner

@@ -1,0 +1,57 @@
+// Automatic precision tuning (paper Section V-C).
+//
+// Substitution note: the paper drives its case study with the external
+// fpPrecisionTuning tool [9], a dynamic (execution-feedback) search over
+// per-variable type assignments under a QoR constraint. This module
+// implements the same algorithmic family: each tunable "slot" (a group of
+// program variables) has a domain of candidate types; configurations are
+// evaluated by actually running the program (through the host emulation or
+// the ISA simulator) and measuring QoR and cost.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace sfrv::tuner {
+
+using TypeVector = std::vector<ir::ScalarType>;
+
+struct Problem {
+  /// One entry per tunable slot (e.g. {"data", "accumulator"}).
+  std::vector<std::string> slot_names;
+  /// Candidate types per slot, narrowest first.
+  std::vector<std::vector<ir::ScalarType>> slot_domains;
+  /// Quality of result for a configuration (higher is better).
+  std::function<double(const TypeVector&)> qor;
+  /// Cost to minimize (cycles, energy, ...).
+  std::function<double(const TypeVector&)> cost;
+  /// Configurations with qor >= threshold are feasible.
+  double qor_threshold = 0;
+};
+
+struct Evaluation {
+  TypeVector types;
+  double qor = 0;
+  double cost = 0;
+  bool feasible = false;
+};
+
+struct Result {
+  Evaluation best;
+  bool found = false;
+  /// Every configuration evaluated, in evaluation order.
+  std::vector<Evaluation> explored;
+};
+
+/// Evaluate every configuration; return the cheapest feasible one.
+[[nodiscard]] Result tune_exhaustive(const Problem& p);
+
+/// fpPrecisionTuning-style greedy search: start from the narrowest
+/// configuration and repeatedly promote the slot whose widening buys the
+/// most QoR per unit cost until the constraint is met.
+[[nodiscard]] Result tune_greedy(const Problem& p);
+
+}  // namespace sfrv::tuner

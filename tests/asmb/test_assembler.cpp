@@ -1,0 +1,142 @@
+// Macro-assembler tests: label fixups, pseudo-instruction expansion, data
+// segment layout, and encoded-image consistency.
+#include <gtest/gtest.h>
+
+#include "asmb/assembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfrv::asmb {
+namespace {
+
+using isa::Op;
+
+TEST(Assembler, BackwardBranchFixup) {
+  Assembler a;
+  const auto top = a.here();
+  a.nop();
+  a.nop();
+  a.beq(reg::a0, reg::a1, top);
+  const auto prog = a.finish();
+  // beq at index 2, target index 0: offset = -8.
+  EXPECT_EQ(prog.text[2].imm, -8);
+}
+
+TEST(Assembler, ForwardBranchFixup) {
+  Assembler a;
+  const auto end = a.make_label();
+  a.bne(reg::a0, reg::a1, end);
+  a.nop();
+  a.nop();
+  a.bind(end);
+  a.ebreak();
+  const auto prog = a.finish();
+  EXPECT_EQ(prog.text[0].imm, 12);
+}
+
+TEST(Assembler, JalFixup) {
+  Assembler a;
+  const auto fn = a.make_label();
+  a.jal(reg::ra, fn);
+  a.ebreak();
+  a.bind(fn);
+  a.ret();
+  const auto prog = a.finish();
+  EXPECT_EQ(prog.text[0].imm, 8);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler a;
+  const auto l = a.make_label();
+  a.j(l);
+  EXPECT_THROW((void)a.finish(), std::runtime_error);
+}
+
+TEST(Assembler, LiExpansion) {
+  // Small constants: one addi. Large: lui (+ addi when low bits remain).
+  Assembler a1;
+  a1.li(reg::a0, 42);
+  EXPECT_EQ(a1.finish().text.size(), 1u);
+
+  Assembler a2;
+  a2.li(reg::a0, 0x12345000);
+  EXPECT_EQ(a2.finish().text.size(), 1u) << "page-aligned needs only lui";
+
+  Assembler a3;
+  a3.li(reg::a0, 0x12345678);
+  EXPECT_EQ(a3.finish().text.size(), 2u);
+}
+
+TEST(Assembler, LiHighBit11Compensation) {
+  // Values whose low 12 bits have bit 11 set need the lui part bumped.
+  for (std::int32_t v : {0x00000800, 0x00000fff, 0x7ffff800, -0x800, -2047}) {
+    Assembler a;
+    a.li(reg::a0, v);
+    const auto prog = a.finish();
+    // Interpret: execute by hand.
+    std::int64_t acc = 0;
+    for (const auto& i : prog.text) {
+      if (i.op == Op::LUI) {
+        acc = i.imm;
+      } else {
+        acc = static_cast<std::int32_t>(acc) + i.imm;
+      }
+    }
+    EXPECT_EQ(static_cast<std::int32_t>(acc), v) << v;
+  }
+}
+
+TEST(Assembler, DataSegmentAlignmentAndSymbols) {
+  Assembler a;
+  const std::uint8_t one = 1;
+  const auto b0 = a.data_bytes(&one, 1, 1);
+  const auto w = a.data_u32(0xdeadbeef);  // must 4-align past the byte
+  const auto z = a.data_zero(10, 8);      // 8-aligned
+  a.set_symbol("blob", z);
+  a.ebreak();
+  const auto prog = a.finish();
+  EXPECT_EQ(b0, kDefaultDataBase);
+  EXPECT_EQ(w % 4, 0u);
+  EXPECT_EQ(z % 8, 0u);
+  EXPECT_EQ(prog.symbol("blob"), z);
+  // The word is stored little-endian at its offset.
+  const auto off = w - kDefaultDataBase;
+  EXPECT_EQ(prog.data[off], 0xef);
+  EXPECT_EQ(prog.data[off + 3], 0xde);
+}
+
+TEST(Assembler, EncodedWordsMatchInstructions) {
+  Assembler a;
+  a.li(reg::t0, 7);
+  a.add(reg::t1, reg::t0, reg::t0);
+  a.fp_rrr(Op::VFMAC_H, reg::fa0, reg::fa1, reg::fa2);
+  a.ebreak();
+  const auto prog = a.finish();
+  ASSERT_EQ(prog.text.size(), prog.text_words.size());
+  for (std::size_t i = 0; i < prog.text.size(); ++i) {
+    EXPECT_EQ(prog.text_words[i], isa::encode(prog.text[i]));
+    const auto dec = isa::decode(prog.text_words[i]);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(*dec, prog.text[i]);
+  }
+}
+
+TEST(Assembler, PcTracksEmission) {
+  Assembler a;
+  EXPECT_EQ(a.pc(), kDefaultTextBase);
+  a.nop();
+  a.nop();
+  EXPECT_EQ(a.pc(), kDefaultTextBase + 8);
+}
+
+TEST(Assembler, SetFrmEmitsCsrWrite) {
+  Assembler a;
+  a.set_frm(fp::RoundingMode::RTZ);
+  const auto prog = a.finish();
+  ASSERT_EQ(prog.text.size(), 1u);
+  EXPECT_EQ(prog.text[0].op, Op::CSRRWI);
+  EXPECT_EQ(prog.text[0].imm, 0x002);
+  EXPECT_EQ(prog.text[0].rs1, 1);  // zimm = RTZ
+}
+
+}  // namespace
+}  // namespace sfrv::asmb

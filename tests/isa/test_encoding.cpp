@@ -1,0 +1,211 @@
+// Encoder/decoder round-trip over the entire opcode table, pattern
+// disjointness, and decode rejection of unallocated words.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa.hpp"
+
+namespace sfrv::isa {
+namespace {
+
+std::mt19937 rng(12345);
+
+/// Random valid instruction for an opcode (fields appropriate to layout).
+Inst random_inst(Op op) {
+  Inst i;
+  i.op = op;
+  auto reg = [] { return static_cast<std::uint8_t>(rng() & 31); };
+  switch (layout(op)) {
+    case Lay::U:
+      i.rd = reg();
+      i.imm = static_cast<std::int32_t>(rng() & 0xfffff000);
+      break;
+    case Lay::J:
+      i.rd = reg();
+      i.imm = (static_cast<std::int32_t>(rng() % 0x200000) - 0x100000) & ~1;
+      break;
+    case Lay::Iimm:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.imm = static_cast<std::int32_t>(rng() % 4096) - 2048;
+      break;
+    case Lay::Bimm:
+      i.rs1 = reg();
+      i.rs2 = reg();
+      i.imm = ((static_cast<std::int32_t>(rng() % 8192) - 4096) & ~1);
+      break;
+    case Lay::Simm:
+      i.rs1 = reg();
+      i.rs2 = reg();
+      i.imm = static_cast<std::int32_t>(rng() % 4096) - 2048;
+      break;
+    case Lay::Shamt:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.imm = static_cast<std::int32_t>(rng() & 31);
+      break;
+    case Lay::R:
+    case Lay::FpR2:
+    case Lay::Vec:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.rs2 = reg();
+      break;
+    case Lay::FullWord:
+      break;
+    case Lay::Csr:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.imm = static_cast<std::int32_t>(rng() & 0xfff);
+      break;
+    case Lay::FpRrm:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.rs2 = reg();
+      i.rm = static_cast<std::uint8_t>(rng() % 5);
+      break;
+    case Lay::FpR4:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.rs2 = reg();
+      i.rs3 = reg();
+      i.rm = static_cast<std::uint8_t>(rng() % 5);
+      break;
+    case Lay::FpUnaryRm:
+      i.rd = reg();
+      i.rs1 = reg();
+      i.rm = static_cast<std::uint8_t>(rng() % 5);
+      break;
+    case Lay::FpUnary:
+    case Lay::VecUnary:
+      i.rd = reg();
+      i.rs1 = reg();
+      break;
+  }
+  return i;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingRoundTrip, DecodeInvertsEncode) {
+  const Op op = static_cast<Op>(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Inst inst = random_inst(op);
+    const std::uint32_t word = encode(inst);
+    const auto back = decode(word);
+    ASSERT_TRUE(back.has_value())
+        << mnemonic(op) << " word=0x" << std::hex << word;
+    EXPECT_EQ(*back, inst) << mnemonic(op) << " word=0x" << std::hex << word
+                           << " decoded as " << mnemonic(back->op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EncodingRoundTrip,
+                         ::testing::Range(0, static_cast<int>(kNumOps)),
+                         [](const auto& info) {
+                           std::string n{mnemonic(static_cast<Op>(info.param))};
+                           for (auto& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST(Encoding, PatternsAreDisjoint) {
+  // No two opcodes may match the same canonical word.
+  for (std::size_t a = 0; a < kNumOps; ++a) {
+    const auto pa = encoding_pattern(static_cast<Op>(a));
+    for (std::size_t b = a + 1; b < kNumOps; ++b) {
+      const auto pb = encoding_pattern(static_cast<Op>(b));
+      const std::uint32_t common = pa.mask & pb.mask;
+      EXPECT_FALSE((pa.match & common) == (pb.match & common))
+          << mnemonic(static_cast<Op>(a)) << " vs "
+          << mnemonic(static_cast<Op>(b));
+    }
+  }
+}
+
+TEST(Encoding, CanonicalWordsDecodeToThemselves) {
+  for (std::size_t a = 0; a < kNumOps; ++a) {
+    const Op op = static_cast<Op>(a);
+    const auto p = encoding_pattern(op);
+    const auto dec = decode(p.match);
+    ASSERT_TRUE(dec.has_value()) << mnemonic(op);
+    EXPECT_EQ(dec->op, op) << mnemonic(op) << " decoded as "
+                           << mnemonic(dec->op);
+  }
+}
+
+TEST(Encoding, RejectsUnallocatedWords) {
+  // Random garbage mostly fails to decode; whatever decodes must re-encode
+  // to the same word (consistency under fuzz).
+  int decoded = 0;
+  for (int t = 0; t < 200'000; ++t) {
+    const std::uint32_t w = rng();
+    const auto d = decode(w);
+    if (!d) continue;
+    ++decoded;
+    // Round-trip only guaranteed when operand fields fully cover the word
+    // complement of the mask; loads carry all remaining bits in operands.
+    const auto p = encoding_pattern(d->op);
+    EXPECT_EQ(encode(*d) & p.mask, w & p.mask);
+  }
+  EXPECT_GT(decoded, 0);
+}
+
+TEST(Encoding, BaseOpcodesMatchRiscvSpec) {
+  // Spot-check canonical encodings against the RISC-V ISA manual values.
+  EXPECT_EQ(encode({.op = Op::ADDI, .rd = 1, .rs1 = 2, .imm = 3}),
+            0x00310093u);  // addi ra, sp, 3
+  EXPECT_EQ(encode({.op = Op::ADD, .rd = 3, .rs1 = 4, .rs2 = 5}),
+            0x005201b3u);  // add gp, tp, t0
+  EXPECT_EQ(encode({.op = Op::LW, .rd = 10, .rs1 = 2, .imm = 16}),
+            0x01012503u);  // lw a0, 16(sp)
+  EXPECT_EQ(encode({.op = Op::SW, .rs1 = 2, .rs2 = 10, .imm = 16}),
+            0x00a12823u);  // sw a0, 16(sp)
+  EXPECT_EQ(encode({.op = Op::EBREAK}), 0x00100073u);
+  EXPECT_EQ(encode({.op = Op::ECALL}), 0x00000073u);
+  EXPECT_EQ(encode({.op = Op::MUL, .rd = 1, .rs1 = 2, .rs2 = 3}),
+            0x023100b3u);
+  // fadd.s fa0, fa1, fa2 with RNE static rounding.
+  EXPECT_EQ(encode({.op = Op::FADD_S, .rd = 10, .rs1 = 11, .rs2 = 12}),
+            0x00c58553u);
+}
+
+TEST(Encoding, PaperSchemeFormatFields) {
+  // The paper: 16-bit types use an unused fmt configuration, binary8
+  // repurposes the Q slot (fmt=11).
+  const auto h = encode({.op = Op::FADD_H, .rd = 1, .rs1 = 2, .rs2 = 3});
+  EXPECT_EQ((h >> 25) & 0x3u, 0x2u) << "binary16 fmt field";
+  const auto b = encode({.op = Op::FADD_B, .rd = 1, .rs1 = 2, .rs2 = 3});
+  EXPECT_EQ((b >> 25) & 0x3u, 0x3u) << "binary8 uses the repurposed Q slot";
+  // Vectorial ops use the OP major opcode with the unused bit-31 prefix.
+  const auto v = encode({.op = Op::VFADD_H, .rd = 1, .rs1 = 2, .rs2 = 3});
+  EXPECT_EQ(v & 0x7fu, 0x33u);
+  EXPECT_EQ(v >> 31, 1u);
+}
+
+TEST(Disasm, SpotChecks) {
+  EXPECT_EQ(disassemble({.op = Op::ADDI, .rd = 1, .rs1 = 2, .imm = 3}),
+            "addi ra, sp, 3");
+  EXPECT_EQ(disassemble({.op = Op::LW, .rd = 10, .rs1 = 2, .imm = 16}),
+            "lw a0, 16(sp)");
+  EXPECT_EQ(disassemble({.op = Op::FSW, .rs1 = 2, .rs2 = 10, .imm = 8}),
+            "fsw fa0, 8(sp)");
+  EXPECT_EQ(disassemble({.op = Op::VFMAC_H, .rd = 10, .rs1 = 11, .rs2 = 12}),
+            "vfmac.h fa0, fa1, fa2");
+  EXPECT_EQ(disassemble({.op = Op::FMACEX_S_H, .rd = 8, .rs1 = 9, .rs2 = 10}),
+            "fmacex.s.h fs0, fs1, fa0");
+  EXPECT_EQ(
+      disassemble({.op = Op::FCVT_W_S, .rd = 10, .rs1 = 11, .rm = 1}),
+      "fcvt.w.s a0, fa1");
+  EXPECT_EQ(disassemble({.op = Op::BEQ, .rs1 = 1, .rs2 = 2, .imm = -8}, 0x100),
+            "beq ra, sp, 0xf8");
+  EXPECT_EQ(disassemble({.op = Op::VFCPKA_H_S, .rd = 1, .rs1 = 2, .rs2 = 3}),
+            "vfcpka.h.s ft1, ft2, ft3");
+}
+
+}  // namespace
+}  // namespace sfrv::isa

@@ -1,0 +1,108 @@
+// IsaConfig semantics and the paper's Table II vector-format geometry.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace sfrv::isa {
+namespace {
+
+using fp::FpFormat;
+
+TEST(TableII, VectorLanesMatchPaper) {
+  // Paper Table II: rows FLEN = 64 / 32 / 16; columns F, Xf16, Xf16alt, Xf8.
+  // FLEN=64: 2, 4, 4, 8
+  EXPECT_EQ(vector_lanes(FpFormat::F32, 64), 2);
+  EXPECT_EQ(vector_lanes(FpFormat::F16, 64), 4);
+  EXPECT_EQ(vector_lanes(FpFormat::F16Alt, 64), 4);
+  EXPECT_EQ(vector_lanes(FpFormat::F8, 64), 8);
+  // FLEN=32: x, 2, 2, 4
+  EXPECT_EQ(vector_lanes(FpFormat::F32, 32), 0);
+  EXPECT_EQ(vector_lanes(FpFormat::F16, 32), 2);
+  EXPECT_EQ(vector_lanes(FpFormat::F16Alt, 32), 2);
+  EXPECT_EQ(vector_lanes(FpFormat::F8, 32), 4);
+  // FLEN=16: x, x, x, 2
+  EXPECT_EQ(vector_lanes(FpFormat::F32, 16), 0);
+  EXPECT_EQ(vector_lanes(FpFormat::F16, 16), 0);
+  EXPECT_EQ(vector_lanes(FpFormat::F16Alt, 16), 0);
+  EXPECT_EQ(vector_lanes(FpFormat::F8, 16), 2);
+}
+
+TEST(IsaConfig, ExtensionGating) {
+  const auto base = IsaConfig::rv32imf();
+  EXPECT_TRUE(base.supports(Op::ADD));
+  EXPECT_TRUE(base.supports(Op::MUL));
+  EXPECT_TRUE(base.supports(Op::FADD_S));
+  EXPECT_FALSE(base.supports(Op::FADD_H));
+  EXPECT_FALSE(base.supports(Op::VFADD_H));
+  EXPECT_FALSE(base.supports(Op::FMACEX_S_H));
+
+  const auto full = IsaConfig::full();
+  EXPECT_TRUE(full.supports(Op::FADD_H));
+  EXPECT_TRUE(full.supports(Op::FADD_AH));
+  EXPECT_TRUE(full.supports(Op::FADD_B));
+  EXPECT_TRUE(full.supports(Op::VFADD_H));
+  EXPECT_TRUE(full.supports(Op::VFMAC_B));
+  EXPECT_TRUE(full.supports(Op::FMACEX_S_H));
+  EXPECT_TRUE(full.supports(Op::VFDOTPEX_S_H));
+}
+
+TEST(IsaConfig, VectorGatingFollowsFlen) {
+  // FLEN=16: only binary8 vectors remain available.
+  const auto tiny = IsaConfig::full(16);
+  EXPECT_FALSE(tiny.supports(Op::VFADD_H));
+  EXPECT_FALSE(tiny.supports(Op::VFADD_AH));
+  EXPECT_TRUE(tiny.supports(Op::VFADD_B));
+  // FLEN=64 keeps all smallFloat vectors.
+  const auto wide = IsaConfig::full(64);
+  EXPECT_TRUE(wide.supports(Op::VFADD_H));
+  EXPECT_TRUE(wide.supports(Op::VFADD_B));
+}
+
+TEST(IsaConfig, ScalarOpsUnaffectedByFlen) {
+  const auto tiny = IsaConfig::full(16);
+  EXPECT_TRUE(tiny.supports(Op::FADD_B));
+  EXPECT_TRUE(tiny.supports(Op::FADD_H)) << "scalar f16 fits FLEN=16";
+}
+
+TEST(OpcodeMetadata, TableIInventory) {
+  // Paper Table I operation families must all be present.
+  EXPECT_EQ(mnemonic(Op::FADD_H), "fadd.h");
+  EXPECT_EQ(extension(Op::FADD_H), Ext::Xf16);
+  EXPECT_EQ(mnemonic(Op::FCVT_H_S), "fcvt.h.s");
+  EXPECT_EQ(mnemonic(Op::VFADD_H), "vfadd.h");
+  EXPECT_EQ(extension(Op::VFADD_H), Ext::Xfvec);
+  EXPECT_EQ(mnemonic(Op::VFCVT_X_H), "vfcvt.x.h");
+  EXPECT_EQ(mnemonic(Op::VFCPKA_H_S), "vfcpka.h.s");
+  EXPECT_EQ(mnemonic(Op::FMACEX_S_H), "fmacex.s.h");
+  EXPECT_EQ(extension(Op::FMACEX_S_H), Ext::Xfaux);
+  EXPECT_EQ(mnemonic(Op::VFDOTPEX_S_H), "vfdotpex.s.h");
+  EXPECT_EQ(extension(Op::VFDOTPEX_S_H), Ext::Xfaux);
+}
+
+TEST(OpcodeMetadata, RegisterFileRouting) {
+  EXPECT_TRUE(rd_is_int(Op::FEQ_H));
+  EXPECT_TRUE(rd_is_int(Op::FCVT_W_H));
+  EXPECT_TRUE(rd_is_int(Op::FMV_X_H));
+  EXPECT_TRUE(rd_is_int(Op::FCLASS_B));
+  EXPECT_FALSE(rd_is_int(Op::FADD_H));
+  EXPECT_FALSE(rd_is_int(Op::VFCVT_X_H)) << "vector int-cvt stays in FP lanes";
+  EXPECT_TRUE(rs1_is_int(Op::FMV_H_X));
+  EXPECT_TRUE(rs1_is_int(Op::FCVT_H_W));
+  EXPECT_TRUE(rs1_is_int(Op::FLH));
+  EXPECT_TRUE(rs1_is_int(Op::FSH));
+  EXPECT_FALSE(rs1_is_int(Op::VFCVT_H_X));
+  EXPECT_TRUE(rd_is_int(Op::VFEQ_H)) << "vector compares write a lane mask";
+}
+
+TEST(OpcodeMetadata, VectorOpCounts) {
+  // Every scalar arithmetic family has vector forms for all three
+  // smallFloat formats.
+  int vec_ops = 0;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (is_vector(static_cast<Op>(i))) ++vec_ops;
+  }
+  EXPECT_GE(vec_ops, 75);
+}
+
+}  // namespace
+}  // namespace sfrv::isa

@@ -1,0 +1,263 @@
+// Scalar FP execution across all four formats: results must match the
+// soft-float library called directly, flags must accumulate in fcsr, and
+// static/dynamic rounding-mode selection must behave per the ISA.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim_util.hpp"
+#include "softfloat/softfloat.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using asmb::Assembler;
+using fp::Flags;
+using fp::FpFormat;
+using fp::RoundingMode;
+using isa::Op;
+namespace reg = asmb::reg;
+
+struct FmtCase {
+  FpFormat fmt;
+  Op fadd, fmul, fdiv, fsqrt, fmadd, fmin, feq, flt, fclass;
+  Op load, store;
+  int width;
+};
+
+const FmtCase kFmtCases[] = {
+    {FpFormat::F32, Op::FADD_S, Op::FMUL_S, Op::FDIV_S, Op::FSQRT_S,
+     Op::FMADD_S, Op::FMIN_S, Op::FEQ_S, Op::FLT_S, Op::FCLASS_S, Op::FLW,
+     Op::FSW, 32},
+    {FpFormat::F16, Op::FADD_H, Op::FMUL_H, Op::FDIV_H, Op::FSQRT_H,
+     Op::FMADD_H, Op::FMIN_H, Op::FEQ_H, Op::FLT_H, Op::FCLASS_H, Op::FLH,
+     Op::FSH, 16},
+    {FpFormat::F16Alt, Op::FADD_AH, Op::FMUL_AH, Op::FDIV_AH, Op::FSQRT_AH,
+     Op::FMADD_AH, Op::FMIN_AH, Op::FEQ_AH, Op::FLT_AH, Op::FCLASS_AH, Op::FLH,
+     Op::FSH, 16},
+    {FpFormat::F8, Op::FADD_B, Op::FMUL_B, Op::FDIV_B, Op::FSQRT_B,
+     Op::FMADD_B, Op::FMIN_B, Op::FEQ_B, Op::FLT_B, Op::FCLASS_B, Op::FLB,
+     Op::FSB, 8},
+};
+
+class ScalarFpFormats : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarFpFormats, ArithMatchesSoftfloat) {
+  const FmtCase& fc = kFmtCases[GetParam()];
+  std::mt19937_64 gen(99 + GetParam());
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t abits = gen() & ((1ull << fc.width) - 1);
+    const std::uint64_t bbits = gen() & ((1ull << fc.width) - 1);
+    const std::uint64_t cbits = gen() & ((1ull << fc.width) - 1);
+    auto core = run_program([&](Assembler& a) {
+      const auto da = a.data_bytes(&abits, 8, 8);
+      const auto db = a.data_bytes(&bbits, 8, 8);
+      const auto dc = a.data_bytes(&cbits, 8, 8);
+      a.la(reg::s0, da);
+      a.la(reg::s1, db);
+      a.la(reg::s2, dc);
+      a.emit({.op = fc.load, .rd = reg::ft0, .rs1 = reg::s0, .imm = 0});
+      a.emit({.op = fc.load, .rd = reg::ft1, .rs1 = reg::s1, .imm = 0});
+      a.emit({.op = fc.load, .rd = reg::ft2, .rs1 = reg::s2, .imm = 0});
+      a.fp_rrr(fc.fadd, reg::fa0, reg::ft0, reg::ft1, 0 /* RNE static */);
+      a.fp_rrr(fc.fmul, reg::fa1, reg::ft0, reg::ft1, 0);
+      a.fp_rrr(fc.fdiv, reg::fa2, reg::ft0, reg::ft1, 0);
+      a.fp_rr(fc.fsqrt, reg::fa3, reg::ft0, 0);
+      a.fp_r4(fc.fmadd, reg::fa4, reg::ft0, reg::ft1, reg::ft2, 0);
+      a.fp_rrr(fc.fmin, reg::fa5, reg::ft0, reg::ft1);
+      a.ebreak();
+    });
+    Flags fl;
+    const auto rm = RoundingMode::RNE;
+    EXPECT_EQ(core.f_bits(reg::fa0) & ((1ull << fc.width) - 1),
+              fp::rt_add(fc.fmt, abits, bbits, rm, fl));
+    EXPECT_EQ(core.f_bits(reg::fa1) & ((1ull << fc.width) - 1),
+              fp::rt_mul(fc.fmt, abits, bbits, rm, fl));
+    EXPECT_EQ(core.f_bits(reg::fa2) & ((1ull << fc.width) - 1),
+              fp::rt_div(fc.fmt, abits, bbits, rm, fl));
+    EXPECT_EQ(core.f_bits(reg::fa3) & ((1ull << fc.width) - 1),
+              fp::rt_sqrt(fc.fmt, abits, rm, fl));
+    EXPECT_EQ(core.f_bits(reg::fa4) & ((1ull << fc.width) - 1),
+              fp::rt_fma(fc.fmt, abits, bbits, cbits, rm, fl));
+    EXPECT_EQ(core.f_bits(reg::fa5) & ((1ull << fc.width) - 1),
+              fp::rt_min(fc.fmt, abits, bbits, fl));
+  }
+}
+
+TEST_P(ScalarFpFormats, LoadComputeStoreRoundTrip) {
+  const FmtCase& fc = kFmtCases[GetParam()];
+  // 2.5 * 1.5 + 0.25 computed through memory.
+  Flags fl;
+  const auto q = [&](double v) {
+    return fp::rt_from_double(fc.fmt, v, RoundingMode::RNE, fl);
+  };
+  const std::uint64_t x = q(2.5), y = q(1.5), z = q(0.25);
+  auto core = run_program([&](Assembler& a) {
+    const auto dx = a.data_bytes(&x, 8, 8);
+    const auto dy = a.data_bytes(&y, 8, 8);
+    const auto dz = a.data_bytes(&z, 8, 8);
+    const auto out = a.data_zero(8, 8);
+    a.la(reg::s0, dx);
+    a.la(reg::s1, dy);
+    a.la(reg::s2, dz);
+    a.la(reg::s3, out);
+    a.emit({.op = fc.load, .rd = reg::ft0, .rs1 = reg::s0, .imm = 0});
+    a.emit({.op = fc.load, .rd = reg::ft1, .rs1 = reg::s1, .imm = 0});
+    a.emit({.op = fc.load, .rd = reg::ft2, .rs1 = reg::s2, .imm = 0});
+    a.fp_r4(fc.fmadd, reg::fa0, reg::ft0, reg::ft1, reg::ft2);
+    a.emit({.op = fc.store, .rs1 = reg::s3, .rs2 = reg::fa0, .imm = 0});
+    a.ebreak();
+  });
+  std::uint64_t stored = 0;
+  core.memory().read_block(core.memory().config().size > 0 ? 0x100000 + 24 : 0,
+                           &stored, fc.width / 8);
+  EXPECT_EQ(fp::rt_to_double(fc.fmt, stored), 2.5 * 1.5 + 0.25);
+}
+
+TEST_P(ScalarFpFormats, CompareAndClassify) {
+  const FmtCase& fc = kFmtCases[GetParam()];
+  Flags fl;
+  const std::uint64_t one = fp::rt_from_double(fc.fmt, 1.0, RoundingMode::RNE, fl);
+  const std::uint64_t two = fp::rt_from_double(fc.fmt, 2.0, RoundingMode::RNE, fl);
+  auto core = run_program([&](Assembler& a) {
+    const auto d1 = a.data_bytes(&one, 8, 8);
+    const auto d2 = a.data_bytes(&two, 8, 8);
+    a.la(reg::s0, d1);
+    a.la(reg::s1, d2);
+    a.emit({.op = fc.load, .rd = reg::ft0, .rs1 = reg::s0, .imm = 0});
+    a.emit({.op = fc.load, .rd = reg::ft1, .rs1 = reg::s1, .imm = 0});
+    a.fp_rrr(fc.feq, reg::a0, reg::ft0, reg::ft0);
+    a.fp_rrr(fc.flt, reg::a1, reg::ft0, reg::ft1);
+    a.fp_rrr(fc.flt, reg::a2, reg::ft1, reg::ft0);
+    a.fp_rr(fc.fclass, reg::a3, reg::ft0);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), 1u);
+  EXPECT_EQ(core.x(reg::a1), 1u);
+  EXPECT_EQ(core.x(reg::a2), 0u);
+  EXPECT_EQ(core.x(reg::a3),
+            static_cast<std::uint32_t>(fp::FpClass::PosNormal));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, ScalarFpFormats, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return std::string(
+                               fp::format_name(kFmtCases[info.param].fmt));
+                         });
+
+TEST(ScalarFp, StaticVsDynamicRounding) {
+  // 1.0 + ulp/2 in binary16: RTZ truncates, RUP rounds up. Exercise both the
+  // static rm field and the dynamic frm CSR.
+  Flags fl;
+  const std::uint64_t one = 0x3c00, half_ulp = 0x1000 /* 2^-11 */;
+  auto core = run_program([&](Assembler& a) {
+    const auto d1 = a.data_bytes(&one, 8, 8);
+    const auto d2 = a.data_bytes(&half_ulp, 8, 8);
+    a.la(reg::s0, d1);
+    a.la(reg::s1, d2);
+    a.flh(reg::ft0, 0, reg::s0);
+    a.flh(reg::ft1, 0, reg::s1);
+    a.fp_rrr(Op::FADD_H, reg::fa0, reg::ft0, reg::ft1,
+             static_cast<std::uint8_t>(RoundingMode::RTZ));
+    a.fp_rrr(Op::FADD_H, reg::fa1, reg::ft0, reg::ft1,
+             static_cast<std::uint8_t>(RoundingMode::RUP));
+    a.set_frm(RoundingMode::RUP);
+    a.fp_rrr(Op::FADD_H, reg::fa2, reg::ft0, reg::ft1);  // DYN -> RUP
+    a.ebreak();
+  });
+  EXPECT_EQ(core.f_bits(reg::fa0) & 0xffff, 0x3c00u) << "RTZ keeps 1.0";
+  EXPECT_EQ(core.f_bits(reg::fa1) & 0xffff, 0x3c01u) << "RUP bumps one ulp";
+  EXPECT_EQ(core.f_bits(reg::fa2) & 0xffff, 0x3c01u) << "dynamic RUP";
+}
+
+TEST(ScalarFp, FflagsAccumulateAndClear) {
+  auto core = run_program([&](Assembler& a) {
+    a.li(reg::t0, 1);
+    a.fp_rr(Op::FCVT_S_W, reg::ft0, reg::t0);  // 1.0f, exact
+    a.li(reg::t1, 0);
+    a.fp_rr(Op::FCVT_S_W, reg::ft1, reg::t1);  // 0.0f
+    a.fp_rrr(Op::FDIV_S, reg::fa0, reg::ft0, reg::ft1);  // 1/0 -> DZ
+    a.csrrs(reg::a0, 0x001, reg::zero);  // read fflags
+    a.csrrwi(reg::zero, 0x001, 0);       // clear
+    a.csrrs(reg::a1, 0x001, reg::zero);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), Flags::DZ);
+  EXPECT_EQ(core.x(reg::a1), 0u);
+}
+
+TEST(ScalarFp, ConversionChainAllFormats) {
+  // f32 -> f16 -> f8 -> f16 -> f32 on a value representable in binary8.
+  auto core = run_program([&](Assembler& a) {
+    a.li(reg::t0, 12);  // 12.0 = 1.5 * 2^3, exact in all formats
+    a.fp_rr(Op::FCVT_S_W, reg::ft0, reg::t0);
+    a.fp_rr(Op::FCVT_H_S, reg::ft1, reg::ft0);
+    a.fp_rr(Op::FCVT_B_H, reg::ft2, reg::ft1);
+    a.fp_rr(Op::FCVT_H_B, reg::ft3, reg::ft2);
+    a.fp_rr(Op::FCVT_S_H, reg::ft4, reg::ft3);
+    a.fp_rr(Op::FCVT_W_S, reg::a0, reg::ft4);
+    // And the binary16alt leg.
+    a.fp_rr(Op::FCVT_AH_S, reg::ft5, reg::ft0);
+    a.fp_rr(Op::FCVT_S_AH, reg::ft6, reg::ft5);
+    a.fp_rr(Op::FCVT_W_S, reg::a1, reg::ft6);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), 12u);
+  EXPECT_EQ(core.x(reg::a1), 12u);
+  EXPECT_EQ(core.fflags(), 0u) << "whole chain exact";
+}
+
+TEST(ScalarFp, ExpandingMacSemantics) {
+  // fmacex.s.h: f32 accumulator += h * h without explicit conversions
+  // (the Fig. 5 motivation).
+  Flags fl;
+  const std::uint64_t a16 = fp::rt_from_double(FpFormat::F16, 0.1, RoundingMode::RNE, fl);
+  const std::uint64_t b16 = fp::rt_from_double(FpFormat::F16, 0.2, RoundingMode::RNE, fl);
+  auto core = run_program([&](Assembler& a) {
+    const auto da = a.data_bytes(&a16, 8, 8);
+    const auto db = a.data_bytes(&b16, 8, 8);
+    a.la(reg::s0, da);
+    a.la(reg::s1, db);
+    a.flh(reg::ft0, 0, reg::s0);
+    a.flh(reg::ft1, 0, reg::s1);
+    a.li(reg::t0, 2);
+    a.fp_rr(Op::FCVT_S_W, reg::fa0, reg::t0);  // acc = 2.0f
+    a.fp_rrr(Op::FMACEX_S_H, reg::fa0, reg::ft0, reg::ft1);
+    a.ebreak();
+  });
+  // Reference: widen both halves exactly, fused f32 accumulate.
+  const std::uint64_t wa = fp::rt_convert(FpFormat::F32, FpFormat::F16, a16, RoundingMode::RNE, fl);
+  const std::uint64_t wb = fp::rt_convert(FpFormat::F32, FpFormat::F16, b16, RoundingMode::RNE, fl);
+  const std::uint64_t two = fp::rt_from_double(FpFormat::F32, 2.0, RoundingMode::RNE, fl);
+  const std::uint64_t want = fp::rt_fma(FpFormat::F32, wa, wb, two, RoundingMode::RNE, fl);
+  EXPECT_EQ(core.f_bits(reg::fa0) & 0xffffffff, want);
+}
+
+TEST(ScalarFp, NanBoxingOnWrite) {
+  // A 16-bit scalar result must be NaN-boxed to FLEN=32.
+  auto core = run_program([&](Assembler& a) {
+    a.li(reg::t0, 1);
+    a.fp_rr(Op::FCVT_H_W, reg::ft0, reg::t0);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.f_bits(reg::ft0), 0xffff3c00u);
+}
+
+TEST(ScalarFp, FmvTransfersAndSignExtension) {
+  auto core = run_program([&](Assembler& a) {
+    a.li(reg::t0, 0xbc00);  // -1.0 in binary16 (bit 15 set)
+    a.fp_rr(Op::FMV_H_X, reg::ft0, reg::t0);
+    a.fp_rr(Op::FMV_X_H, reg::a0, reg::ft0);
+    a.li(reg::t1, 0x7f800000);  // +inf binary32
+    a.fp_rr(Op::FMV_S_X, reg::ft1, reg::t1);
+    a.fp_rr(Op::FMV_X_S, reg::a1, reg::ft1);
+    a.fp_rr(Op::FCLASS_S, reg::a2, reg::ft1);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), 0xffffbc00u) << "fmv.x.h sign-extends";
+  EXPECT_EQ(core.x(reg::a1), 0x7f800000u);
+  EXPECT_EQ(core.x(reg::a2), static_cast<std::uint32_t>(fp::FpClass::PosInf));
+}
+
+}  // namespace
+}  // namespace sfrv::test

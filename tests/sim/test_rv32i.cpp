@@ -1,0 +1,215 @@
+// Directed semantics tests for the RV32I base ISA and the M extension.
+#include <gtest/gtest.h>
+
+#include "sim_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using asmb::Assembler;
+namespace reg = asmb::reg;
+
+TEST(Rv32i, ArithmeticImmediates) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::a0, 100);
+    a.addi(reg::a1, reg::a0, -30);      // 70
+    a.emit({.op = isa::Op::SLTI, .rd = reg::a2, .rs1 = reg::a1, .imm = 71});
+    a.emit({.op = isa::Op::XORI, .rd = reg::a3, .rs1 = reg::a0, .imm = 0xff});
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a1), 70u);
+  EXPECT_EQ(core.x(reg::a2), 1u);
+  EXPECT_EQ(core.x(reg::a3), 100u ^ 0xffu);
+}
+
+TEST(Rv32i, LuiAddiLargeConstants) {
+  for (std::int32_t v : {0x12345678, -0x12345678, 0x7fffffff, -2048, 2047,
+                         0x800, -0x801, 0, 1, -1, static_cast<std::int32_t>(0x80000000)}) {
+    auto core = run_program([v](Assembler& a) {
+      a.li(reg::a0, v);
+      a.ebreak();
+    });
+    EXPECT_EQ(core.x(reg::a0), static_cast<std::uint32_t>(v)) << v;
+  }
+}
+
+TEST(Rv32i, ShiftsAndCompares) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::a0, -8);
+    a.srai(reg::a1, reg::a0, 1);   // -4
+    a.srli(reg::a2, reg::a0, 28);  // 0xf
+    a.slli(reg::a3, reg::a0, 2);   // -32
+    a.li(reg::t0, 5);
+    a.li(reg::t1, -3);
+    a.emit({.op = isa::Op::SLT, .rd = reg::a4, .rs1 = reg::t1, .rs2 = reg::t0});
+    a.emit({.op = isa::Op::SLTU, .rd = reg::a5, .rs1 = reg::t1, .rs2 = reg::t0});
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a1), static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(core.x(reg::a2), 0xfu);
+  EXPECT_EQ(core.x(reg::a3), static_cast<std::uint32_t>(-32));
+  EXPECT_EQ(core.x(reg::a4), 1u) << "-3 < 5 signed";
+  EXPECT_EQ(core.x(reg::a5), 0u) << "0xfffffffd > 5 unsigned";
+}
+
+TEST(Rv32i, LoadStoreAllWidths) {
+  auto core = run_program([](Assembler& a) {
+    const auto buf = a.data_zero(16);
+    a.la(reg::s0, buf);
+    a.li(reg::a0, 0x80);       // sign bit for byte
+    a.sb(reg::a0, 0, reg::s0);
+    a.li(reg::a1, 0x8000);     // sign bit for half
+    a.sh(reg::a1, 4, reg::s0);
+    a.li(reg::a2, 0x12345678);
+    a.sw(reg::a2, 8, reg::s0);
+    a.lbu(reg::t0, 0, reg::s0);
+    a.emit({.op = isa::Op::LB, .rd = reg::t1, .rs1 = reg::s0, .imm = 0});
+    a.lhu(reg::t2, 4, reg::s0);
+    a.lh(reg::t3, 4, reg::s0);
+    a.lw(reg::t4, 8, reg::s0);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::t0), 0x80u);
+  EXPECT_EQ(core.x(reg::t1), 0xffffff80u);
+  EXPECT_EQ(core.x(reg::t2), 0x8000u);
+  EXPECT_EQ(core.x(reg::t3), 0xffff8000u);
+  EXPECT_EQ(core.x(reg::t4), 0x12345678u);
+}
+
+TEST(Rv32i, BranchesAndLoop) {
+  // Sum 1..10 with a bne loop.
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::a0, 0);
+    a.li(reg::t0, 1);
+    a.li(reg::t1, 11);
+    const auto loop = a.here();
+    a.add(reg::a0, reg::a0, reg::t0);
+    a.addi(reg::t0, reg::t0, 1);
+    a.bne(reg::t0, reg::t1, loop);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), 55u);
+}
+
+TEST(Rv32i, ForwardBranchAndJal) {
+  auto core = run_program([](Assembler& a) {
+    const auto skip = a.make_label();
+    const auto end = a.make_label();
+    a.li(reg::a0, 1);
+    a.li(reg::a1, 1);
+    a.beq(reg::a0, reg::a1, skip);
+    a.li(reg::a2, 111);  // skipped
+    a.bind(skip);
+    a.li(reg::a2, 222);
+    a.j(end);
+    a.li(reg::a2, 333);  // skipped
+    a.bind(end);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a2), 222u);
+}
+
+TEST(Rv32i, FunctionCallReturn) {
+  auto core = run_program([](Assembler& a) {
+    const auto fn = a.make_label();
+    a.li(reg::a0, 5);
+    a.jal(reg::ra, fn);
+    a.addi(reg::a1, reg::a0, 1);  // after return: a1 = 16
+    a.ebreak();
+    a.bind(fn);
+    a.slli(reg::a0, reg::a0, 1);  // a0 = 10
+    a.addi(reg::a0, reg::a0, 5);  // a0 = 15
+    a.ret();
+  });
+  EXPECT_EQ(core.x(reg::a1), 16u);
+}
+
+TEST(Rv32i, X0IsHardwiredZero) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::zero, 42);
+    a.mv(reg::a0, reg::zero);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(0), 0u);
+  EXPECT_EQ(core.x(reg::a0), 0u);
+}
+
+TEST(Rv32m, MultiplyFamily) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::a0, -7);
+    a.li(reg::a1, 6);
+    a.mul(reg::t0, reg::a0, reg::a1);
+    a.emit({.op = isa::Op::MULH, .rd = reg::t1, .rs1 = reg::a0, .rs2 = reg::a1});
+    a.emit({.op = isa::Op::MULHU, .rd = reg::t2, .rs1 = reg::a0, .rs2 = reg::a1});
+    a.emit({.op = isa::Op::MULHSU, .rd = reg::t3, .rs1 = reg::a0, .rs2 = reg::a1});
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::t0), static_cast<std::uint32_t>(-42));
+  EXPECT_EQ(core.x(reg::t1), 0xffffffffu);  // high of -42
+  // mulhu: 0xfffffff9 * 6 = 0x5_FFFFFFD6 -> high = 5
+  EXPECT_EQ(core.x(reg::t2), 5u);
+  EXPECT_EQ(core.x(reg::t3), 0xffffffffu);
+}
+
+TEST(Rv32m, DivisionEdgeCases) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::a0, -20);
+    a.li(reg::a1, 6);
+    a.emit({.op = isa::Op::DIV, .rd = reg::t0, .rs1 = reg::a0, .rs2 = reg::a1});
+    a.emit({.op = isa::Op::REM, .rd = reg::t1, .rs1 = reg::a0, .rs2 = reg::a1});
+    // Division by zero: quotient -1, remainder = dividend.
+    a.li(reg::a2, 0);
+    a.emit({.op = isa::Op::DIV, .rd = reg::t2, .rs1 = reg::a0, .rs2 = reg::a2});
+    a.emit({.op = isa::Op::REM, .rd = reg::t3, .rs1 = reg::a0, .rs2 = reg::a2});
+    // Overflow: INT_MIN / -1.
+    a.li(reg::a3, static_cast<std::int32_t>(0x80000000));
+    a.li(reg::a4, -1);
+    a.emit({.op = isa::Op::DIV, .rd = reg::t4, .rs1 = reg::a3, .rs2 = reg::a4});
+    a.emit({.op = isa::Op::REM, .rd = reg::t5, .rs1 = reg::a3, .rs2 = reg::a4});
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::t0), static_cast<std::uint32_t>(-3));  // trunc toward 0
+  EXPECT_EQ(core.x(reg::t1), static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(core.x(reg::t2), 0xffffffffu);
+  EXPECT_EQ(core.x(reg::t3), static_cast<std::uint32_t>(-20));
+  EXPECT_EQ(core.x(reg::t4), 0x80000000u);
+  EXPECT_EQ(core.x(reg::t5), 0u);
+}
+
+TEST(Sim, UnsupportedInstructionTraps) {
+  asmb::Assembler a;
+  a.fp_rrr(isa::Op::FADD_H, 0, 1, 2);
+  a.ebreak();
+  sim::Core core(isa::IsaConfig::rv32imf());
+  core.load_program(a.finish());
+  EXPECT_THROW(core.run(), sim::SimError);
+}
+
+TEST(Sim, FetchOutsideTextTraps) {
+  asmb::Assembler a;
+  a.nop();  // no ebreak: falls off the end
+  sim::Core core;
+  core.load_program(a.finish());
+  EXPECT_THROW(core.run(), sim::SimError);
+}
+
+TEST(Sim, MemoryOutOfBoundsTraps) {
+  asmb::Assembler a;
+  a.li(reg::a0, 0x7fffff8);  // beyond the 8 MiB default
+  a.lw(reg::a1, 0, reg::a0);
+  a.ebreak();
+  sim::Core core;
+  core.load_program(a.finish());
+  EXPECT_THROW(core.run(), std::out_of_range);
+}
+
+TEST(Sim, ExitCodeViaEcall) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::a0, 17);
+    a.emit({.op = isa::Op::ECALL});
+  });
+  EXPECT_EQ(core.exit_code(), 17u);
+}
+
+}  // namespace
+}  // namespace sfrv::test

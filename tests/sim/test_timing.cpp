@@ -1,0 +1,142 @@
+// Timing-model tests: memory latency, branch penalties, iterative units,
+// and per-class statistics.
+#include <gtest/gtest.h>
+
+#include "sim_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using asmb::Assembler;
+using isa::Op;
+namespace reg = asmb::reg;
+
+std::uint64_t cycles_for(const std::function<void(Assembler&)>& body,
+                         RunOptions opts = {}) {
+  return run_program(body, opts).stats().cycles;
+}
+
+TEST(Timing, StraightLineAluIsOneCyclePerInstr) {
+  auto core = run_program([](Assembler& a) {
+    for (int i = 0; i < 10; ++i) a.addi(reg::a0, reg::a0, 1);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.stats().instructions, 11u);
+  EXPECT_EQ(core.stats().cycles, 11u);
+}
+
+TEST(Timing, LoadLatencySweepMatchesConfig) {
+  // The paper's L1/L2/L3 setups: loads cost 1 / 10 / 100 cycles.
+  for (int lat : {1, 10, 100}) {
+    RunOptions opts;
+    opts.mem.load_latency = lat;
+    const auto cyc = cycles_for(
+        [](Assembler& a) {
+          const auto d = a.data_zero(64);
+          a.la(reg::s0, d);          // 1-2 instructions (li)
+          for (int i = 0; i < 8; ++i) a.lw(reg::a0, i * 4, reg::s0);
+          a.ebreak();
+        },
+        opts);
+    // 8 loads at `lat` cycles each; la = li is 1 or 2 ALU ops; +ebreak.
+    const std::uint64_t expected_fixed = cyc - 8ull * lat;
+    EXPECT_LE(expected_fixed, 4u) << "lat=" << lat;
+  }
+}
+
+TEST(Timing, StoresArePostedByDefault) {
+  const auto c_store = cycles_for([](Assembler& a) {
+    const auto d = a.data_zero(64);
+    a.la(reg::s0, d);
+    for (int i = 0; i < 8; ++i) a.sw(reg::a0, i * 4, reg::s0);
+    a.ebreak();
+  });
+  RunOptions slow;
+  slow.mem.load_latency = 100;  // store latency stays 1
+  const auto c_store_slow = cycles_for(
+      [](Assembler& a) {
+        const auto d = a.data_zero(64);
+        a.la(reg::s0, d);
+        for (int i = 0; i < 8; ++i) a.sw(reg::a0, i * 4, reg::s0);
+        a.ebreak();
+      },
+      slow);
+  EXPECT_EQ(c_store, c_store_slow)
+      << "store cost must not depend on load latency";
+}
+
+TEST(Timing, TakenBranchPaysPenalty) {
+  // Loop with taken back-edge vs unrolled equivalent.
+  const auto looped = cycles_for([](Assembler& a) {
+    a.li(reg::t0, 0);
+    a.li(reg::t1, 100);
+    const auto loop = a.here();
+    a.addi(reg::t0, reg::t0, 1);
+    a.bne(reg::t0, reg::t1, loop);
+    a.ebreak();
+  });
+  // 2 li + 100 addi + 100 bne (99 taken, 1 not) + ebreak
+  EXPECT_EQ(looped, 2u + 100u + 100u + 99u + 1u);
+}
+
+TEST(Timing, IntegerDivideIsIterative) {
+  const auto with_div = cycles_for([](Assembler& a) {
+    a.li(reg::a0, 1000);
+    a.li(reg::a1, 7);
+    a.emit({.op = Op::DIV, .rd = reg::a2, .rs1 = reg::a0, .rs2 = reg::a1});
+    a.ebreak();
+  });
+  EXPECT_EQ(with_div, 2u + 32u + 1u);
+}
+
+TEST(Timing, FpDivCyclesShrinkWithFormat) {
+  sim::Timing t;
+  EXPECT_GT(t.fp_div_cycles(fp::FpFormat::F32),
+            t.fp_div_cycles(fp::FpFormat::F16));
+  EXPECT_GT(t.fp_div_cycles(fp::FpFormat::F16),
+            t.fp_div_cycles(fp::FpFormat::F8));
+  EXPECT_EQ(t.fp_div_cycles(fp::FpFormat::F16),
+            t.fp_div_cycles(fp::FpFormat::F16Alt));
+}
+
+TEST(Timing, FpArithIsSingleCycle) {
+  const auto cyc = cycles_for([](Assembler& a) {
+    a.li(reg::t0, 1);
+    a.fp_rr(Op::FCVT_S_W, reg::ft0, reg::t0);
+    for (int i = 0; i < 10; ++i)
+      a.fp_rrr(Op::FADD_S, reg::fa0, reg::ft0, reg::ft0);
+    a.ebreak();
+  });
+  EXPECT_EQ(cyc, 1u + 1u + 10u + 1u);
+}
+
+TEST(Stats, PerOpcodeCounts) {
+  auto core = run_program([](Assembler& a) {
+    a.li(reg::t0, 3);
+    a.fp_rr(Op::FCVT_H_W, reg::ft0, reg::t0);
+    a.fp_rrr(Op::FADD_H, reg::fa0, reg::ft0, reg::ft0);
+    a.fp_rrr(Op::FADD_H, reg::fa0, reg::fa0, reg::ft0);
+    a.fp_rrr(Op::VFADD_H, reg::fa1, reg::fa0, reg::fa0);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.stats().count(Op::FADD_H), 2u);
+  EXPECT_EQ(core.stats().count(Op::VFADD_H), 1u);
+  EXPECT_EQ(core.stats().count_class(isa::Cls::FpAdd), 3u);
+  const auto vec_count = core.stats().count_where(
+      [](Op op) { return isa::is_vector(op); });
+  EXPECT_EQ(vec_count, 1u);
+}
+
+TEST(Stats, CycleCsrVisibleToProgram) {
+  auto core = run_program([](Assembler& a) {
+    a.csrrs(reg::s0, 0xc00, reg::zero);  // cycle
+    for (int i = 0; i < 5; ++i) a.nop();
+    a.csrrs(reg::s1, 0xc00, reg::zero);
+    a.sub(reg::a0, reg::s1, reg::s0);
+    a.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), 6u) << "5 nops + the first csrrs itself";
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,202 @@
+// Additional Xfaux / vector coverage: expanding ops for every smallFloat
+// format, replicated dot products, vector sgnj/min/max/sqrt, and NaN-box
+// interactions between scalar and vector views of a register.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim_util.hpp"
+#include "softfloat/softfloat.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using asmb::Assembler;
+using fp::Flags;
+using fp::FpFormat;
+using fp::RoundingMode;
+using isa::Op;
+namespace reg = asmb::reg;
+
+std::uint64_t lane_get(std::uint64_t v, int l, int w) {
+  return (v >> (l * w)) & ((1ull << w) - 1);
+}
+
+struct ExCase {
+  FpFormat fmt;
+  int width;
+  Op fmulex, fmacex, vdotp_r;
+};
+
+const ExCase kExCases[] = {
+    {FpFormat::F16, 16, Op::FMULEX_S_H, Op::FMACEX_S_H, Op::VFDOTPEX_S_R_H},
+    {FpFormat::F16Alt, 16, Op::FMULEX_S_AH, Op::FMACEX_S_AH,
+     Op::VFDOTPEX_S_R_AH},
+    {FpFormat::F8, 8, Op::FMULEX_S_B, Op::FMACEX_S_B, Op::VFDOTPEX_S_R_B},
+};
+
+class XfauxFormats : public ::testing::TestWithParam<int> {};
+
+TEST_P(XfauxFormats, ExpandingMulAndMacMatchWidenedF32) {
+  const ExCase& ec = kExCases[GetParam()];
+  std::mt19937_64 gen(55 + GetParam());
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = gen() & ((1ull << ec.width) - 1);
+    const std::uint64_t b = gen() & ((1ull << ec.width) - 1);
+    const std::uint32_t acc0 = static_cast<std::uint32_t>(gen());
+    auto core = run_program([&](Assembler& as) {
+      const auto da = as.data_bytes(&a, 8, 8);
+      const auto db = as.data_bytes(&b, 8, 8);
+      const auto dc = as.data_u32(acc0);
+      as.la(reg::s0, da);
+      as.la(reg::s1, db);
+      as.la(reg::s2, dc);
+      if (ec.width == 16) {
+        as.flh(reg::ft0, 0, reg::s0);
+        as.flh(reg::ft1, 0, reg::s1);
+      } else {
+        as.flb(reg::ft0, 0, reg::s0);
+        as.flb(reg::ft1, 0, reg::s1);
+      }
+      as.flw(reg::fa0, 0, reg::s2);  // accumulator
+      as.fp_rrr(ec.fmulex, reg::fa1, reg::ft0, reg::ft1);
+      as.fp_rrr(ec.fmacex, reg::fa0, reg::ft0, reg::ft1);
+      as.ebreak();
+    });
+    Flags fl;
+    const auto wa =
+        fp::rt_convert(FpFormat::F32, ec.fmt, a, RoundingMode::RNE, fl);
+    const auto wb =
+        fp::rt_convert(FpFormat::F32, ec.fmt, b, RoundingMode::RNE, fl);
+    const auto want_mul = fp::rt_mul(FpFormat::F32, wa, wb, RoundingMode::RNE, fl);
+    const auto want_mac =
+        fp::rt_fma(FpFormat::F32, wa, wb, acc0, RoundingMode::RNE, fl);
+    auto canon = [](std::uint64_t bits) {
+      // Compare NaNs as canonical (payloads collapse on any path).
+      const auto f = fp::F32::from_bits(bits);
+      return f.is_nan() ? fp::F32::quiet_nan().bits : f.bits;
+    };
+    ASSERT_EQ(canon(core.f_bits(reg::fa1) & 0xffffffff), canon(want_mul))
+        << std::hex << a << " " << b;
+    ASSERT_EQ(canon(core.f_bits(reg::fa0) & 0xffffffff), canon(want_mac))
+        << std::hex << a << " " << b << " acc=" << acc0;
+  }
+}
+
+TEST_P(XfauxFormats, ReplicatedDotProduct) {
+  const ExCase& ec = kExCases[GetParam()];
+  const int lanes = 32 / ec.width;
+  std::mt19937_64 gen(77 + GetParam());
+  for (int t = 0; t < 300; ++t) {
+    const std::uint32_t va = static_cast<std::uint32_t>(gen());
+    const std::uint32_t vb = static_cast<std::uint32_t>(gen());
+    auto core = run_program([&](Assembler& as) {
+      const auto da = as.data_u32(va);
+      const auto db = as.data_u32(vb);
+      as.la(reg::s0, da);
+      as.la(reg::s1, db);
+      as.flw(reg::ft0, 0, reg::s0);
+      as.flw(reg::ft1, 0, reg::s1);
+      as.fp_rr(Op::FMV_S_X, reg::fa0, reg::zero);  // acc = +0
+      as.fp_rrr(ec.vdotp_r, reg::fa0, reg::ft0, reg::ft1);
+      as.ebreak();
+    });
+    Flags fl;
+    std::uint64_t acc = 0;  // +0.0f
+    const auto wb = fp::rt_convert(FpFormat::F32, ec.fmt,
+                                   lane_get(vb, 0, ec.width), RoundingMode::RNE, fl);
+    for (int l = 0; l < lanes; ++l) {
+      const auto wa = fp::rt_convert(FpFormat::F32, ec.fmt,
+                                     lane_get(va, l, ec.width), RoundingMode::RNE, fl);
+      acc = fp::rt_fma(FpFormat::F32, wa, wb, acc, RoundingMode::RNE, fl);
+    }
+    auto canon = [](std::uint64_t bits) {
+      const auto f = fp::F32::from_bits(bits);
+      return f.is_nan() ? fp::F32::quiet_nan().bits : f.bits;
+    };
+    ASSERT_EQ(canon(core.f_bits(reg::fa0) & 0xffffffff), canon(acc))
+        << std::hex << va << " " << vb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, XfauxFormats, ::testing::Range(0, 3),
+                         [](const auto& info) {
+                           return std::string(
+                               fp::format_name(kExCases[info.param].fmt));
+                         });
+
+TEST(VectorMisc, SgnjMinMaxSqrtLanewise) {
+  std::mt19937_64 gen(99);
+  for (int t = 0; t < 300; ++t) {
+    const std::uint32_t va = static_cast<std::uint32_t>(gen());
+    const std::uint32_t vb = static_cast<std::uint32_t>(gen());
+    auto core = run_program([&](Assembler& as) {
+      const auto da = as.data_u32(va);
+      const auto db = as.data_u32(vb);
+      as.la(reg::s0, da);
+      as.la(reg::s1, db);
+      as.flw(reg::ft0, 0, reg::s0);
+      as.flw(reg::ft1, 0, reg::s1);
+      as.fp_rrr(Op::VFSGNJ_H, reg::fa0, reg::ft0, reg::ft1);
+      as.fp_rrr(Op::VFSGNJN_H, reg::fa1, reg::ft0, reg::ft1);
+      as.fp_rrr(Op::VFSGNJX_H, reg::fa2, reg::ft0, reg::ft1);
+      as.fp_rrr(Op::VFMIN_H, reg::fa3, reg::ft0, reg::ft1);
+      as.fp_rrr(Op::VFMAX_H, reg::fa4, reg::ft0, reg::ft1);
+      as.fp_rr(Op::VFSQRT_H, reg::fa5, reg::ft0);
+      as.ebreak();
+    });
+    Flags fl;
+    for (int l = 0; l < 2; ++l) {
+      const auto al = lane_get(va, l, 16);
+      const auto bl = lane_get(vb, l, 16);
+      ASSERT_EQ(lane_get(core.f_bits(reg::fa0), l, 16),
+                fp::rt_sgnj(FpFormat::F16, al, bl));
+      ASSERT_EQ(lane_get(core.f_bits(reg::fa1), l, 16),
+                fp::rt_sgnjn(FpFormat::F16, al, bl));
+      ASSERT_EQ(lane_get(core.f_bits(reg::fa2), l, 16),
+                fp::rt_sgnjx(FpFormat::F16, al, bl));
+      ASSERT_EQ(lane_get(core.f_bits(reg::fa3), l, 16),
+                fp::rt_min(FpFormat::F16, al, bl, fl));
+      ASSERT_EQ(lane_get(core.f_bits(reg::fa4), l, 16),
+                fp::rt_max(FpFormat::F16, al, bl, fl));
+      ASSERT_EQ(lane_get(core.f_bits(reg::fa5), l, 16),
+                fp::rt_sqrt(FpFormat::F16, al, RoundingMode::RNE, fl));
+    }
+  }
+}
+
+TEST(NanBoxing, ScalarWriteBoxesVectorReadSeesLanes) {
+  // A scalar f16 write NaN-boxes the register; a subsequent vector op sees
+  // lane 0 = the value and lane 1 = 0xffff (a NaN in both 16-bit formats).
+  auto core = run_program([&](Assembler& as) {
+    as.li(reg::t0, 2);
+    as.fp_rr(Op::FCVT_H_W, reg::ft0, reg::t0);  // boxed 2.0h
+    as.fp_rr(Op::FMV_S_X, reg::ft1, reg::zero);
+    as.fp_rrr(Op::VFADD_H, reg::fa0, reg::ft0, reg::ft1);
+    as.ebreak();
+  });
+  EXPECT_EQ(lane_get(core.f_bits(reg::fa0), 0, 16),
+            0x4000u) << "lane0: 2.0 + 0.0";
+  const auto lane1 = fp::F16::from_bits(lane_get(core.f_bits(reg::fa0), 1, 16));
+  EXPECT_TRUE(lane1.is_nan()) << "lane1: boxing pattern + 0 stays NaN";
+}
+
+TEST(VectorCompare, ScalarCompareIgnoresUpperLanes) {
+  // Scalar f16 compare must only consider the low half even when the upper
+  // half contains live vector data.
+  auto core = run_program([&](Assembler& as) {
+    const std::uint32_t packed = 0x3c00 | (0xbc00u << 16);  // {1.0, -1.0}
+    const auto d = as.data_u32(packed);
+    as.la(reg::s0, d);
+    as.flw(reg::ft0, 0, reg::s0);
+    as.flw(reg::ft1, 0, reg::s0);
+    as.fp_rrr(Op::FEQ_H, reg::a0, reg::ft0, reg::ft1);
+    as.fp_rrr(Op::VFEQ_H, reg::a1, reg::ft0, reg::ft1);
+    as.ebreak();
+  });
+  EXPECT_EQ(core.x(reg::a0), 1u);
+  EXPECT_EQ(core.x(reg::a1), 0b11u);
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,33 @@
+// Helpers for simulator tests: build a small program with the assembler,
+// run it to completion, and inspect the core.
+#pragma once
+
+#include <functional>
+
+#include "asmb/assembler.hpp"
+#include "sim/core.hpp"
+
+namespace sfrv::test {
+
+struct RunOptions {
+  isa::IsaConfig cfg = isa::IsaConfig::full();
+  sim::MemConfig mem{};
+  sim::Timing timing{};
+};
+
+/// Assemble `body` (which must end the program, e.g. with ebreak), run it,
+/// and return the halted core for inspection.
+inline sim::Core run_program(const std::function<void(asmb::Assembler&)>& body,
+                             RunOptions opts = {}) {
+  asmb::Assembler a;
+  body(a);
+  sim::Core core(opts.cfg, opts.mem, opts.timing);
+  core.load_program(a.finish());
+  const auto result = core.run(50'000'000);
+  if (result != sim::Core::RunResult::Halted) {
+    throw std::runtime_error("test program did not halt");
+  }
+  return core;
+}
+
+}  // namespace sfrv::test

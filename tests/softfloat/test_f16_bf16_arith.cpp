@@ -1,0 +1,175 @@
+// Randomized verification of binary16 and binary16alt arithmetic against
+// double-precision references (valid per the 2p+2 double-rounding bound),
+// plus exhaustive unary sweeps over all 65536 bit patterns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+template <class F>
+struct Fixture16 : public ::testing::Test {};
+
+using Formats16 = ::testing::Types<Binary16, Binary16Alt>;
+
+TYPED_TEST_SUITE(Fixture16, Formats16);
+
+constexpr int kRandomPairs = 200'000;
+
+TYPED_TEST(Fixture16, AddRandomAllModes) {
+  using F = TypeParam;
+  for (RoundingMode rm : kHostRoundingModes) {
+    for (int i = 0; i < kRandomPairs / 4; ++i) {
+      const auto a = random_bits<F>();
+      const auto b = random_bits<F>();
+      Flags fl;
+      const auto got = fp::add(a, b, rm, fl);
+      const auto want =
+          host_ref_binop(a, b, rm, [](double x, double y) { return x + y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a.bits << " b=0x" << b.bits
+          << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TYPED_TEST(Fixture16, MulRandomAllModes) {
+  using F = TypeParam;
+  for (RoundingMode rm : kHostRoundingModes) {
+    for (int i = 0; i < kRandomPairs / 4; ++i) {
+      const auto a = random_bits<F>();
+      const auto b = random_bits<F>();
+      Flags fl;
+      const auto got = fp::mul(a, b, rm, fl);
+      const auto want =
+          host_ref_binop(a, b, rm, [](double x, double y) { return x * y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a.bits << " b=0x" << b.bits
+          << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TYPED_TEST(Fixture16, DivRandomAllModes) {
+  using F = TypeParam;
+  for (RoundingMode rm : kHostRoundingModes) {
+    for (int i = 0; i < kRandomPairs / 4; ++i) {
+      const auto a = random_bits<F>();
+      const auto b = random_bits<F>();
+      Flags fl;
+      const auto got = fp::div(a, b, rm, fl);
+      const auto want =
+          host_ref_binop(a, b, rm, [](double x, double y) { return x / y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a.bits << " b=0x" << b.bits
+          << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TYPED_TEST(Fixture16, SqrtExhaustive) {
+  using F = TypeParam;
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const auto fa = Float<F>::from_bits(a);
+    Flags fl;
+    const auto got = fp::sqrt(fa, RoundingMode::RNE, fl);
+    Flags fl2;
+    const auto want =
+        fp::from_double<F>(std::sqrt(fp::to_double(fa)), RoundingMode::RNE, fl2);
+    ASSERT_TRUE(same_value(got, want)) << "a=0x" << std::hex << a;
+  }
+}
+
+TYPED_TEST(Fixture16, FmaRandom) {
+  using F = TypeParam;
+  // The double fma result is correctly rounded to 53 bits, but narrowing it
+  // can double-round when the true value sits just past a target tie point
+  // with the deviation below double precision (possible because the addend
+  // exponent can be hundreds of binades below the product). The reference is
+  // therefore only trusted when the narrowing is stable under a 1-ulp
+  // perturbation of the double result, which brackets the true value.
+  int checked = 0;
+  for (int i = 0; i < kRandomPairs; ++i) {
+    const auto a = random_bits<F>();
+    const auto b = random_bits<F>();
+    const auto c = random_bits<F>();
+    Flags fl;
+    const auto got = fp::fma(a, b, c, RoundingMode::RNE, fl);
+    const double r =
+        std::fma(fp::to_double(a), fp::to_double(b), fp::to_double(c));
+    Flags fl2;
+    const auto want = fp::from_double<F>(r, RoundingMode::RNE, fl2);
+    const auto wlo = fp::from_double<F>(
+        std::nextafter(r, -std::numeric_limits<double>::infinity()),
+        RoundingMode::RNE, fl2);
+    const auto whi = fp::from_double<F>(
+        std::nextafter(r, std::numeric_limits<double>::infinity()),
+        RoundingMode::RNE, fl2);
+    if (!same_value(want, wlo) || !same_value(want, whi)) continue;
+    ++checked;
+    ASSERT_TRUE(same_value(got, want))
+        << "a=0x" << std::hex << a.bits << " b=0x" << b.bits << " c=0x" << c.bits;
+  }
+  EXPECT_GT(checked, kRandomPairs / 2) << "guard must not reject most samples";
+}
+
+TYPED_TEST(Fixture16, ConvertToF8Exhaustive) {
+  using F = TypeParam;
+  for (RoundingMode rm : kHostRoundingModes) {
+    for (unsigned a = 0; a < 0x10000; ++a) {
+      const auto fa = Float<F>::from_bits(a);
+      Flags fl;
+      const auto got = fp::convert<Binary8>(fa, rm, fl);
+      Flags fl2;
+      const auto want = fp::from_double<Binary8>(fp::to_double(fa), rm, fl2);
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TYPED_TEST(Fixture16, WidenToF32IsExact) {
+  using F = TypeParam;
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const auto fa = Float<F>::from_bits(a);
+    Flags fl;
+    const auto wide = fp::convert<Binary32>(fa, RoundingMode::RNE, fl);
+    if (!fa.is_nan()) {
+      ASSERT_EQ(fl.bits, 0u) << "widening must be exact, a=0x" << std::hex << a;
+      const auto back = fp::convert<F>(wide, RoundingMode::RNE, fl);
+      ASSERT_TRUE(same_value(fa, back)) << "a=0x" << std::hex << a;
+    }
+  }
+}
+
+TEST(F16AltVsF16, DynamicRangeDifference) {
+  // binary16alt trades precision for range: 65504 is the binary16 max, while
+  // binary16alt reaches ~3.4e38 but cannot represent 2049 exactly.
+  Flags fl;
+  const auto big16 = fp::from_double<Binary16>(1.0e10, RoundingMode::RNE, fl);
+  EXPECT_TRUE(big16.is_inf()) << "1e10 overflows binary16";
+  fl.clear();
+  const auto bigalt = fp::from_double<Binary16Alt>(1.0e10, RoundingMode::RNE, fl);
+  EXPECT_TRUE(bigalt.is_finite()) << "1e10 fits binary16alt";
+
+  fl.clear();
+  const auto p16 = fp::from_double<Binary16>(2049.0, RoundingMode::RNE, fl);
+  EXPECT_NE(fp::to_double(p16), 2049.0) << "2049 not exact in binary16 (11-bit)";
+  fl.clear();
+  const auto p16b = fp::from_double<Binary16>(1025.0, RoundingMode::RNE, fl);
+  EXPECT_EQ(fp::to_double(p16b), 1025.0) << "1025 exact in binary16";
+  fl.clear();
+  const auto palt = fp::from_double<Binary16Alt>(129.0, RoundingMode::RNE, fl);
+  EXPECT_EQ(fp::to_double(palt), 129.0) << "129 exact in binary16alt (8-bit)";
+  fl.clear();
+  const auto palt2 = fp::from_double<Binary16Alt>(257.0, RoundingMode::RNE, fl);
+  EXPECT_NE(fp::to_double(palt2), 257.0) << "257 not exact in binary16alt";
+}
+
+}  // namespace
+}  // namespace sfrv::test

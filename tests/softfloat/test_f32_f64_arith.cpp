@@ -1,0 +1,130 @@
+// binary32/binary64 arithmetic against the host FPU, which is itself
+// IEEE-correct for these formats: a direct one-rounding reference.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::F32;
+using fp::F64;
+
+/// Fenced accessors keep the host FP ops inside the HostRounding guard (see
+/// fence_fp in test_util.hpp).
+float host_f32(F32 v) {
+  return static_cast<float>(fence_fp(std::bit_cast<float>(v.bits)));
+}
+F32 to_f32(float v) {
+  return F32{std::bit_cast<std::uint32_t>(static_cast<float>(fence_fp(v)))};
+}
+double host_f64(F64 v) { return fence_fp(std::bit_cast<double>(v.bits)); }
+F64 to_f64(double v) { return F64{std::bit_cast<std::uint64_t>(fence_fp(v))}; }
+
+constexpr int kPairs = 200'000;
+
+TEST(F32Arith, AddSubMulDivVsHost) {
+  for (RoundingMode rm : kHostRoundingModes) {
+    HostRounding guard(rm);
+    for (int i = 0; i < kPairs / 4; ++i) {
+      const auto a = random_bits<Binary32>();
+      const auto b = random_bits<Binary32>();
+      const float fa = host_f32(a);
+      const float fb = host_f32(b);
+      Flags fl;
+      ASSERT_TRUE(same_value(fp::add(a, b, rm, fl), to_f32(fa + fb)))
+          << std::hex << a.bits << "+" << b.bits;
+      ASSERT_TRUE(same_value(fp::sub(a, b, rm, fl), to_f32(fa - fb)))
+          << std::hex << a.bits << "-" << b.bits;
+      ASSERT_TRUE(same_value(fp::mul(a, b, rm, fl), to_f32(fa * fb)))
+          << std::hex << a.bits << "*" << b.bits;
+      ASSERT_TRUE(same_value(fp::div(a, b, rm, fl), to_f32(fa / fb)))
+          << std::hex << a.bits << "/" << b.bits;
+    }
+  }
+}
+
+TEST(F32Arith, FmaVsHostFmaf) {
+  for (int i = 0; i < kPairs; ++i) {
+    const auto a = random_bits<Binary32>();
+    const auto b = random_bits<Binary32>();
+    const auto c = random_bits<Binary32>();
+    Flags fl;
+    const auto got = fp::fma(a, b, c, RoundingMode::RNE, fl);
+    const auto want = to_f32(std::fmaf(host_f32(a), host_f32(b), host_f32(c)));
+    ASSERT_TRUE(same_value(got, want))
+        << std::hex << a.bits << " " << b.bits << " " << c.bits;
+  }
+}
+
+TEST(F32Arith, SqrtVsHost) {
+  for (int i = 0; i < kPairs; ++i) {
+    const auto a = random_bits<Binary32>();
+    Flags fl;
+    const auto got = fp::sqrt(a, RoundingMode::RNE, fl);
+    const auto want = to_f32(std::sqrt(host_f32(a)));
+    ASSERT_TRUE(same_value(got, want)) << std::hex << a.bits;
+  }
+}
+
+TEST(F64Arith, AddMulDivVsHost) {
+  for (RoundingMode rm : kHostRoundingModes) {
+    HostRounding guard(rm);
+    for (int i = 0; i < kPairs / 4; ++i) {
+      const auto a = random_bits<Binary64>();
+      const auto b = random_bits<Binary64>();
+      const double fa = host_f64(a);
+      const double fb = host_f64(b);
+      Flags fl;
+      ASSERT_TRUE(same_value(fp::add(a, b, rm, fl), to_f64(fa + fb)))
+          << std::hex << a.bits << "+" << b.bits;
+      ASSERT_TRUE(same_value(fp::mul(a, b, rm, fl), to_f64(fa * fb)))
+          << std::hex << a.bits << "*" << b.bits;
+      ASSERT_TRUE(same_value(fp::div(a, b, rm, fl), to_f64(fa / fb)))
+          << std::hex << a.bits << "/" << b.bits;
+    }
+  }
+}
+
+TEST(F64Arith, FmaVsHost) {
+  for (int i = 0; i < kPairs; ++i) {
+    const auto a = random_bits<Binary64>();
+    const auto b = random_bits<Binary64>();
+    const auto c = random_bits<Binary64>();
+    Flags fl;
+    const auto got = fp::fma(a, b, c, RoundingMode::RNE, fl);
+    const auto want = to_f64(std::fma(host_f64(a), host_f64(b), host_f64(c)));
+    ASSERT_TRUE(same_value(got, want))
+        << std::hex << a.bits << " " << b.bits << " " << c.bits;
+  }
+}
+
+TEST(F64Arith, SqrtVsHost) {
+  for (int i = 0; i < kPairs; ++i) {
+    const auto a = random_bits<Binary64>();
+    Flags fl;
+    const auto got = fp::sqrt(a, RoundingMode::RNE, fl);
+    const auto want = to_f64(std::sqrt(host_f64(a)));
+    ASSERT_TRUE(same_value(got, want)) << std::hex << a.bits;
+  }
+}
+
+TEST(F32Convert, NarrowF64ToF32VsHost) {
+  for (RoundingMode rm : kHostRoundingModes) {
+    HostRounding guard(rm);
+    for (int i = 0; i < kPairs / 4; ++i) {
+      const auto a = random_bits<Binary64>();
+      Flags fl;
+      const auto got = fp::convert<Binary32>(a, rm, fl);
+      const auto want = to_f32(static_cast<float>(host_f64(a)));
+      ASSERT_TRUE(same_value(got, want)) << std::hex << a.bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::test

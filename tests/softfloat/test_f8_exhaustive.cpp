@@ -1,0 +1,167 @@
+// Exhaustive verification of binary8 (1/5/2) arithmetic: every operand pair
+// for add/sub/mul/div under every host-representable rounding mode, plus a
+// full sweep of unary operations. binary8 has only 256 bit patterns, so the
+// whole operation space is checkable against the double-precision reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::F8;
+
+class F8ExhaustiveBinop : public ::testing::TestWithParam<RoundingMode> {};
+
+TEST_P(F8ExhaustiveBinop, Add) {
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      Flags fl;
+      const F8 got = fp::add(fa, fb, rm, fl);
+      const F8 want =
+          host_ref_binop(fa, fb, rm, [](double x, double y) { return x + y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a << " b=0x" << b << " rm="
+          << fp::rounding_mode_name(rm) << " got=0x" << unsigned{got.bits}
+          << " want=0x" << unsigned{want.bits};
+    }
+  }
+}
+
+TEST_P(F8ExhaustiveBinop, Sub) {
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      Flags fl;
+      const F8 got = fp::sub(fa, fb, rm, fl);
+      const F8 want =
+          host_ref_binop(fa, fb, rm, [](double x, double y) { return x - y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a << " b=0x" << b << " rm="
+          << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST_P(F8ExhaustiveBinop, Mul) {
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      Flags fl;
+      const F8 got = fp::mul(fa, fb, rm, fl);
+      const F8 want =
+          host_ref_binop(fa, fb, rm, [](double x, double y) { return x * y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a << " b=0x" << b << " rm="
+          << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST_P(F8ExhaustiveBinop, Div) {
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      Flags fl;
+      const F8 got = fp::div(fa, fb, rm, fl);
+      const F8 want =
+          host_ref_binop(fa, fb, rm, [](double x, double y) { return x / y; });
+      ASSERT_TRUE(same_value(got, want))
+          << "a=0x" << std::hex << a << " b=0x" << b << " rm="
+          << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHostModes, F8ExhaustiveBinop,
+                         ::testing::ValuesIn(kHostRoundingModes),
+                         [](const auto& info) {
+                           return std::string(fp::rounding_mode_name(info.param));
+                         });
+
+TEST(F8Exhaustive, SqrtAllValues) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const F8 fa{static_cast<std::uint8_t>(a)};
+    Flags fl;
+    const F8 got = fp::sqrt(fa, RoundingMode::RNE, fl);
+    Flags fl2;
+    const F8 want = fp::from_double<fp::Binary8>(std::sqrt(fp::to_double(fa)),
+                                                 RoundingMode::RNE, fl2);
+    ASSERT_TRUE(same_value(got, want)) << "a=0x" << std::hex << a;
+  }
+}
+
+TEST(F8Exhaustive, FmaSampledTriples) {
+  // ~2M deterministic triples against the host double fma. The reference is
+  // only trusted where the narrowing is stable under a 1-ulp perturbation of
+  // the double result (the three-operand fma can straddle a binary8 tie
+  // point with a deviation below double precision in rare corners).
+  int checked = 0;
+  for (int i = 0; i < 2'000'000; ++i) {
+    const auto a = F8{static_cast<std::uint8_t>(rng()())};
+    const auto b = F8{static_cast<std::uint8_t>(rng()())};
+    const auto c = F8{static_cast<std::uint8_t>(rng()())};
+    Flags fl;
+    const F8 got = fp::fma(a, b, c, RoundingMode::RNE, fl);
+    const double r =
+        std::fma(fp::to_double(a), fp::to_double(b), fp::to_double(c));
+    Flags fl2;
+    const F8 want = fp::from_double<fp::Binary8>(r, RoundingMode::RNE, fl2);
+    const F8 wlo = fp::from_double<fp::Binary8>(
+        std::nextafter(r, -std::numeric_limits<double>::infinity()),
+        RoundingMode::RNE, fl2);
+    const F8 whi = fp::from_double<fp::Binary8>(
+        std::nextafter(r, std::numeric_limits<double>::infinity()),
+        RoundingMode::RNE, fl2);
+    if (!same_value(want, wlo) || !same_value(want, whi)) continue;
+    ++checked;
+    ASSERT_TRUE(same_value(got, want))
+        << "a=0x" << std::hex << unsigned{a.bits} << " b=0x" << unsigned{b.bits}
+        << " c=0x" << unsigned{c.bits};
+  }
+  EXPECT_GT(checked, 1'500'000);
+}
+
+TEST(F8Exhaustive, WidenNarrowRoundTrip) {
+  // Every binary8 value must survive widening to any larger format and back.
+  for (unsigned a = 0; a < 256; ++a) {
+    const F8 fa{static_cast<std::uint8_t>(a)};
+    Flags fl;
+    const auto f16 = fp::convert<fp::Binary16>(fa, RoundingMode::RNE, fl);
+    const auto back16 = fp::convert<fp::Binary8>(f16, RoundingMode::RNE, fl);
+    ASSERT_TRUE(same_value(fa, back16)) << "via binary16, a=0x" << std::hex << a;
+    const auto f32 = fp::convert<fp::Binary32>(fa, RoundingMode::RNE, fl);
+    const auto back32 = fp::convert<fp::Binary8>(f32, RoundingMode::RNE, fl);
+    ASSERT_TRUE(same_value(fa, back32)) << "via binary32, a=0x" << std::hex << a;
+  }
+}
+
+TEST(F8Exhaustive, CompareMatchesHost) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      const double da = fp::to_double(fa);
+      const double db = fp::to_double(fb);
+      Flags fl;
+      ASSERT_EQ(fp::feq(fa, fb, fl), da == db) << std::hex << a << " " << b;
+      ASSERT_EQ(fp::flt(fa, fb, fl), da < db) << std::hex << a << " " << b;
+      ASSERT_EQ(fp::fle(fa, fb, fl), da <= db) << std::hex << a << " " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::test

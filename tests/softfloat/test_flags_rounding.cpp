@@ -1,0 +1,139 @@
+// Exception-flag semantics (overflow, underflow, inexact, invalid, divide by
+// zero) and rounding-mode behaviour at format boundaries.
+#include <gtest/gtest.h>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+template <class F>
+struct FlagTests : public ::testing::Test {};
+
+using AllFormats =
+    ::testing::Types<Binary8, Binary16, Binary16Alt, Binary32, Binary64>;
+TYPED_TEST_SUITE(FlagTests, AllFormats);
+
+TYPED_TEST(FlagTests, OverflowBehaviourPerRoundingMode) {
+  using F = TypeParam;
+  const auto maxf = Float<F>::max_finite(false);
+  Flags fl;
+  // max * max overflows in every format.
+  const auto r_rne = fp::mul(maxf, maxf, RoundingMode::RNE, fl);
+  EXPECT_TRUE(r_rne.is_inf());
+  EXPECT_TRUE(fl.test(Flags::OF));
+  EXPECT_TRUE(fl.test(Flags::NX));
+
+  // RTZ clamps to max finite instead of infinity.
+  fl.clear();
+  const auto r_rtz = fp::mul(maxf, maxf, RoundingMode::RTZ, fl);
+  EXPECT_EQ(r_rtz.bits, maxf.bits);
+  EXPECT_TRUE(fl.test(Flags::OF));
+
+  // RDN: positive overflow clamps, negative overflow goes to -inf.
+  fl.clear();
+  EXPECT_EQ(fp::mul(maxf, maxf, RoundingMode::RDN, fl).bits, maxf.bits);
+  const auto nmax = Float<F>::max_finite(true);
+  fl.clear();
+  EXPECT_TRUE(fp::mul(maxf, nmax, RoundingMode::RDN, fl).is_inf());
+  // RUP mirrored.
+  fl.clear();
+  EXPECT_TRUE(fp::mul(maxf, maxf, RoundingMode::RUP, fl).is_inf());
+  fl.clear();
+  EXPECT_EQ(fp::mul(maxf, nmax, RoundingMode::RUP, fl).bits, nmax.bits);
+}
+
+TYPED_TEST(FlagTests, UnderflowOnTinyInexactResult) {
+  using F = TypeParam;
+  const auto minsub = Float<F>::min_subnormal(false);
+  const auto half = fp::from_double<F>(0.5);
+  Flags fl;
+  // min_subnormal * 0.5 is tiny and inexact: UF + NX, rounds to zero (RNE).
+  const auto r = fp::mul(minsub, half, RoundingMode::RNE, fl);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(fl.test(Flags::UF));
+  EXPECT_TRUE(fl.test(Flags::NX));
+}
+
+TYPED_TEST(FlagTests, ExactSubnormalResultRaisesNothing) {
+  using F = TypeParam;
+  // min_subnormal + min_subnormal = 2*min_subnormal exactly: no flags.
+  const auto minsub = Float<F>::min_subnormal(false);
+  Flags fl;
+  const auto r = fp::add(minsub, minsub, RoundingMode::RNE, fl);
+  EXPECT_EQ(fl.bits, 0u);
+  EXPECT_EQ(fp::to_double(r), 2.0 * fp::to_double(minsub));
+}
+
+TYPED_TEST(FlagTests, InexactOnRounding) {
+  using F = TypeParam;
+  // 1 + ulp/2 is inexact in every format: 1 + 2^-(man_bits+1).
+  const auto one = Float<F>::one();
+  const auto tiny = fp::from_double<F>(std::ldexp(1.0, -(F::man_bits + 1)));
+  Flags fl;
+  const auto r = fp::add(one, tiny, RoundingMode::RNE, fl);
+  EXPECT_EQ(r.bits, one.bits) << "halfway rounds to even (1.0)";
+  EXPECT_TRUE(fl.test(Flags::NX));
+  EXPECT_FALSE(fl.test(Flags::UF));
+  EXPECT_FALSE(fl.test(Flags::OF));
+}
+
+TYPED_TEST(FlagTests, ExactOperationsRaiseNothing) {
+  using F = TypeParam;
+  Flags fl;
+  const auto two = fp::from_double<F>(2.0);
+  const auto three = fp::from_double<F>(3.0);
+  (void)fp::add(two, three, RoundingMode::RNE, fl);
+  (void)fp::mul(two, three, RoundingMode::RNE, fl);
+  (void)fp::sub(three, two, RoundingMode::RNE, fl);
+  (void)fp::div(three, fp::from_double<F>(1.5), RoundingMode::RNE, fl);
+  EXPECT_EQ(fl.bits, 0u);
+}
+
+TYPED_TEST(FlagTests, TiesToEvenAndToAway) {
+  using F = TypeParam;
+  // 1 + 1.5*ulp: RNE rounds to 1+2ulp (even), RMM rounds away -> 1+2ulp too.
+  // 1 + 0.5*ulp: RNE -> 1.0 (even), RMM -> 1+ulp (away from zero).
+  const double ulp = std::ldexp(1.0, -F::man_bits);
+  const auto a = Float<F>::one();
+  const auto half_ulp = fp::from_double<F>(ulp / 2);
+  Flags fl;
+  const auto rne = fp::add(a, half_ulp, RoundingMode::RNE, fl);
+  EXPECT_EQ(fp::to_double(rne), 1.0);
+  const auto rmm = fp::add(a, half_ulp, RoundingMode::RMM, fl);
+  EXPECT_EQ(fp::to_double(rmm), 1.0 + ulp);
+}
+
+TYPED_TEST(FlagTests, DirectedRoundingBrackets) {
+  using F = TypeParam;
+  // For random inexact sums, RDN result <= exact <= RUP result and
+  // |RTZ| <= |exact|.
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = random_finite<F>();
+    const auto b = random_finite<F>();
+    Flags fl;
+    const auto rdn = fp::add(a, b, RoundingMode::RDN, fl);
+    const auto rup = fp::add(a, b, RoundingMode::RUP, fl);
+    if (rdn.is_nan() || rup.is_nan()) continue;
+    const double exact = fp::to_double(a) + fp::to_double(b);
+    EXPECT_LE(fp::to_double(rdn), exact);
+    EXPECT_GE(fp::to_double(rup), exact);
+  }
+}
+
+TYPED_TEST(FlagTests, SubnormalRoundTripThroughArithmetic) {
+  using F = TypeParam;
+  // Dividing the minimum normal by 2 produces an exact subnormal.
+  const auto minn = Float<F>::min_normal(false);
+  const auto two = fp::from_double<F>(2.0);
+  Flags fl;
+  const auto half_min = fp::div(minn, two, RoundingMode::RNE, fl);
+  EXPECT_EQ(fl.bits, 0u) << "exact halving of min normal";
+  EXPECT_TRUE(half_min.is_subnormal());
+  const auto back = fp::mul(half_min, two, RoundingMode::RNE, fl);
+  EXPECT_EQ(back.bits, minn.bits);
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,152 @@
+// Exhaustive binary8 coverage for the remaining operation families
+// (min/max, sign injection, classification, comparisons under RMM) and
+// f32->f16/f8 conversion sweeps across every rounding mode.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::F8;
+
+TEST(F8ExhaustiveMinMax, MatchesIeeeMinNumMaxNum) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      Flags fl;
+      const F8 lo = fp::fmin(fa, fb, fl);
+      const F8 hi = fp::fmax(fa, fb, fl);
+      if (fa.is_nan() && fb.is_nan()) {
+        EXPECT_TRUE(lo.is_quiet_nan());
+        EXPECT_TRUE(hi.is_quiet_nan());
+        continue;
+      }
+      if (fa.is_nan()) {
+        EXPECT_EQ(lo.bits, fb.bits);
+        EXPECT_EQ(hi.bits, fb.bits);
+        continue;
+      }
+      if (fb.is_nan()) {
+        EXPECT_EQ(lo.bits, fa.bits);
+        EXPECT_EQ(hi.bits, fa.bits);
+        continue;
+      }
+      const double da = fp::to_double(fa);
+      const double db = fp::to_double(fb);
+      EXPECT_EQ(fp::to_double(lo), std::fmin(da, db)) << std::hex << a << "," << b;
+      EXPECT_EQ(fp::to_double(hi), std::fmax(da, db)) << std::hex << a << "," << b;
+    }
+  }
+}
+
+TEST(F8ExhaustiveSgnj, PureBitSemantics) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const F8 fa{static_cast<std::uint8_t>(a)};
+      const F8 fb{static_cast<std::uint8_t>(b)};
+      EXPECT_EQ(fp::copy_sign(fa, fb).bits, (a & 0x7f) | (b & 0x80));
+      EXPECT_EQ(fp::copy_sign_neg(fa, fb).bits, (a & 0x7f) | (~b & 0x80));
+      EXPECT_EQ(fp::copy_sign_xor(fa, fb).bits, a ^ (b & 0x80));
+    }
+  }
+}
+
+TEST(F8ExhaustiveClassify, ExactlyOneClassBit) {
+  int counts[10] = {};
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto mask = fp::classify(F8{static_cast<std::uint8_t>(a)});
+    EXPECT_EQ(std::popcount(static_cast<unsigned>(mask)), 1) << std::hex << a;
+    for (int b = 0; b < 10; ++b) {
+      if (mask & (1u << b)) ++counts[b];
+    }
+  }
+  // binary8 (1/5/2) population: 1 of each inf/zero per sign, 3 subnormals
+  // per sign, 2^7-... normals, 2 sNaN payloads and 4-2 qNaN? Verify totals:
+  EXPECT_EQ(counts[0], 1);   // -inf
+  EXPECT_EQ(counts[3], 1);   // -0
+  EXPECT_EQ(counts[4], 1);   // +0
+  EXPECT_EQ(counts[7], 1);   // +inf
+  EXPECT_EQ(counts[2], 3);   // -subnormal
+  EXPECT_EQ(counts[5], 3);   // +subnormal
+  EXPECT_EQ(counts[8], 2);   // signaling NaN (payload 01, both signs)
+  EXPECT_EQ(counts[9], 4);   // quiet NaN (1x payloads, both signs)
+  EXPECT_EQ(counts[1], 120); // -normal
+  EXPECT_EQ(counts[6], 120); // +normal
+}
+
+TEST(ConvertSweep, F32ToF16AllModesSampled) {
+  // Dense sweep over the binary32 space (stride through exponents) checking
+  // correctly rounded narrowing in every mode, including RMM via tie logic.
+  for (RoundingMode rm : kAllRoundingModes) {
+    for (std::uint64_t base = 0; base < 0x1'0000'0000ull; base += 0x000f'377f) {
+      const auto x = fp::F32::from_bits(static_cast<std::uint32_t>(base));
+      Flags fl;
+      const auto got = fp::convert<Binary16>(x, rm, fl);
+      Flags fl2;
+      const auto want = fp::from_double<Binary16>(fp::to_double(x), rm, fl2);
+      ASSERT_TRUE(same_value(got, want))
+          << std::hex << base << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST(ConvertSweep, RmmTiesAwayFromZero) {
+  // Directed RMM ties: value exactly between two f16 neighbours.
+  Flags fl;
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10.
+  const double tie = 1.0 + std::ldexp(1.0, -11);
+  const auto up = fp::from_double<Binary16>(tie, RoundingMode::RMM, fl);
+  EXPECT_EQ(fp::to_double(up), 1.0 + std::ldexp(1.0, -10));
+  const auto dn = fp::from_double<Binary16>(-tie, RoundingMode::RMM, fl);
+  EXPECT_EQ(fp::to_double(dn), -(1.0 + std::ldexp(1.0, -10)));
+  // RNE goes to even (1.0) instead.
+  const auto even = fp::from_double<Binary16>(tie, RoundingMode::RNE, fl);
+  EXPECT_EQ(fp::to_double(even), 1.0);
+}
+
+TEST(ConvertSweep, SubnormalBoundaryF16) {
+  // Values straddling the f16 subnormal threshold convert correctly.
+  const double min_normal = std::ldexp(1.0, -14);
+  const double min_sub = std::ldexp(1.0, -24);
+  Flags fl;
+  EXPECT_EQ(fp::to_double(fp::from_double<Binary16>(min_normal, RoundingMode::RNE, fl)),
+            min_normal);
+  EXPECT_EQ(fp::to_double(fp::from_double<Binary16>(min_sub, RoundingMode::RNE, fl)),
+            min_sub);
+  fl.clear();
+  // Half the smallest subnormal rounds to zero (RNE) with UF+NX.
+  const auto z = fp::from_double<Binary16>(min_sub / 2, RoundingMode::RNE, fl);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(fl.test(Flags::UF));
+  EXPECT_TRUE(fl.test(Flags::NX));
+  // But RUP rounds it up to the smallest subnormal.
+  fl.clear();
+  const auto s = fp::from_double<Binary16>(min_sub / 2, RoundingMode::RUP, fl);
+  EXPECT_EQ(fp::to_double(s), min_sub);
+}
+
+TEST(ConvertSweep, OverflowBoundaryF8) {
+  // binary8 max finite = 57344; the next representable step is 8192 wide.
+  Flags fl;
+  EXPECT_EQ(fp::to_double(fp::from_double<Binary8>(57344.0, RoundingMode::RNE, fl)),
+            57344.0);
+  EXPECT_EQ(fl.bits, 0u);
+  // Halfway to the (absent) next value rounds to infinity under RNE.
+  fl.clear();
+  const auto inf = fp::from_double<Binary8>(61440.0, RoundingMode::RNE, fl);
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_TRUE(fl.test(Flags::OF));
+  // RTZ clamps to max finite.
+  fl.clear();
+  const auto clamp = fp::from_double<Binary8>(1e6, RoundingMode::RTZ, fl);
+  EXPECT_EQ(fp::to_double(clamp), 57344.0);
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,195 @@
+// Property-based tests on arithmetic invariants, parameterized over formats
+// and rounding modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+template <class F>
+struct Properties : public ::testing::Test {};
+
+using AllFormats =
+    ::testing::Types<Binary8, Binary16, Binary16Alt, Binary32, Binary64>;
+TYPED_TEST_SUITE(Properties, AllFormats);
+
+constexpr int kSamples = 20'000;
+
+TYPED_TEST(Properties, AddCommutes) {
+  using F = TypeParam;
+  for (RoundingMode rm : kAllRoundingModes) {
+    for (int i = 0; i < kSamples / 5; ++i) {
+      const auto a = random_bits<F>();
+      const auto b = random_bits<F>();
+      Flags f1, f2;
+      ASSERT_TRUE(same_value(fp::add(a, b, rm, f1), fp::add(b, a, rm, f2)));
+      ASSERT_EQ(f1.bits, f2.bits);
+    }
+  }
+}
+
+TYPED_TEST(Properties, MulCommutes) {
+  using F = TypeParam;
+  for (RoundingMode rm : kAllRoundingModes) {
+    for (int i = 0; i < kSamples / 5; ++i) {
+      const auto a = random_bits<F>();
+      const auto b = random_bits<F>();
+      Flags f1, f2;
+      ASSERT_TRUE(same_value(fp::mul(a, b, rm, f1), fp::mul(b, a, rm, f2)));
+      ASSERT_EQ(f1.bits, f2.bits);
+    }
+  }
+}
+
+TYPED_TEST(Properties, AdditiveIdentity) {
+  using F = TypeParam;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_finite<F>();
+    Flags fl;
+    const auto r = fp::add(a, Float<F>::zero(false), RoundingMode::RNE, fl);
+    if (a.is_zero()) continue;  // signed-zero rules handled elsewhere
+    ASSERT_EQ(r.bits, a.bits);
+    ASSERT_EQ(fl.bits, 0u);
+  }
+}
+
+TYPED_TEST(Properties, MultiplicativeIdentity) {
+  using F = TypeParam;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_finite<F>();
+    Flags fl;
+    const auto r = fp::mul(a, Float<F>::one(false), RoundingMode::RNE, fl);
+    ASSERT_EQ(r.bits, a.bits);
+    ASSERT_EQ(fl.bits, 0u);
+  }
+}
+
+TYPED_TEST(Properties, NegationSymmetryRoundToNearest) {
+  using F = TypeParam;
+  // RNE and RMM are sign-symmetric: -(a+b) == (-a)+(-b).
+  for (RoundingMode rm : {RoundingMode::RNE, RoundingMode::RMM}) {
+    for (int i = 0; i < kSamples / 2; ++i) {
+      const auto a = random_finite<F>();
+      const auto b = random_finite<F>();
+      Flags f1, f2;
+      const auto lhs = fp::negate(fp::add(a, b, rm, f1));
+      const auto rhs = fp::add(fp::negate(a), fp::negate(b), rm, f2);
+      if (lhs.is_nan()) continue;
+      if (lhs.is_zero() && rhs.is_zero()) continue;  // zero signs differ by rule
+      ASSERT_EQ(lhs.bits, rhs.bits);
+    }
+  }
+}
+
+TYPED_TEST(Properties, DirectedModesAreDuals) {
+  using F = TypeParam;
+  // RDN(a+b) == -RUP((-a)+(-b)).
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_finite<F>();
+    const auto b = random_finite<F>();
+    Flags f1, f2;
+    const auto down = fp::add(a, b, RoundingMode::RDN, f1);
+    const auto up =
+        fp::negate(fp::add(fp::negate(a), fp::negate(b), RoundingMode::RUP, f2));
+    if (down.is_nan()) continue;
+    ASSERT_EQ(down.bits, up.bits);
+    ASSERT_EQ(f1.bits, f2.bits);
+  }
+}
+
+TYPED_TEST(Properties, SubIsAddOfNegation) {
+  using F = TypeParam;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_bits<F>();
+    const auto b = random_bits<F>();
+    Flags f1, f2;
+    ASSERT_TRUE(same_value(fp::sub(a, b, RoundingMode::RNE, f1),
+                           fp::add(a, fp::negate(b), RoundingMode::RNE, f2)));
+  }
+}
+
+TYPED_TEST(Properties, SqrtSquareWithinOneUlp) {
+  using F = TypeParam;
+  // sqrt(x)^2 stays within 1 relative step of x for normal positive x
+  // (two correctly rounded ops compose to < 1 ulp of drift at this scale).
+  for (int i = 0; i < kSamples; ++i) {
+    auto x = fp::abs(random_finite<F>());
+    if (!x.is_normal()) continue;
+    Flags fl;
+    const auto s = fp::sqrt(x, RoundingMode::RNE, fl);
+    const auto sq = fp::mul(s, s, RoundingMode::RNE, fl);
+    if (!sq.is_finite() || sq.is_zero()) continue;
+    const double rel =
+        std::abs(fp::to_double(sq) / fp::to_double(x) - 1.0);
+    ASSERT_LE(rel, std::ldexp(1.0, -F::man_bits + 1));
+  }
+}
+
+TYPED_TEST(Properties, FmaMatchesMulAddWhenExact) {
+  using F = TypeParam;
+  // With c = 0, fma(a, b, 0) equals mul(a, b) in every rounding mode.
+  for (RoundingMode rm : kAllRoundingModes) {
+    for (int i = 0; i < kSamples / 5; ++i) {
+      const auto a = random_finite<F>();
+      const auto b = random_finite<F>();
+      Flags f1, f2;
+      const auto via_fma = fp::fma(a, b, Float<F>::zero(false), rm, f1);
+      const auto via_mul = fp::mul(a, b, rm, f2);
+      if (via_mul.is_zero()) continue;  // +-0 + +0 sign rule differs from mul
+      ASSERT_TRUE(same_value(via_fma, via_mul))
+          << std::hex << static_cast<std::uint64_t>(a.bits) << " "
+          << static_cast<std::uint64_t>(b.bits)
+          << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TYPED_TEST(Properties, ConversionMonotonic) {
+  using F = TypeParam;
+  // Narrowing from binary64 preserves order (weakly).
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_finite<Binary64>();
+    const auto b = random_finite<Binary64>();
+    const double da = fp::to_double(a);
+    const double db = fp::to_double(b);
+    Flags fl;
+    const auto ca = fp::convert<F>(a, RoundingMode::RNE, fl);
+    const auto cb = fp::convert<F>(b, RoundingMode::RNE, fl);
+    if (da <= db) {
+      ASSERT_LE(fp::to_double(ca), fp::to_double(cb));
+    } else {
+      ASSERT_GE(fp::to_double(ca), fp::to_double(cb));
+    }
+  }
+}
+
+TYPED_TEST(Properties, QuantizationIdempotent) {
+  using F = TypeParam;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_finite<F>();
+    const double once = fp::quantize<F>(fp::to_double(a));
+    const double twice = fp::quantize<F>(once);
+    ASSERT_EQ(once, twice);
+  }
+}
+
+TYPED_TEST(Properties, MinMaxOrdering) {
+  using F = TypeParam;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto a = random_finite<F>();
+    const auto b = random_finite<F>();
+    Flags fl;
+    const auto lo = fp::fmin(a, b, fl);
+    const auto hi = fp::fmax(a, b, fl);
+    ASSERT_LE(fp::to_double(lo), fp::to_double(hi));
+    ASSERT_TRUE(same_value(lo, a) || same_value(lo, b));
+    ASSERT_TRUE(same_value(hi, a) || same_value(hi, b));
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,101 @@
+// The Scalar<> emulation types: the host-side analogue of the paper's
+// float8/float16/float16alt C keywords.
+#include <gtest/gtest.h>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::float16;
+using fp::float16alt;
+using fp::float32;
+using fp::float8;
+
+TEST(ScalarEmulation, BasicArithmetic) {
+  const float16 a = 1.5;
+  const float16 b = 2.25;
+  EXPECT_EQ((a + b).to_double(), 3.75);
+  EXPECT_EQ((a * b).to_double(), 3.375);
+  EXPECT_EQ((b - a).to_double(), 0.75);
+  EXPECT_EQ((b / a).to_double(), 1.5);
+}
+
+TEST(ScalarEmulation, PrecisionLossMatchesFormat) {
+  // 1/3 in binary16 vs binary16alt vs binary8: error grows as mantissa
+  // shrinks.
+  const double third16 = (float16{1.0} / float16{3.0}).to_double();
+  const double third16a = (float16alt{1.0} / float16alt{3.0}).to_double();
+  const double third8 = (float8{1.0} / float8{3.0}).to_double();
+  const double exact = 1.0 / 3.0;
+  EXPECT_LT(std::abs(third16 - exact), 1e-3);
+  EXPECT_LT(std::abs(third16a - exact), 3e-3);
+  EXPECT_GT(std::abs(third16a - exact), std::abs(third16 - exact));
+  EXPECT_GT(std::abs(third8 - exact), std::abs(third16a - exact));
+}
+
+TEST(ScalarEmulation, EnvironmentFlagsAccumulate) {
+  auto& env = fp::fp_env();
+  env.flags.clear();
+  const float8 big = 50000.0;
+  const float8 r = big * big;  // overflows binary8
+  EXPECT_TRUE(r.raw().is_inf());
+  EXPECT_TRUE(env.flags.test(Flags::OF));
+  env.flags.clear();
+}
+
+TEST(ScalarEmulation, EnvironmentRoundingMode) {
+  auto& env = fp::fp_env();
+  env.rm = RoundingMode::RTZ;
+  const float16 a = 1.0;
+  const float16 ulp_half = std::ldexp(1.0, -11);
+  const float16 r = a + ulp_half;
+  EXPECT_EQ(r.to_double(), 1.0) << "RTZ truncates";
+  env.rm = RoundingMode::RUP;
+  const float16 r2 = a + ulp_half;
+  EXPECT_GT(r2.to_double(), 1.0) << "RUP rounds up";
+  env.rm = RoundingMode::RNE;
+}
+
+TEST(ScalarEmulation, CrossFormatConversion) {
+  const float32 x = 3.14159265;
+  const auto h = x.to<Binary16>();
+  const auto b = x.to<Binary16Alt>();
+  const auto q = x.to<Binary8>();
+  EXPECT_NEAR(h.to_double(), 3.14159265, 2e-3);
+  EXPECT_NEAR(b.to_double(), 3.14159265, 2e-2);
+  EXPECT_NEAR(q.to_double(), 3.14159265, 5e-1);
+}
+
+TEST(ScalarEmulation, FmaAccumulate) {
+  float32 acc = 1.0;
+  acc.fma_accumulate(float32{2.0}, float32{3.0});
+  EXPECT_EQ(acc.to_double(), 7.0);
+}
+
+TEST(ScalarEmulation, DotProductExpandingVsNative) {
+  // The Xfaux motivation: accumulating binary16 products into a binary32
+  // accumulator is more accurate than accumulating in binary16.
+  fp::fp_env().rm = RoundingMode::RNE;
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 256; ++i) {
+    xs.push_back(0.01 * (i % 17) - 0.05);
+    ys.push_back(0.02 * (i % 13) - 0.1);
+  }
+  double exact = 0;
+  float16 acc16{0.0};
+  float32 acc32{0.0};
+  for (int i = 0; i < 256; ++i) {
+    exact += xs[i] * ys[i];
+    const float16 a = xs[i];
+    const float16 b = ys[i];
+    acc16 += a * b;
+    // fmacex.s.h-style: widen operands, fused accumulate in binary32.
+    acc32.fma_accumulate(a.to<Binary32>(), b.to<Binary32>());
+  }
+  EXPECT_LT(std::abs(acc32.to_double() - exact), std::abs(acc16.to_double() - exact));
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,116 @@
+// Shared helpers for the test suite: deterministic random bit generators and
+// host-reference floating-point operations with directed rounding.
+//
+// Reference correctness argument: every smallFloat format has precision
+// p <= 24 and double has 53 >= 2p + 2 significant bits, so computing the
+// operation exactly (or correctly rounded) in double and then narrowing with
+// the library's own converter yields the correctly rounded result in the
+// target format (Figueroa's "double rounding is innocuous" bound). The
+// converter itself is validated independently by exhaustive widening /
+// narrowing tests.
+#pragma once
+
+#include <cfenv>
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "softfloat/softfloat.hpp"
+
+namespace sfrv::test {
+
+using fp::Binary16;
+using fp::Binary16Alt;
+using fp::Binary32;
+using fp::Binary64;
+using fp::Binary8;
+using fp::Flags;
+using fp::Float;
+using fp::FpFormat;
+using fp::RoundingMode;
+
+/// Deterministic generator for reproducible tests.
+inline std::mt19937_64& rng() {
+  static std::mt19937_64 gen(0xC0FFEE123456789ull);
+  return gen;
+}
+
+template <class F>
+Float<F> random_bits() {
+  return Float<F>::from_bits(rng()());
+}
+
+/// Random finite value with uniformly random fields (covers subnormals,
+/// zeros and the whole exponent range).
+template <class F>
+Float<F> random_finite() {
+  for (;;) {
+    auto f = random_bits<F>();
+    if (f.is_finite()) return f;
+  }
+}
+
+/// RAII host rounding-direction guard for fesetround-based references.
+class HostRounding {
+ public:
+  explicit HostRounding(RoundingMode rm) : saved_(fegetround()) {
+    switch (rm) {
+      case RoundingMode::RNE: fesetround(FE_TONEAREST); break;
+      case RoundingMode::RTZ: fesetround(FE_TOWARDZERO); break;
+      case RoundingMode::RDN: fesetround(FE_DOWNWARD); break;
+      case RoundingMode::RUP: fesetround(FE_UPWARD); break;
+      case RoundingMode::RMM: fesetround(FE_TONEAREST); break;  // no host RMM
+    }
+  }
+  ~HostRounding() { fesetround(saved_); }
+  HostRounding(const HostRounding&) = delete;
+  HostRounding& operator=(const HostRounding&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Optimization fence: forces `v` through an opaque register so the compiler
+/// can neither constant-fold the surrounding FP operation nor schedule it
+/// across fesetround calls (GCC's -frounding-math does not model fesetround
+/// as a barrier).
+inline double fence_fp(double v) {
+#if defined(__x86_64__)
+  asm volatile("" : "+x"(v));
+#else
+  volatile double tmp = v;
+  v = tmp;
+#endif
+  return v;
+}
+
+/// Host-double reference for a binary operation, narrowed through the
+/// library converter. Valid for formats with precision <= 24 (see header
+/// comment); RMM is excluded (no host equivalent).
+template <class F, class Op>
+Float<F> host_ref_binop(Float<F> a, Float<F> b, RoundingMode rm, Op op) {
+  double r;
+  {
+    HostRounding guard(rm);
+    r = fence_fp(op(fence_fp(fp::to_double(a)), fence_fp(fp::to_double(b))));
+  }
+  Flags fl;
+  return fp::from_double<F>(r, rm, fl);
+}
+
+inline const RoundingMode kAllRoundingModes[] = {
+    RoundingMode::RNE, RoundingMode::RTZ, RoundingMode::RDN,
+    RoundingMode::RUP, RoundingMode::RMM};
+
+inline const RoundingMode kHostRoundingModes[] = {
+    RoundingMode::RNE, RoundingMode::RTZ, RoundingMode::RDN, RoundingMode::RUP};
+
+/// NaN-aware bit equality: all NaNs produced by the library are canonical,
+/// so compare bit patterns but let any-NaN==any-NaN for host references.
+template <class F>
+bool same_value(Float<F> x, Float<F> y) {
+  if (x.is_nan() && y.is_nan()) return true;
+  return x.bits == y.bits;
+}
+
+}  // namespace sfrv::test
