@@ -1,0 +1,171 @@
+// Simulator dispatch bench: instruction throughput (MIPS) of the predecoded
+// micro-op engine vs. the retained reference interpreter on three loop
+// shapes -- integer-only ALU, scalar binary32 FP, and packed-SIMD f8/f16.
+// Writes BENCH_dispatch.json (path overridable via argv[1]) so the speedup
+// from the dispatch refactor lands in the bench trajectory.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asmb/assembler.hpp"
+#include "sim/core.hpp"
+
+namespace {
+
+using sfrv::asmb::Assembler;
+using sfrv::isa::Op;
+using sfrv::sim::Core;
+namespace reg = sfrv::asmb::reg;
+
+struct Workload {
+  std::string name;
+  sfrv::asmb::Program prog;
+};
+
+constexpr int kIters = 400'000;
+
+/// Wrap `body` in a kIters countdown loop (t0 is the counter).
+sfrv::asmb::Program make_loop(const std::function<void(Assembler&)>& body) {
+  Assembler a;
+  a.li(reg::t0, kIters);
+  const auto loop = a.here();
+  body(a);
+  a.addi(reg::t0, reg::t0, -1);
+  a.bne(reg::t0, reg::zero, loop);
+  a.ebreak();
+  return a.finish();
+}
+
+Workload int_alu_loop() {
+  return {"int_alu", make_loop([](Assembler& a) {
+            a.add(reg::a0, reg::a1, reg::a2);
+            a.emit({.op = Op::XOR, .rd = reg::a3, .rs1 = reg::a0, .rs2 = reg::a1});
+            a.slli(reg::a4, reg::a0, 3);
+            a.sub(reg::a5, reg::a4, reg::a2);
+            a.emit({.op = Op::AND, .rd = reg::a6, .rs1 = reg::a5, .rs2 = reg::a3});
+            a.emit({.op = Op::OR, .rd = reg::a7, .rs1 = reg::a6, .rs2 = reg::a0});
+            a.emit({.op = Op::SLT, .rd = reg::t1, .rs1 = reg::a5, .rs2 = reg::a7});
+            a.srli(reg::t2, reg::a7, 5);
+            a.addi(reg::t3, reg::t2, 17);
+            a.add(reg::t4, reg::t3, reg::t1);
+            a.emit({.op = Op::SLTU, .rd = reg::t5, .rs1 = reg::t4, .rs2 = reg::a0});
+            a.sub(reg::t6, reg::t4, reg::t5);
+          })};
+}
+
+Workload scalar_fp_loop() {
+  return {"scalar_fp", make_loop([](Assembler& a) {
+            a.fp_rrr(Op::FADD_S, reg::fa0, reg::fa1, reg::fa2);
+            a.fp_rrr(Op::FMUL_S, reg::fa3, reg::fa1, reg::fa2);
+            a.fp_rrr(Op::FSUB_S, reg::fa4, reg::fa3, reg::fa0);
+            a.fp_rrr(Op::FMIN_S, reg::fa5, reg::fa0, reg::fa3);
+            a.fp_rrr(Op::FMAX_S, reg::fa6, reg::fa0, reg::fa3);
+            a.fp_rrr(Op::FSGNJX_S, reg::fa7, reg::fa4, reg::fa5);
+            a.fp_r4(Op::FMADD_S, reg::ft0, reg::fa1, reg::fa2, reg::fa3);
+            a.fp_rrr(Op::FADD_S, reg::ft1, reg::fa6, reg::fa7);
+            a.fp_rrr(Op::FMUL_S, reg::ft2, reg::fa5, reg::fa1);
+            a.fp_rrr(Op::FSUB_S, reg::ft3, reg::ft2, reg::ft1);
+          })};
+}
+
+Workload packed_simd_loop() {
+  return {"packed_simd_f8_f16", make_loop([](Assembler& a) {
+            // 4-lane binary8 block.
+            a.fp_rrr(Op::VFADD_B, reg::fa0, reg::fa1, reg::fa2);
+            a.fp_rrr(Op::VFMUL_B, reg::fa3, reg::fa1, reg::fa2);
+            a.fp_rrr(Op::VFSUB_B, reg::fa4, reg::fa3, reg::fa0);
+            a.fp_rrr(Op::VFMIN_B, reg::fa5, reg::fa0, reg::fa3);
+            a.fp_rrr(Op::VFMAX_B, reg::fa6, reg::fa0, reg::fa3);
+            a.fp_rrr(Op::VFSGNJ_B, reg::fa7, reg::fa4, reg::fa5);
+            // 2-lane binary16 block.
+            a.fp_rrr(Op::VFADD_H, reg::ft0, reg::ft1, reg::ft2);
+            a.fp_rrr(Op::VFMUL_H, reg::ft3, reg::ft1, reg::ft2);
+            a.fp_rrr(Op::VFSUB_H, reg::ft4, reg::ft3, reg::ft0);
+            a.fp_rrr(Op::VFMIN_H, reg::ft5, reg::ft0, reg::ft3);
+            a.fp_rrr(Op::VFADD_R_B, reg::ft6, reg::fa1, reg::fa2);
+            a.fp_rrr(Op::VFMUL_R_H, reg::ft7, reg::ft1, reg::ft2);
+          })};
+}
+
+/// Seed FP registers with benign packed values (1.0 / 2.0 patterns) so the
+/// loops exercise the normal-number arithmetic paths.
+void seed_fp(Core& core) {
+  for (unsigned r = 0; r < 32; ++r) {
+    core.set_f_bits(r, (r & 1) != 0 ? 0x3c3c3c3cull : 0x40404040ull);
+  }
+  core.set_f_bits(reg::ft1, 0x3c003c00ull);  // 1.0 x2 binary16
+  core.set_f_bits(reg::ft2, 0x40004000ull);  // 2.0 x2 binary16
+  core.set_f_bits(reg::fa1, 0x3c3c3c3cull);  // 1.0 x4 binary8
+  core.set_f_bits(reg::fa2, 0x40404040ull);  // 2.0 x4 binary8
+  core.set_f_bits(reg::fa2 + 1, 0x3c3c3c3cull);
+}
+
+struct Measurement {
+  double mips;
+  std::uint64_t instructions;
+};
+
+Measurement measure(const Workload& w, Core::Engine engine) {
+  double best = 0;
+  std::uint64_t instructions = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Core core;
+    core.set_engine(engine);
+    core.load_program(w.prog);
+    seed_fp(core);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (core.run() != Core::RunResult::Halted) {
+      std::fprintf(stderr, "workload %s did not halt\n", w.name.c_str());
+      std::exit(1);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    instructions = core.stats().instructions;
+    const double mips = static_cast<double>(instructions) / sec / 1e6;
+    if (mips > best) best = mips;
+  }
+  return {best, instructions};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_dispatch.json";
+  const std::vector<Workload> workloads = {int_alu_loop(), scalar_fp_loop(),
+                                           packed_simd_loop()};
+
+  std::printf("%-22s %12s %12s %9s\n", "workload", "ref MIPS", "uop MIPS",
+              "speedup");
+  std::string json = "{\n  \"bench\": \"dispatch\",\n  \"workloads\": [\n";
+  bool first = true;
+  for (const auto& w : workloads) {
+    const auto ref = measure(w, Core::Engine::Reference);
+    const auto uop = measure(w, Core::Engine::Predecoded);
+    const double speedup = uop.mips / ref.mips;
+    std::printf("%-22s %12.1f %12.1f %8.2fx\n", w.name.c_str(), ref.mips,
+                uop.mips, speedup);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s    {\"name\": \"%s\", \"instructions\": %llu, "
+                  "\"ref_mips\": %.1f, \"uop_mips\": %.1f, "
+                  "\"speedup\": %.3f}",
+                  first ? "" : ",\n", w.name.c_str(),
+                  static_cast<unsigned long long>(uop.instructions), ref.mips,
+                  uop.mips, speedup);
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

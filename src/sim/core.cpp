@@ -1,6 +1,6 @@
 #include "sim/core.hpp"
 
-#include <sstream>
+#include <utility>
 
 #include "isa/disasm.hpp"
 #include "softfloat/runtime.hpp"
@@ -15,20 +15,6 @@ using isa::Inst;
 using isa::Op;
 
 namespace {
-
-constexpr std::uint64_t width_mask(int w) {
-  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
-}
-
-constexpr std::uint64_t get_lane(std::uint64_t v, int lane, int w) {
-  return (v >> (lane * w)) & width_mask(w);
-}
-
-constexpr std::uint64_t set_lane(std::uint64_t v, int lane, int w,
-                                 std::uint64_t x) {
-  const std::uint64_t m = width_mask(w) << (lane * w);
-  return (v & ~m) | ((x << (lane * w)) & m);
-}
 
 constexpr int fmt_width(FpFormat f) { return fp::format_width(f); }
 
@@ -64,14 +50,11 @@ std::uint64_t widen_to_f32(FpFormat from, std::uint64_t bits, Flags& fl) {
 
 }  // namespace
 
-std::string SimError::to_hex(std::uint32_t v) {
-  std::ostringstream os;
-  os << std::hex << v;
-  return os.str();
-}
-
 Core::Core(isa::IsaConfig cfg, MemConfig mem_cfg, Timing timing)
-    : cfg_(cfg), mem_(mem_cfg), timing_(timing) {}
+    : detail::CoreState{cfg, Memory(mem_cfg), timing} {
+  ctx_.flen_mask = width_mask(cfg.flen);
+  rebind_context();
+}
 
 void Core::load_program(const asmb::Program& prog) {
   if (!prog.text_words.empty()) {
@@ -82,59 +65,86 @@ void Core::load_program(const asmb::Program& prog) {
     mem_.write_block(prog.data_base, prog.data.data(), prog.data.size());
   }
   decoded_ = prog.text;
+  uops_ = decode_program(decoded_, cfg_, timing_);
   text_base_ = prog.text_base;
-  pc_ = prog.entry();
-  x_[2] = asmb::kDefaultStackTop;  // sp
-  halted_ = false;
+  ctx_.pc = prog.entry();
+  ctx_.x[2] = asmb::kDefaultStackTop;  // sp
+  ctx_.halted = false;
   stats_.pc_cycles.assign(decoded_.size(), 0);
-}
-
-std::uint64_t Core::mask_flen(std::uint64_t v) const {
-  return v & width_mask(cfg_.flen);
-}
-
-std::uint64_t Core::read_fp(unsigned reg, int width) const {
-  return f_[reg & 31] & width_mask(width);
-}
-
-void Core::write_fp(unsigned reg, int width, std::uint64_t bits) {
-  // NaN-box: fill bits above `width` with ones up to FLEN.
-  const std::uint64_t boxed =
-      (bits & width_mask(width)) | (~std::uint64_t{0} << width);
-  f_[reg & 31] = mask_flen(boxed);
-}
-
-RoundingMode Core::resolve_rm(std::uint8_t rm_field) const {
-  if (rm_field <= 4) return static_cast<RoundingMode>(rm_field);
-  return frm();  // DYN (and reserved values fall back to fcsr)
 }
 
 Core::RunResult Core::run(std::uint64_t max_steps) {
   for (std::uint64_t n = 0; n < max_steps; ++n) {
-    if (halted_) return RunResult::Halted;
+    if (ctx_.halted) return RunResult::Halted;
     step();
   }
-  return halted_ ? RunResult::Halted : RunResult::MaxStepsReached;
+  return ctx_.halted ? RunResult::Halted : RunResult::MaxStepsReached;
 }
 
 void Core::step() {
-  if (halted_) return;
-  const std::uint32_t idx = (pc_ - text_base_) / 4;
-  if (pc_ < text_base_ || idx >= decoded_.size() || (pc_ & 3) != 0) {
-    throw SimError("instruction fetch outside text segment", pc_);
+  if (ctx_.halted) return;
+  const std::uint32_t pc = ctx_.pc;
+  const std::uint32_t idx = (pc - text_base_) / 4;
+  if (pc < text_base_ || idx >= uops_.size() || (pc & 3) != 0) {
+    throw SimError("instruction fetch outside text segment", pc);
   }
+  if (engine_ == Engine::Reference) {
+    step_reference(idx);
+    return;
+  }
+  const DecodedOp& u = uops_[idx];
+  // Trace only supported instructions: the reference interpreter faults on
+  // unsupported ops before tracing, and the engines must emit equal traces.
+  if (trace_ != nullptr && u.supported) {
+    (*trace_) << std::hex << pc << std::dec << ": "
+              << isa::disassemble(decoded_[idx], pc) << '\n';
+  }
+  ctx_.branch_taken = false;
+  u.fn(ctx_, u);
+
+  int cyc = u.base_cycles;
+  switch (u.tclass) {
+    case TimingClass::Load:
+      cyc += mem_.config().load_latency - 1;
+      ++stats_.load_count;
+      break;
+    case TimingClass::Store:
+      cyc += mem_.config().store_latency - 1;
+      ++stats_.store_count;
+      break;
+    case TimingClass::Jump:
+      cyc += timing_.jump_penalty;
+      break;
+    case TimingClass::Branch:
+      if (ctx_.branch_taken) cyc += timing_.branch_taken_penalty;
+      break;
+    case TimingClass::None:
+      break;
+  }
+  stats_.cycles += static_cast<std::uint64_t>(cyc);
+  ++stats_.instructions;
+  ++stats_.op_count[static_cast<std::size_t>(u.op)];
+  stats_.pc_cycles[idx] += static_cast<std::uint64_t>(cyc);
+}
+
+// ---- reference interpreter --------------------------------------------------
+// The pre-refactor execute path, kept as the oracle for the A/B equivalence
+// suite and as the dispatch bench baseline. It re-resolves the op class, the
+// per-op case, and the per-lane format on every executed instruction.
+
+void Core::step_reference(std::uint32_t idx) {
   const Inst& i = decoded_[idx];
   if (!cfg_.supports(i.op)) {
     throw SimError(std::string("unsupported instruction: ") +
                        std::string(isa::mnemonic(i.op)),
-                   pc_);
+                   ctx_.pc);
   }
   if (trace_ != nullptr) {
-    (*trace_) << std::hex << pc_ << std::dec << ": "
-              << isa::disassemble(i, pc_) << '\n';
+    (*trace_) << std::hex << ctx_.pc << std::dec << ": "
+              << isa::disassemble(i, ctx_.pc) << '\n';
   }
 
-  branch_taken_ = false;
+  ctx_.branch_taken = false;
   execute(i);
 
   // Timing accumulation (see timing.hpp / memory.hpp for the model).
@@ -154,7 +164,7 @@ void Core::step() {
       cyc += timing_.jump_penalty;
       break;
     case Cls::Branch:
-      if (branch_taken_) cyc += timing_.branch_taken_penalty;
+      if (ctx_.branch_taken) cyc += timing_.branch_taken_penalty;
       break;
     default:
       break;
@@ -192,45 +202,45 @@ void Core::execute(const Inst& i) {
   } else {
     exec_fp_scalar(i);
   }
-  pc_ += 4;
+  ctx_.pc += 4;
 }
 
 void Core::exec_int(const Inst& i) {
-  const std::uint32_t rs1 = x_[i.rs1];
-  const std::uint32_t rs2 = x_[i.rs2];
+  const std::uint32_t rs1 = ctx_.x[i.rs1];
+  const std::uint32_t rs2 = ctx_.x[i.rs2];
   const auto imm = static_cast<std::uint32_t>(i.imm);
-  std::uint32_t next_pc = pc_ + 4;
+  std::uint32_t next_pc = ctx_.pc + 4;
   auto wr = [this](unsigned rd, std::uint32_t v) {
-    if (rd != 0) x_[rd] = v;
+    if (rd != 0) ctx_.x[rd] = v;
   };
 
   switch (i.op) {
     case Op::LUI: wr(i.rd, imm); break;
-    case Op::AUIPC: wr(i.rd, pc_ + imm); break;
+    case Op::AUIPC: wr(i.rd, ctx_.pc + imm); break;
     case Op::JAL:
-      wr(i.rd, pc_ + 4);
-      next_pc = pc_ + imm;
+      wr(i.rd, ctx_.pc + 4);
+      next_pc = ctx_.pc + imm;
       break;
     case Op::JALR:
-      wr(i.rd, pc_ + 4);
+      wr(i.rd, ctx_.pc + 4);
       next_pc = (rs1 + imm) & ~1u;
       break;
-    case Op::BEQ: if (rs1 == rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
-    case Op::BNE: if (rs1 != rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
+    case Op::BEQ: if (rs1 == rs2) { next_pc = ctx_.pc + imm; ctx_.branch_taken = true; } break;
+    case Op::BNE: if (rs1 != rs2) { next_pc = ctx_.pc + imm; ctx_.branch_taken = true; } break;
     case Op::BLT:
       if (static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2)) {
-        next_pc = pc_ + imm;
-        branch_taken_ = true;
+        next_pc = ctx_.pc + imm;
+        ctx_.branch_taken = true;
       }
       break;
     case Op::BGE:
       if (static_cast<std::int32_t>(rs1) >= static_cast<std::int32_t>(rs2)) {
-        next_pc = pc_ + imm;
-        branch_taken_ = true;
+        next_pc = ctx_.pc + imm;
+        ctx_.branch_taken = true;
       }
       break;
-    case Op::BLTU: if (rs1 < rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
-    case Op::BGEU: if (rs1 >= rs2) { next_pc = pc_ + imm; branch_taken_ = true; } break;
+    case Op::BLTU: if (rs1 < rs2) { next_pc = ctx_.pc + imm; ctx_.branch_taken = true; } break;
+    case Op::BGEU: if (rs1 >= rs2) { next_pc = ctx_.pc + imm; ctx_.branch_taken = true; } break;
 
     case Op::LB:
       wr(i.rd, static_cast<std::uint32_t>(
@@ -331,7 +341,7 @@ void Core::exec_int(const Inst& i) {
     case Op::FENCE: break;
     case Op::ECALL:
     case Op::EBREAK:
-      halted_ = true;
+      ctx_.halted = true;
       break;
 
     case Op::FLW: write_fp(i.rd, 32, mem_.load32(rs1 + imm)); break;
@@ -348,16 +358,16 @@ void Core::exec_int(const Inst& i) {
       break;
 
     default:
-      throw SimError("unhandled integer-path op", pc_);
+      throw SimError("unhandled integer-path op", ctx_.pc);
   }
-  pc_ = next_pc;
+  ctx_.pc = next_pc;
 }
 
 void Core::exec_csr(const Inst& i) {
   const std::uint32_t old = csr_read(i.imm);
   const bool is_imm =
       (i.op == Op::CSRRWI || i.op == Op::CSRRSI || i.op == Op::CSRRCI);
-  const std::uint32_t src = is_imm ? i.rs1 : x_[i.rs1];
+  const std::uint32_t src = is_imm ? i.rs1 : ctx_.x[i.rs1];
   switch (i.op) {
     case Op::CSRRW:
     case Op::CSRRWI:
@@ -372,33 +382,33 @@ void Core::exec_csr(const Inst& i) {
       if (i.rs1 != 0) csr_write(i.imm, old & ~src);
       break;
     default:
-      throw SimError("unhandled csr op", pc_);
+      throw SimError("unhandled csr op", ctx_.pc);
   }
-  if (i.rd != 0) x_[i.rd] = old;
-  pc_ += 4;
+  if (i.rd != 0) ctx_.x[i.rd] = old;
+  ctx_.pc += 4;
 }
 
 std::uint32_t Core::csr_read(std::int32_t addr) const {
   switch (addr) {
-    case 0x001: return fflags_;
-    case 0x002: return frm_;
-    case 0x003: return static_cast<std::uint32_t>(frm_) << 5 | fflags_;
+    case 0x001: return ctx_.fflags;
+    case 0x002: return ctx_.frm;
+    case 0x003: return static_cast<std::uint32_t>(ctx_.frm) << 5 | ctx_.fflags;
     case 0xc00: return static_cast<std::uint32_t>(stats_.cycles);
     case 0xc02: return static_cast<std::uint32_t>(stats_.instructions);
     case 0xc80: return static_cast<std::uint32_t>(stats_.cycles >> 32);
     case 0xc82: return static_cast<std::uint32_t>(stats_.instructions >> 32);
     default:
-      throw SimError("read of unimplemented CSR", pc_);
+      throw SimError("read of unimplemented CSR", ctx_.pc);
   }
 }
 
 void Core::csr_write(std::int32_t addr, std::uint32_t v) {
   switch (addr) {
-    case 0x001: fflags_ = v & 0x1f; break;
-    case 0x002: frm_ = v & 0x7; break;
+    case 0x001: ctx_.fflags = v & 0x1f; break;
+    case 0x002: ctx_.frm = v & 0x7; break;
     case 0x003:
-      fflags_ = v & 0x1f;
-      frm_ = (v >> 5) & 0x7;
+      ctx_.fflags = v & 0x1f;
+      ctx_.frm = (v >> 5) & 0x7;
       break;
     case 0xc00:
     case 0xc02:
@@ -406,7 +416,7 @@ void Core::csr_write(std::int32_t addr, std::uint32_t v) {
     case 0xc82:
       break;  // counters: writes ignored
     default:
-      throw SimError("write of unimplemented CSR", pc_);
+      throw SimError("write of unimplemented CSR", ctx_.pc);
   }
 }
 
@@ -483,13 +493,14 @@ void Core::exec_fp_scalar(const Inst& i) {
     case Op::FCVT_H_W:
     case Op::FCVT_B_W:
       write_fp(i.rd, w,
-               fp::rt_from_int32(fmt, static_cast<std::int32_t>(x_[i.rs1]), rm, fl));
+               fp::rt_from_int32(fmt, static_cast<std::int32_t>(ctx_.x[i.rs1]),
+                                 rm, fl));
       break;
     case Op::FCVT_S_WU:
     case Op::FCVT_AH_WU:
     case Op::FCVT_H_WU:
     case Op::FCVT_B_WU:
-      write_fp(i.rd, w, fp::rt_from_uint32(fmt, x_[i.rs1], rm, fl));
+      write_fp(i.rd, w, fp::rt_from_uint32(fmt, ctx_.x[i.rs1], rm, fl));
       break;
 
     SFRV_CASE4(FMV_X) {
@@ -503,7 +514,7 @@ void Core::exec_fp_scalar(const Inst& i) {
     case Op::FMV_AH_X:
     case Op::FMV_H_X:
     case Op::FMV_B_X:
-      write_fp(i.rd, w, x_[i.rs1] & width_mask(w));
+      write_fp(i.rd, w, ctx_.x[i.rs1] & width_mask(w));
       break;
 
     SFRV_CASE4(FMADD)
@@ -593,9 +604,9 @@ void Core::exec_fp_scalar(const Inst& i) {
       break;
 
     default:
-      throw SimError("unhandled scalar FP op", pc_);
+      throw SimError("unhandled scalar FP op", ctx_.pc);
   }
-  fflags_ |= fl.bits;
+  ctx_.fflags |= fl.bits;
 }
 
 // ---- vectorial FP -----------------------------------------------------------
@@ -612,9 +623,9 @@ void Core::exec_fp_vector(const Inst& i) {
   const RoundingMode rm = resolve_rm(isa::kRmDyn);
   Flags fl;
 
-  const std::uint64_t va = f_[i.rs1];
-  const std::uint64_t vb = f_[i.rs2];
-  std::uint64_t vd = f_[i.rd];
+  const std::uint64_t va = ctx_.f[i.rs1];
+  const std::uint64_t vb = ctx_.f[i.rs2];
+  std::uint64_t vd = ctx_.f[i.rd];
 
   using BinFn = std::uint64_t (*)(FpFormat, std::uint64_t, std::uint64_t,
                                   RoundingMode, Flags&);
@@ -625,7 +636,7 @@ void Core::exec_fp_vector(const Inst& i) {
       const std::uint64_t bl = replicate ? b0 : get_lane(vb, l, w);
       out = set_lane(out, l, w, fn(fmt, get_lane(va, l, w), bl, rm, fl));
     }
-    f_[i.rd] = mask_flen(out);
+    ctx_.f[i.rd] = mask_flen(out);
   };
   using CmpFn = bool (*)(FpFormat, std::uint64_t, std::uint64_t, Flags&);
   auto cmpwise = [&](CmpFn fn) {
@@ -646,7 +657,7 @@ void Core::exec_fp_vector(const Inst& i) {
                      fp::rt_fma(fmt, get_lane(va, l, w), bl,
                                 get_lane(vd, l, w), rm, fl));
     }
-    f_[i.rd] = mask_flen(out);
+    ctx_.f[i.rd] = mask_flen(out);
   };
   auto no_round_min = [](FpFormat f, std::uint64_t a, std::uint64_t b,
                          RoundingMode, Flags& flg) {
@@ -678,7 +689,7 @@ void Core::exec_fp_vector(const Inst& i) {
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w,
                        fp::rt_sgnj(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
     SFRV_VCASE3(VFSGNJN) {
@@ -686,7 +697,7 @@ void Core::exec_fp_vector(const Inst& i) {
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w,
                        fp::rt_sgnjn(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
     SFRV_VCASE3(VFSGNJX) {
@@ -694,7 +705,7 @@ void Core::exec_fp_vector(const Inst& i) {
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w,
                        fp::rt_sgnjx(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
 
@@ -706,14 +717,14 @@ void Core::exec_fp_vector(const Inst& i) {
       std::uint64_t out = 0;
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w, fp::rt_sqrt(fmt, get_lane(va, l, w), rm, fl));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
     SFRV_VCASE3(VFCVT_X) {
       std::uint64_t out = 0;
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w, lane_to_int(fmt, get_lane(va, l, w), w, rm, fl));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
     case Op::VFCVT_H_X:
@@ -723,7 +734,7 @@ void Core::exec_fp_vector(const Inst& i) {
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w,
                        lane_from_int(fmt, get_lane(va, l, w), w, rm, fl));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
     case Op::VFCVT_H_AH: {
@@ -732,7 +743,7 @@ void Core::exec_fp_vector(const Inst& i) {
         out = set_lane(out, l, w,
                        fp::rt_convert(FpFormat::F16, FpFormat::F16Alt,
                                       get_lane(va, l, w), rm, fl));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
     case Op::VFCVT_AH_H: {
@@ -741,7 +752,7 @@ void Core::exec_fp_vector(const Inst& i) {
         out = set_lane(out, l, w,
                        fp::rt_convert(FpFormat::F16Alt, FpFormat::F16,
                                       get_lane(va, l, w), rm, fl));
-      f_[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
 
@@ -754,7 +765,7 @@ void Core::exec_fp_vector(const Inst& i) {
       const std::uint64_t s2 = read_fp(i.rs2, 32);
       vd = set_lane(vd, 0, w, fp::rt_convert(fmt, FpFormat::F32, s1, rm, fl));
       vd = set_lane(vd, 1, w, fp::rt_convert(fmt, FpFormat::F32, s2, rm, fl));
-      f_[i.rd] = mask_flen(vd);
+      ctx_.f[i.rd] = mask_flen(vd);
       break;
     }
     case Op::VFCPKB_B_S: {
@@ -762,7 +773,7 @@ void Core::exec_fp_vector(const Inst& i) {
       const std::uint64_t s2 = read_fp(i.rs2, 32);
       vd = set_lane(vd, 2, w, fp::rt_convert(fmt, FpFormat::F32, s1, rm, fl));
       vd = set_lane(vd, 3, w, fp::rt_convert(fmt, FpFormat::F32, s2, rm, fl));
-      f_[i.rd] = mask_flen(vd);
+      ctx_.f[i.rd] = mask_flen(vd);
       break;
     }
 
@@ -790,9 +801,9 @@ void Core::exec_fp_vector(const Inst& i) {
     }
 
     default:
-      throw SimError("unhandled vector FP op", pc_);
+      throw SimError("unhandled vector FP op", ctx_.pc);
   }
-  fflags_ |= fl.bits;
+  ctx_.fflags |= fl.bits;
 }
 
 #undef SFRV_CASE4

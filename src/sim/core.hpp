@@ -11,41 +11,89 @@
 // RISC-V convention); reads take the low bits without a box check because the
 // vectorial extension legitimately leaves packed data in the registers (the
 // same relaxation the PULP FPU makes when Xfvec is enabled).
+//
+// Two execution engines share the architectural state (ExecContext):
+//  * Engine::Predecoded (default): load_program lowers the text into
+//    micro-ops (sim/decode.hpp) carrying a resolved handler pointer, lane
+//    plan, pre-bound softfloat entry points, and timing class; step() is a
+//    single indirect call plus a 5-way timing adjustment.
+//  * Engine::Reference: the original switch-tree interpreter, retained both
+//    as the A/B oracle for the equivalence suite and as the baseline the
+//    dispatch bench measures against.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <ostream>
 #include <string>
 
 #include "asmb/program.hpp"
 #include "isa/isa.hpp"
+#include "sim/decode.hpp"
+#include "sim/exec.hpp"
 #include "sim/memory.hpp"
 #include "sim/stats.hpp"
 #include "sim/timing.hpp"
 
 namespace sfrv::sim {
 
-/// Raised on illegal instructions, unsupported extensions, or bad fetches.
-class SimError : public std::runtime_error {
- public:
-  SimError(const std::string& what, std::uint32_t pc)
-      : std::runtime_error(what + " (pc=0x" + to_hex(pc) + ")"), pc_(pc) {}
-  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+/// Execution engine selection (see Core's header comment).
+enum class Engine : std::uint8_t { Predecoded, Reference };
 
- private:
-  static std::string to_hex(std::uint32_t v);
-  std::uint32_t pc_;
+namespace detail {
+/// The memberwise-copyable state of a Core, split into a base so Core's
+/// copy/move operations can delegate the member list to the compiler and
+/// only fix up the context's environment pointers afterwards.
+struct CoreState {
+  isa::IsaConfig cfg_;
+  Memory mem_;
+  Timing timing_;
+  Stats stats_;
+  ExecContext ctx_;
+  Engine engine_ = Engine::Predecoded;
+
+  std::uint32_t text_base_ = 0;
+  std::vector<isa::Inst> decoded_;   // predecoded text (no self-modifying code)
+  std::vector<DecodedOp> uops_;      // micro-op cache (same indexing)
+
+  std::ostream* trace_ = nullptr;
 };
+}  // namespace detail
 
-class Core {
+class Core : private detail::CoreState {
  public:
   explicit Core(isa::IsaConfig cfg = isa::IsaConfig::full(),
                 MemConfig mem_cfg = {}, Timing timing = {});
 
-  /// Copy a program image into memory, point the PC at its entry, and set up
-  /// the stack pointer.
+  // Copies/moves re-point the context's environment pointers at this
+  // instance's Memory/Stats (the context otherwise keeps aiming at the
+  // source Core's members).
+  Core(const Core& other) : detail::CoreState(other) { rebind_context(); }
+  Core(Core&& other) noexcept : detail::CoreState(std::move(other)) {
+    rebind_context();
+  }
+  Core& operator=(const Core& other) {
+    if (this != &other) {
+      detail::CoreState::operator=(other);
+      rebind_context();
+    }
+    return *this;
+  }
+  Core& operator=(Core&& other) noexcept {
+    if (this != &other) {
+      detail::CoreState::operator=(std::move(other));
+      rebind_context();
+    }
+    return *this;
+  }
+  ~Core() = default;
+
+  using Engine = sim::Engine;
+  void set_engine(Engine e) { engine_ = e; }
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Copy a program image into memory, point the PC at its entry, set up the
+  /// stack pointer, and predecode the text into the micro-op cache.
   void load_program(const asmb::Program& prog);
 
   enum class RunResult { Halted, MaxStepsReached };
@@ -56,25 +104,27 @@ class Core {
   /// Execute a single instruction.
   void step();
 
-  [[nodiscard]] bool halted() const { return halted_; }
-  [[nodiscard]] std::uint32_t exit_code() const { return x_[10]; }
+  [[nodiscard]] bool halted() const { return ctx_.halted; }
+  [[nodiscard]] std::uint32_t exit_code() const { return ctx_.x[10]; }
 
-  // ---- architectural state ----
-  [[nodiscard]] std::uint32_t pc() const { return pc_; }
-  void set_pc(std::uint32_t pc) { pc_ = pc; }
-  [[nodiscard]] std::uint32_t x(unsigned i) const { return x_[i & 31]; }
-  void set_x(unsigned i, std::uint32_t v) {
-    if ((i & 31) != 0) x_[i & 31] = v;
-  }
+  // ---- architectural state (owned by the ExecContext) ----
+  [[nodiscard]] std::uint32_t pc() const { return ctx_.pc; }
+  void set_pc(std::uint32_t pc) { ctx_.pc = pc; }
+  [[nodiscard]] std::uint32_t x(unsigned i) const { return ctx_.x[i & 31]; }
+  void set_x(unsigned i, std::uint32_t v) { ctx_.set_x(i, v); }
   /// Raw FP register bits (low `flen` bits are valid).
-  [[nodiscard]] std::uint64_t f_bits(unsigned i) const { return f_[i & 31]; }
-  void set_f_bits(unsigned i, std::uint64_t v) { f_[i & 31] = mask_flen(v); }
-  [[nodiscard]] std::uint8_t fflags() const { return fflags_; }
-  void set_fflags(std::uint8_t v) { fflags_ = v & 0x1f; }
-  [[nodiscard]] fp::RoundingMode frm() const {
-    return static_cast<fp::RoundingMode>(frm_ <= 4 ? frm_ : 0);
+  [[nodiscard]] std::uint64_t f_bits(unsigned i) const {
+    return ctx_.f[i & 31];
   }
-  void set_frm(fp::RoundingMode rm) { frm_ = static_cast<std::uint8_t>(rm); }
+  void set_f_bits(unsigned i, std::uint64_t v) {
+    ctx_.f[i & 31] = v & ctx_.flen_mask;
+  }
+  [[nodiscard]] std::uint8_t fflags() const { return ctx_.fflags; }
+  void set_fflags(std::uint8_t v) { ctx_.fflags = v & 0x1f; }
+  [[nodiscard]] fp::RoundingMode frm() const { return ctx_.frm_mode(); }
+  void set_frm(fp::RoundingMode rm) {
+    ctx_.frm = static_cast<std::uint8_t>(rm);
+  }
 
   [[nodiscard]] Memory& memory() { return mem_; }
   [[nodiscard]] const Memory& memory() const { return mem_; }
@@ -83,19 +133,23 @@ class Core {
   [[nodiscard]] const isa::IsaConfig& config() const { return cfg_; }
   [[nodiscard]] const Timing& timing() const { return timing_; }
 
+  /// Direct access to the execution context (for piecewise engine tests).
+  [[nodiscard]] ExecContext& context() { return ctx_; }
+  /// The predecoded micro-op cache (index = (pc - text_base) / 4).
+  [[nodiscard]] const std::vector<DecodedOp>& uops() const { return uops_; }
+
   /// Stream instruction-level trace output (nullptr disables).
   void set_trace(std::ostream* os) { trace_ = os; }
 
  private:
+  void rebind_context() {
+    ctx_.mem = &mem_;
+    ctx_.stats = &stats_;
+  }
+
+  // Reference interpreter (the retained pre-refactor execute path).
+  void step_reference(std::uint32_t idx);
   void execute(const isa::Inst& i);
-
-  // FP register access helpers.
-  [[nodiscard]] std::uint64_t read_fp(unsigned reg, int width) const;
-  void write_fp(unsigned reg, int width, std::uint64_t bits);
-  [[nodiscard]] std::uint64_t mask_flen(std::uint64_t v) const;
-  [[nodiscard]] fp::RoundingMode resolve_rm(std::uint8_t rm_field) const;
-
-  // Execution helper families (implemented in core.cpp).
   void exec_int(const isa::Inst& i);
   void exec_fp_scalar(const isa::Inst& i);
   void exec_fp_vector(const isa::Inst& i);
@@ -103,23 +157,18 @@ class Core {
   [[nodiscard]] std::uint32_t csr_read(std::int32_t addr) const;
   void csr_write(std::int32_t addr, std::uint32_t v);
 
-  isa::IsaConfig cfg_;
-  Memory mem_;
-  Timing timing_;
-  Stats stats_;
-
-  std::uint32_t pc_ = 0;
-  std::array<std::uint32_t, 32> x_{};
-  std::array<std::uint64_t, 32> f_{};
-  std::uint8_t fflags_ = 0;
-  std::uint8_t frm_ = 0;
-  bool halted_ = false;
-  bool branch_taken_ = false;  // set by execute() for timing
-
-  std::uint32_t text_base_ = 0;
-  std::vector<isa::Inst> decoded_;  // predecoded text (no self-modifying code)
-
-  std::ostream* trace_ = nullptr;
+  [[nodiscard]] std::uint64_t mask_flen(std::uint64_t v) const {
+    return v & ctx_.flen_mask;
+  }
+  [[nodiscard]] std::uint64_t read_fp(unsigned reg, int width) const {
+    return ctx_.read_fp(reg, width);
+  }
+  void write_fp(unsigned reg, int width, std::uint64_t bits) {
+    ctx_.write_fp(reg, width, bits);
+  }
+  [[nodiscard]] fp::RoundingMode resolve_rm(std::uint8_t rm_field) const {
+    return ctx_.resolve_rm(rm_field);
+  }
 };
 
 }  // namespace sfrv::sim

@@ -1,0 +1,104 @@
+// Execution context for the simulator's micro-op engine.
+//
+// ExecContext is the single home of a hart's architectural state (PC,
+// register files, FP CSR fields) plus the per-step outcome bits the timing
+// model consumes. Micro-op handlers (bound at decode time, see decode.hpp)
+// are free functions over this struct, which makes the execute layer testable
+// piecewise: a test can stack-allocate a context, point it at a Memory and a
+// Stats block, and invoke any handler directly.
+//
+// The `mem` and `stats` pointers are environment references, not owned state;
+// Core re-points them at its own members on construction, copy, and move so
+// a context is never left aimed at a dead object.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "sim/memory.hpp"
+#include "sim/stats.hpp"
+#include "softfloat/flags.hpp"
+
+namespace sfrv::sim {
+
+/// Raised on illegal instructions, unsupported extensions, or bad fetches.
+class SimError : public std::runtime_error {
+ public:
+  SimError(const std::string& what, std::uint32_t pc)
+      : std::runtime_error(what + " (pc=0x" + to_hex(pc) + ")"), pc_(pc) {}
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+
+ private:
+  static std::string to_hex(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%x", v);
+    return buf;
+  }
+  std::uint32_t pc_;
+};
+
+/// All-ones mask of the low `w` bits (w in [0, 64]).
+constexpr std::uint64_t width_mask(int w) {
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+constexpr std::uint64_t get_lane(std::uint64_t v, int lane, int w) {
+  return (v >> (lane * w)) & width_mask(w);
+}
+
+constexpr std::uint64_t set_lane(std::uint64_t v, int lane, int w,
+                                 std::uint64_t x) {
+  const std::uint64_t m = width_mask(w) << (lane * w);
+  return (v & ~m) | ((x << (lane * w)) & m);
+}
+
+struct ExecContext {
+  std::uint32_t pc = 0;
+  std::array<std::uint32_t, 32> x{};
+  std::array<std::uint64_t, 32> f{};
+  std::uint8_t fflags = 0;
+  std::uint8_t frm = 0;
+  bool halted = false;
+  bool branch_taken = false;  ///< set by branch handlers for the timing model
+
+  std::uint64_t flen_mask = width_mask(32);  ///< low-FLEN-bits mask for f regs
+  Memory* mem = nullptr;
+  Stats* stats = nullptr;  ///< for the counter CSRs (cycle/instret)
+
+  void set_x(unsigned i, std::uint32_t v) {
+    if ((i & 31) != 0) x[i & 31] = v;
+  }
+
+  [[nodiscard]] std::uint64_t read_fp(unsigned reg, int width) const {
+    return f[reg & 31] & width_mask(width);
+  }
+
+  /// NaN-box: fill bits above `width` with ones up to FLEN.
+  void write_fp(unsigned reg, int width, std::uint64_t bits) {
+    const std::uint64_t boxed =
+        (bits & width_mask(width)) | (~std::uint64_t{0} << width);
+    f[reg & 31] = boxed & flen_mask;
+  }
+
+  [[nodiscard]] fp::RoundingMode frm_mode() const {
+    return static_cast<fp::RoundingMode>(frm <= 4 ? frm : 0);
+  }
+
+  /// Resolve an instruction rm field: 0-4 are static modes, others (DYN and
+  /// reserved values) fall back to fcsr.frm.
+  [[nodiscard]] fp::RoundingMode resolve_rm(std::uint8_t rm_field) const {
+    if (rm_field <= 4) return static_cast<fp::RoundingMode>(rm_field);
+    return frm_mode();
+  }
+};
+
+struct DecodedOp;
+
+/// A micro-op handler: executes one instruction, advances pc, and records
+/// architectural side effects. Bound once at decode time.
+using ExecFn = void (*)(ExecContext&, const DecodedOp&);
+
+}  // namespace sfrv::sim

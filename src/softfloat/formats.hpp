@@ -9,10 +9,21 @@
 // with (conversions, expanding operations, golden references).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string_view>
 
 namespace sfrv::fp {
+
+namespace detail {
+/// Terminal path for an out-of-range FpFormat tag: loud in debug builds,
+/// declared unreachable in release so the dispatch switches compile to
+/// straight jump tables with no fallback branch.
+[[noreturn]] inline void invalid_format_tag() {
+  assert(false && "invalid FpFormat tag");
+  __builtin_unreachable();
+}
+}  // namespace detail
 
 /// Compile-time description of a binary interchange floating-point format.
 /// Every format trait below satisfies this shape; generic arithmetic in
@@ -69,7 +80,7 @@ constexpr std::string_view format_name(FpFormat f) {
     case FpFormat::F32: return Binary32::name;
     case FpFormat::F64: return Binary64::name;
   }
-  return "?";
+  detail::invalid_format_tag();
 }
 
 constexpr int format_width(FpFormat f) {
@@ -80,7 +91,7 @@ constexpr int format_width(FpFormat f) {
     case FpFormat::F32: return 32;
     case FpFormat::F64: return 64;
   }
-  return 0;
+  detail::invalid_format_tag();
 }
 
 /// Invoke `fn.template operator()<F>()` with the trait type for a runtime tag.
@@ -93,7 +104,7 @@ constexpr decltype(auto) dispatch_format(FpFormat f, Fn&& fn) {
     case FpFormat::F32: return fn.template operator()<Binary32>();
     case FpFormat::F64: return fn.template operator()<Binary64>();
   }
-  return fn.template operator()<Binary32>();  // unreachable
+  detail::invalid_format_tag();
 }
 
 }  // namespace sfrv::fp

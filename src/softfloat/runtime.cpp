@@ -1,5 +1,7 @@
 #include "softfloat/runtime.hpp"
 
+#include <iterator>
+
 #include "softfloat/arith.hpp"
 #include "softfloat/compare.hpp"
 #include "softfloat/convert.hpp"
@@ -14,133 +16,385 @@ Float<F> as(std::uint64_t bits) {
   return Float<F>::from_bits(bits);
 }
 
+constexpr std::size_t fidx(FpFormat f) { return static_cast<std::size_t>(f); }
+
+// ---- scalar table entries --------------------------------------------------
+// One instantiation per (operation, format); the templated arithmetic is
+// inlined into each entry so a bound pointer goes straight to the math.
+
+template <class F, auto OpFn>
+std::uint64_t s_bin(std::uint64_t a, std::uint64_t b, RoundingMode rm,
+                    Flags& fl) {
+  return OpFn(as<F>(a), as<F>(b), rm, fl).bits;
+}
+
+// Adapters giving flag-only and flag-less operations the common RtBinFn shape.
+template <class F>
+constexpr Float<F> min_rm(Float<F> a, Float<F> b, RoundingMode, Flags& fl) {
+  return fmin(a, b, fl);
+}
+template <class F>
+constexpr Float<F> max_rm(Float<F> a, Float<F> b, RoundingMode, Flags& fl) {
+  return fmax(a, b, fl);
+}
+template <class F>
+constexpr Float<F> sgnj_rm(Float<F> a, Float<F> b, RoundingMode, Flags&) {
+  return copy_sign(a, b);
+}
+template <class F>
+constexpr Float<F> sgnjn_rm(Float<F> a, Float<F> b, RoundingMode, Flags&) {
+  return copy_sign_neg(a, b);
+}
+template <class F>
+constexpr Float<F> sgnjx_rm(Float<F> a, Float<F> b, RoundingMode, Flags&) {
+  return copy_sign_xor(a, b);
+}
+
+template <class F>
+std::uint64_t s_fma(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    RoundingMode rm, Flags& fl) {
+  return fma(as<F>(a), as<F>(b), as<F>(c), rm, fl).bits;
+}
+
+template <class F>
+std::uint64_t s_sqrt(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return sqrt(as<F>(a), rm, fl).bits;
+}
+
+template <class F, auto CmpFn>
+bool s_cmp(std::uint64_t a, std::uint64_t b, Flags& fl) {
+  return CmpFn(as<F>(a), as<F>(b), fl);
+}
+
+template <class F>
+std::uint16_t s_classify(std::uint64_t a) {
+  return classify(as<F>(a));
+}
+
+template <class F>
+std::int32_t s_to_int32(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return to_int32(as<F>(a), rm, fl);
+}
+
+template <class F>
+std::uint32_t s_to_uint32(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return to_uint32(as<F>(a), rm, fl);
+}
+
+template <class F>
+std::uint64_t s_from_int32(std::int32_t v, RoundingMode rm, Flags& fl) {
+  return from_int32<F>(v, rm, fl).bits;
+}
+
+template <class F>
+std::uint64_t s_from_uint32(std::uint32_t v, RoundingMode rm, Flags& fl) {
+  return from_uint32<F>(v, rm, fl).bits;
+}
+
+template <class To, class From>
+std::uint64_t s_convert(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return convert<To>(as<From>(a), rm, fl).bits;
+}
+
+template <class F>
+constexpr RtOps make_ops() {
+  return RtOps{
+      .add = &s_bin<F, &add<F>>,
+      .sub = &s_bin<F, &sub<F>>,
+      .mul = &s_bin<F, &mul<F>>,
+      .div = &s_bin<F, &div<F>>,
+      .min = &s_bin<F, &min_rm<F>>,
+      .max = &s_bin<F, &max_rm<F>>,
+      .sgnj = &s_bin<F, &sgnj_rm<F>>,
+      .sgnjn = &s_bin<F, &sgnjn_rm<F>>,
+      .sgnjx = &s_bin<F, &sgnjx_rm<F>>,
+      .fma = &s_fma<F>,
+      .sqrt = &s_sqrt<F>,
+      .feq = &s_cmp<F, &feq<F>>,
+      .flt = &s_cmp<F, &flt<F>>,
+      .fle = &s_cmp<F, &fle<F>>,
+      .classify = &s_classify<F>,
+      .to_int32 = &s_to_int32<F>,
+      .to_uint32 = &s_to_uint32<F>,
+      .from_int32 = &s_from_int32<F>,
+      .from_uint32 = &s_from_uint32<F>,
+  };
+}
+
+constexpr RtOps kOps[] = {
+    make_ops<Binary8>(), make_ops<Binary16>(), make_ops<Binary16Alt>(),
+    make_ops<Binary32>(), make_ops<Binary64>(),
+};
+
+#define SFRV_CVT_ROW(To)                                                   \
+  {&s_convert<To, Binary8>, &s_convert<To, Binary16>,                      \
+   &s_convert<To, Binary16Alt>, &s_convert<To, Binary32>,                  \
+   &s_convert<To, Binary64>}
+
+constexpr RtCvtFn kCvt[5][5] = {
+    SFRV_CVT_ROW(Binary8),  SFRV_CVT_ROW(Binary16), SFRV_CVT_ROW(Binary16Alt),
+    SFRV_CVT_ROW(Binary32), SFRV_CVT_ROW(Binary64),
+};
+
+#undef SFRV_CVT_ROW
+
+// ---- packed-SIMD table entries ---------------------------------------------
+// The lane loop lives inside each instantiation, so the element arithmetic is
+// inlined with a compile-time lane width: one indirect call per instruction.
+
+template <class F>
+constexpr std::uint64_t lane_mask() {
+  return F::width >= 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << F::width) - 1);
+}
+
+template <class F>
+Float<F> lane(std::uint64_t v, int l) {
+  return as<F>((v >> (l * F::width)) & lane_mask<F>());
+}
+
+template <class F, auto OpFn>
+std::uint64_t v_bin(std::uint64_t a, std::uint64_t b, int lanes, bool rep,
+                    RoundingMode rm, Flags& fl) {
+  std::uint64_t out = 0;
+  const Float<F> b0 = lane<F>(b, 0);
+  for (int l = 0; l < lanes; ++l) {
+    const Float<F> bl = rep ? b0 : lane<F>(b, l);
+    out |= static_cast<std::uint64_t>(OpFn(lane<F>(a, l), bl, rm, fl).bits)
+           << (l * F::width);
+  }
+  return out;
+}
+
+template <class F>
+std::uint64_t v_mac(std::uint64_t a, std::uint64_t b, std::uint64_t d,
+                    int lanes, bool rep, RoundingMode rm, Flags& fl) {
+  std::uint64_t out = 0;
+  const Float<F> b0 = lane<F>(b, 0);
+  for (int l = 0; l < lanes; ++l) {
+    const Float<F> bl = rep ? b0 : lane<F>(b, l);
+    out |= static_cast<std::uint64_t>(
+               fma(lane<F>(a, l), bl, lane<F>(d, l), rm, fl).bits)
+           << (l * F::width);
+  }
+  return out;
+}
+
+template <class F>
+std::uint64_t v_sqrt(std::uint64_t a, int lanes, RoundingMode rm, Flags& fl) {
+  std::uint64_t out = 0;
+  for (int l = 0; l < lanes; ++l) {
+    out |= static_cast<std::uint64_t>(sqrt(lane<F>(a, l), rm, fl).bits)
+           << (l * F::width);
+  }
+  return out;
+}
+
+/// Lanewise saturating conversion to a signed integer of the lane width.
+template <class F>
+std::uint64_t v_to_int(std::uint64_t a, int lanes, RoundingMode rm, Flags& fl) {
+  constexpr int w = F::width;
+  std::uint64_t out = 0;
+  for (int l = 0; l < lanes; ++l) {
+    std::int64_t r = to_int32(lane<F>(a, l), rm, fl);
+    if constexpr (w < 32) {
+      constexpr std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+      constexpr std::int64_t lo = -hi - 1;
+      if (r > hi) {
+        r = hi;
+        fl.raise(Flags::NV);
+      } else if (r < lo) {
+        r = lo;
+        fl.raise(Flags::NV);
+      }
+    }
+    out |= (static_cast<std::uint64_t>(r) & lane_mask<F>()) << (l * w);
+  }
+  return out;
+}
+
+/// Lanewise conversion from a sign-extended lane-width integer.
+template <class F>
+std::uint64_t v_from_int(std::uint64_t a, int lanes, RoundingMode rm,
+                         Flags& fl) {
+  constexpr int w = F::width;
+  std::uint64_t out = 0;
+  for (int l = 0; l < lanes; ++l) {
+    std::int64_t v = static_cast<std::int64_t>((a >> (l * w)) & lane_mask<F>());
+    if (w < 64 && (v & (std::int64_t{1} << (w - 1))) != 0) {
+      v -= std::int64_t{1} << w;
+    }
+    out |= static_cast<std::uint64_t>(
+               from_int32<F>(static_cast<std::int32_t>(v), rm, fl).bits)
+           << (l * w);
+  }
+  return out;
+}
+
+template <class F, auto CmpFn>
+std::uint32_t v_cmp(std::uint64_t a, std::uint64_t b, int lanes, Flags& fl) {
+  std::uint32_t mask = 0;
+  for (int l = 0; l < lanes; ++l) {
+    if (CmpFn(lane<F>(a, l), lane<F>(b, l), fl)) mask |= 1u << l;
+  }
+  return mask;
+}
+
+template <class F>
+std::uint64_t v_dotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc32,
+                     int lanes, bool rep, RoundingMode rm, Flags& fl) {
+  F32 acc = as<Binary32>(acc32);
+  F32 wb0{};
+  if (rep) wb0 = convert<Binary32>(lane<F>(b, 0), RoundingMode::RNE, fl);
+  for (int l = 0; l < lanes; ++l) {
+    const F32 wa = convert<Binary32>(lane<F>(a, l), RoundingMode::RNE, fl);
+    const F32 wb =
+        rep ? wb0 : convert<Binary32>(lane<F>(b, l), RoundingMode::RNE, fl);
+    acc = fma(wa, wb, acc, rm, fl);
+  }
+  return acc.bits;
+}
+
+template <class F>
+constexpr RtVecOps make_vec_ops() {
+  return RtVecOps{
+      .add = &v_bin<F, &add<F>>,
+      .sub = &v_bin<F, &sub<F>>,
+      .mul = &v_bin<F, &mul<F>>,
+      .div = &v_bin<F, &div<F>>,
+      .min = &v_bin<F, &min_rm<F>>,
+      .max = &v_bin<F, &max_rm<F>>,
+      .sgnj = &v_bin<F, &sgnj_rm<F>>,
+      .sgnjn = &v_bin<F, &sgnjn_rm<F>>,
+      .sgnjx = &v_bin<F, &sgnjx_rm<F>>,
+      .mac = &v_mac<F>,
+      .sqrt = &v_sqrt<F>,
+      .to_int = &v_to_int<F>,
+      .from_int = &v_from_int<F>,
+      .feq = &v_cmp<F, &feq<F>>,
+      .flt = &v_cmp<F, &flt<F>>,
+      .fle = &v_cmp<F, &fle<F>>,
+      .dotp = &v_dotp<F>,
+  };
+}
+
+constexpr RtVecOps kVecOps[] = {
+    make_vec_ops<Binary8>(), make_vec_ops<Binary16>(),
+    make_vec_ops<Binary16Alt>(), make_vec_ops<Binary32>(),
+    make_vec_ops<Binary64>(),
+};
+
 }  // namespace
+
+// Same out-of-range policy as dispatch_format: assert in debug, declared
+// unreachable in release (which also lets the bounds check compile away).
+const RtOps& rt_ops(FpFormat f) {
+  if (fidx(f) >= std::size(kOps)) detail::invalid_format_tag();
+  return kOps[fidx(f)];
+}
+
+const RtVecOps& rt_vec_ops(FpFormat f) {
+  if (fidx(f) >= std::size(kVecOps)) detail::invalid_format_tag();
+  return kVecOps[fidx(f)];
+}
+
+RtCvtFn rt_convert_fn(FpFormat to, FpFormat from) {
+  if (fidx(to) >= 5 || fidx(from) >= 5) detail::invalid_format_tag();
+  return kCvt[fidx(to)][fidx(from)];
+}
+
+// ---- per-call wrappers -----------------------------------------------------
 
 std::uint64_t rt_add(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
                      Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return add(as<F>(a), as<F>(b), rm, fl).bits;
-  });
+  return rt_ops(f).add(a, b, rm, fl);
 }
 
 std::uint64_t rt_sub(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
                      Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return sub(as<F>(a), as<F>(b), rm, fl).bits;
-  });
+  return rt_ops(f).sub(a, b, rm, fl);
 }
 
 std::uint64_t rt_mul(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
                      Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return mul(as<F>(a), as<F>(b), rm, fl).bits;
-  });
+  return rt_ops(f).mul(a, b, rm, fl);
 }
 
 std::uint64_t rt_div(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm,
                      Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return div(as<F>(a), as<F>(b), rm, fl).bits;
-  });
+  return rt_ops(f).div(a, b, rm, fl);
 }
 
 std::uint64_t rt_sqrt(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return sqrt(as<F>(a), rm, fl).bits;
-  });
+  return rt_ops(f).sqrt(a, rm, fl);
 }
 
 std::uint64_t rt_fma(FpFormat f, std::uint64_t a, std::uint64_t b, std::uint64_t c,
                      RoundingMode rm, Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return fma(as<F>(a), as<F>(b), as<F>(c), rm, fl).bits;
-  });
+  return rt_ops(f).fma(a, b, c, rm, fl);
 }
 
 std::uint64_t rt_min(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return fmin(as<F>(a), as<F>(b), fl).bits;
-  });
+  return rt_ops(f).min(a, b, RoundingMode::RNE, fl);
 }
 
 std::uint64_t rt_max(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return fmax(as<F>(a), as<F>(b), fl).bits;
-  });
+  return rt_ops(f).max(a, b, RoundingMode::RNE, fl);
 }
 
 std::uint64_t rt_sgnj(FpFormat f, std::uint64_t a, std::uint64_t b) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return copy_sign(as<F>(a), as<F>(b)).bits;
-  });
+  Flags fl;
+  return rt_ops(f).sgnj(a, b, RoundingMode::RNE, fl);
 }
 
 std::uint64_t rt_sgnjn(FpFormat f, std::uint64_t a, std::uint64_t b) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return copy_sign_neg(as<F>(a), as<F>(b)).bits;
-  });
+  Flags fl;
+  return rt_ops(f).sgnjn(a, b, RoundingMode::RNE, fl);
 }
 
 std::uint64_t rt_sgnjx(FpFormat f, std::uint64_t a, std::uint64_t b) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return copy_sign_xor(as<F>(a), as<F>(b)).bits;
-  });
+  Flags fl;
+  return rt_ops(f).sgnjx(a, b, RoundingMode::RNE, fl);
 }
 
 bool rt_feq(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
-  return dispatch_format(
-      f, [&]<class F>() -> bool { return feq(as<F>(a), as<F>(b), fl); });
+  return rt_ops(f).feq(a, b, fl);
 }
 
 bool rt_flt(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
-  return dispatch_format(
-      f, [&]<class F>() -> bool { return flt(as<F>(a), as<F>(b), fl); });
+  return rt_ops(f).flt(a, b, fl);
 }
 
 bool rt_fle(FpFormat f, std::uint64_t a, std::uint64_t b, Flags& fl) {
-  return dispatch_format(
-      f, [&]<class F>() -> bool { return fle(as<F>(a), as<F>(b), fl); });
+  return rt_ops(f).fle(a, b, fl);
 }
 
 std::uint16_t rt_classify(FpFormat f, std::uint64_t a) {
-  return dispatch_format(
-      f, [&]<class F>() -> std::uint16_t { return classify(as<F>(a)); });
+  return rt_ops(f).classify(a);
 }
 
 std::uint64_t rt_convert(FpFormat to, FpFormat from, std::uint64_t a,
                          RoundingMode rm, Flags& fl) {
-  return dispatch_format(to, [&]<class To>() -> std::uint64_t {
-    return dispatch_format(from, [&]<class From>() -> std::uint64_t {
-      return convert<To>(as<From>(a), rm, fl).bits;
-    });
-  });
+  return rt_convert_fn(to, from)(a, rm, fl);
 }
 
 std::int32_t rt_to_int32(FpFormat f, std::uint64_t a, RoundingMode rm, Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::int32_t {
-    return to_int32(as<F>(a), rm, fl);
-  });
+  return rt_ops(f).to_int32(a, rm, fl);
 }
 
 std::uint32_t rt_to_uint32(FpFormat f, std::uint64_t a, RoundingMode rm,
                            Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint32_t {
-    return to_uint32(as<F>(a), rm, fl);
-  });
+  return rt_ops(f).to_uint32(a, rm, fl);
 }
 
 std::uint64_t rt_from_int32(FpFormat f, std::int32_t v, RoundingMode rm,
                             Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return from_int32<F>(v, rm, fl).bits;
-  });
+  return rt_ops(f).from_int32(v, rm, fl);
 }
 
 std::uint64_t rt_from_uint32(FpFormat f, std::uint32_t v, RoundingMode rm,
                              Flags& fl) {
-  return dispatch_format(f, [&]<class F>() -> std::uint64_t {
-    return from_uint32<F>(v, rm, fl).bits;
-  });
+  return rt_ops(f).from_uint32(v, rm, fl);
 }
 
 double rt_to_double(FpFormat f, std::uint64_t a) {

@@ -1,7 +1,16 @@
 // Runtime-dispatched operations on raw bit patterns.
+//
 // The ISA simulator stores FP register contents as untyped bits and selects
 // the format from the decoded instruction; these helpers bridge into the
 // templated arithmetic. All values are carried in the low bits of a uint64.
+//
+// Two dispatch styles are offered:
+//  * rt_*(FpFormat, ...) convenience wrappers that switch on the format tag
+//    per call -- fine for cold paths (tracing, QoR extraction, tests).
+//  * per-(op, format) function-pointer tables (rt_ops / rt_vec_ops /
+//    rt_convert_fn) that resolve the format ONCE, so a hot caller (the
+//    simulator's predecoded micro-op engine) binds a direct handler at decode
+//    time instead of re-dispatching per lane per cycle.
 #pragma once
 
 #include <cstdint>
@@ -11,9 +20,90 @@
 
 namespace sfrv::fp {
 
-struct RtBinaryOp {
-  std::uint64_t (*fn)(std::uint64_t, std::uint64_t, RoundingMode, Flags&);
+// ---- per-(op, format) scalar tables ----------------------------------------
+
+/// Signature families for table entries. min/max and the sign-injection ops
+/// take (and ignore) a rounding mode so that every two-operand entry shares
+/// one signature and generic callers need a single code path.
+using RtBinFn = std::uint64_t (*)(std::uint64_t, std::uint64_t, RoundingMode,
+                                  Flags&);
+using RtTernFn = std::uint64_t (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                                   RoundingMode, Flags&);
+using RtUnFn = std::uint64_t (*)(std::uint64_t, RoundingMode, Flags&);
+using RtCmpFn = bool (*)(std::uint64_t, std::uint64_t, Flags&);
+using RtClassFn = std::uint16_t (*)(std::uint64_t);
+using RtToI32Fn = std::int32_t (*)(std::uint64_t, RoundingMode, Flags&);
+using RtToU32Fn = std::uint32_t (*)(std::uint64_t, RoundingMode, Flags&);
+using RtFromI32Fn = std::uint64_t (*)(std::int32_t, RoundingMode, Flags&);
+using RtFromU32Fn = std::uint64_t (*)(std::uint32_t, RoundingMode, Flags&);
+/// Format-to-format conversion with the source/destination pair pre-bound.
+using RtCvtFn = std::uint64_t (*)(std::uint64_t, RoundingMode, Flags&);
+
+/// Every scalar operation of one format, as directly callable entry points.
+/// Generalizes the old single-op RtBinaryOp hook.
+struct RtOps {
+  RtBinFn add, sub, mul, div;
+  RtBinFn min, max;              // rm ignored
+  RtBinFn sgnj, sgnjn, sgnjx;    // rm ignored
+  RtTernFn fma;
+  RtUnFn sqrt;
+  RtCmpFn feq, flt, fle;
+  RtClassFn classify;
+  RtToI32Fn to_int32;
+  RtToU32Fn to_uint32;
+  RtFromI32Fn from_int32;
+  RtFromU32Fn from_uint32;
 };
+
+/// The operation table for a format tag. The reference never dangles: tables
+/// have static storage duration.
+[[nodiscard]] const RtOps& rt_ops(FpFormat f);
+
+/// Pre-bound converter for a (destination, source) format pair.
+[[nodiscard]] RtCvtFn rt_convert_fn(FpFormat to, FpFormat from);
+
+// ---- per-(op, format) packed-SIMD tables -----------------------------------
+
+/// Lanewise operations over `lanes` elements of one format packed in a
+/// 64-bit register, with the element arithmetic inlined into the lane loop
+/// (one indirect call per *instruction*, zero per lane). When `replicate` is
+/// set, lane 0 of `b` is broadcast to all lanes (the .R scalar-replication
+/// variants). Bits above lane `lanes-1` of the result are zero.
+using RtVecBinFn = std::uint64_t (*)(std::uint64_t a, std::uint64_t b,
+                                     int lanes, bool replicate, RoundingMode,
+                                     Flags&);
+/// Fused multiply-accumulate: d[l] = a[l] * b[l] + d[l].
+using RtVecTernFn = std::uint64_t (*)(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t d, int lanes,
+                                      bool replicate, RoundingMode, Flags&);
+using RtVecUnFn = std::uint64_t (*)(std::uint64_t a, int lanes, RoundingMode,
+                                    Flags&);
+/// Lanewise comparison producing a lane bitmask in an integer register.
+using RtVecCmpFn = std::uint32_t (*)(std::uint64_t a, std::uint64_t b,
+                                     int lanes, Flags&);
+/// Expanding dot product (Xfaux): acc(f32) += sum_l widen(a[l]) * widen(b[l]),
+/// accumulated with fused binary32 steps in lane order.
+using RtVecDotpFn = std::uint64_t (*)(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t acc32, int lanes,
+                                      bool replicate, RoundingMode, Flags&);
+
+struct RtVecOps {
+  RtVecBinFn add, sub, mul, div;
+  RtVecBinFn min, max;            // rm ignored
+  RtVecBinFn sgnj, sgnjn, sgnjx;  // rm ignored
+  RtVecTernFn mac;
+  RtVecUnFn sqrt;
+  RtVecUnFn to_int;    ///< lanewise FP -> saturating signed int of lane width
+  RtVecUnFn from_int;  ///< lanewise signed int of lane width -> FP
+  RtVecCmpFn feq, flt, fle;
+  RtVecDotpFn dotp;
+};
+
+/// The packed-lane table for a format tag (meaningful for the sub-32-bit
+/// smallFloat formats; provided for all tags for uniformity).
+[[nodiscard]] const RtVecOps& rt_vec_ops(FpFormat f);
+
+// ---- per-call format dispatch (cold paths) ---------------------------------
 
 std::uint64_t rt_add(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm, Flags& fl);
 std::uint64_t rt_sub(FpFormat f, std::uint64_t a, std::uint64_t b, RoundingMode rm, Flags& fl);

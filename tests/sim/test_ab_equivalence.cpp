@@ -1,0 +1,256 @@
+// Randomized A/B equivalence suite: the predecoded micro-op engine must
+// match the retained reference interpreter bit-for-bit on architectural
+// state (x/f register files, memory, fflags/frm) AND on the timing model
+// (cycles, instruction/load/store counts) across every extension
+// configuration. Streams read the cycle CSR mid-run, so a single
+// mis-accounted cycle also shows up as an architectural divergence.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "asmb/assembler.hpp"
+#include "sim/core.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using asmb::Assembler;
+using isa::Cls;
+using isa::IsaConfig;
+using isa::Lay;
+using isa::Op;
+namespace reg = asmb::reg;
+
+constexpr std::uint8_t kBaseReg = reg::s0;  // holds the scratch-buffer address
+constexpr std::size_t kBufBytes = 256;
+
+class StreamGen {
+ public:
+  StreamGen(const IsaConfig& cfg, std::uint64_t seed) : rng_(seed) {
+    for (std::size_t k = 0; k < isa::kNumOps; ++k) {
+      const Op op = static_cast<Op>(k);
+      if (!cfg.supports(op)) continue;
+      // ECALL/EBREAK would end the stream early.
+      if (op == Op::ECALL || op == Op::EBREAK) continue;
+      pool_.push_back(op);
+    }
+  }
+
+  /// Emit `count` random instruction groups into `a`, followed by ebreak.
+  /// JALR expands to a two-instruction auipc pair, so "skip one" forward
+  /// displacements are only allowed when the following group is a single
+  /// instruction (a skip landing mid-pair would read a garbage base).
+  void emit_stream(Assembler& a, int count) {
+    std::vector<Op> ops(static_cast<std::size_t>(count));
+    for (auto& op : ops) op = pick_op();
+    for (int i = 0; i < count; ++i) {
+      const bool allow_skip = i + 1 < count && ops[i + 1] != Op::JALR;
+      const Op op = ops[i];
+      if (op == Op::JALR) {
+        // Register-indirect targets are made trackable with an auipc pair:
+        // target = auipc_pc + imm lands on the next instruction (+8) or
+        // skips one (+12). rd may alias the base, exercising the
+        // read-before-link-write ordering.
+        std::uint8_t base = int_rd();
+        if (base == 0) base = reg::t1;
+        a.emit({.op = Op::AUIPC, .rd = base, .imm = 0});
+        a.emit({.op = Op::JALR, .rd = int_rd(), .rs1 = base,
+                .imm = fwd_imm(allow_skip) + 4});
+        continue;
+      }
+      a.emit(random_inst(op, allow_skip));
+    }
+    a.ebreak();
+  }
+
+ private:
+  Op pick_op() { return pool_[rng_() % pool_.size()]; }
+  std::uint8_t xreg() { return static_cast<std::uint8_t>(rng_() & 31); }
+  std::uint8_t freg() { return static_cast<std::uint8_t>(rng_() & 31); }
+  /// Integer destination that never clobbers the scratch-buffer base.
+  std::uint8_t int_rd() {
+    const auto r = xreg();
+    return r == kBaseReg ? static_cast<std::uint8_t>(r + 1) : r;
+  }
+  std::uint8_t rand_rm() {
+    const std::uint8_t m[] = {0, 1, 2, 3, 4, isa::kRmDyn};
+    return m[rng_() % 6];
+  }
+  std::int32_t mem_offset() {
+    return static_cast<std::int32_t>(rng_() % 63) * 4;
+  }
+  /// Forward branch/jump displacement that stays inside the stream: +8 skips
+  /// one instruction, +4 is a plain fall-through (taken or not).
+  std::int32_t fwd_imm(bool allow_skip) {
+    return (allow_skip && (rng_() & 1) != 0) ? 8 : 4;
+  }
+
+  isa::Inst random_inst(Op op, bool allow_skip) {
+    isa::Inst i{.op = op};
+    const auto cls = isa::op_class(op);
+    switch (isa::layout(op)) {
+      case Lay::U:
+        i.rd = int_rd();
+        i.imm = static_cast<std::int32_t>((rng_() & 0xfffff) << 12);
+        break;
+      case Lay::J:
+        i.rd = int_rd();
+        i.imm = fwd_imm(allow_skip);
+        break;
+      case Lay::Bimm:
+        i.rs1 = xreg();
+        i.rs2 = xreg();
+        i.imm = fwd_imm(allow_skip);
+        break;
+      case Lay::Iimm:
+        if (cls == Cls::Load || cls == Cls::FpLoad) {
+          i.rd = cls == Cls::Load ? int_rd() : freg();
+          i.rs1 = kBaseReg;
+          i.imm = mem_offset();
+        } else {
+          i.rd = int_rd();
+          i.rs1 = xreg();
+          i.imm = static_cast<std::int32_t>(rng_() & 0xfff) - 2048;
+        }
+        break;
+      case Lay::Simm:
+        i.rs1 = kBaseReg;
+        i.rs2 = cls == Cls::Store ? xreg() : freg();
+        i.imm = mem_offset();
+        break;
+      case Lay::Shamt:
+        i.rd = int_rd();
+        i.rs1 = xreg();
+        i.imm = static_cast<std::int32_t>(rng_() & 31);
+        break;
+      case Lay::R:
+        i.rd = int_rd();
+        i.rs1 = xreg();
+        i.rs2 = xreg();
+        break;
+      case Lay::FullWord:
+        break;  // fence
+      case Lay::Csr: {
+        const std::int32_t addrs[] = {0x001, 0x002, 0x003, 0xc00, 0xc02};
+        i.rd = int_rd();
+        i.rs1 = xreg();  // zimm for the I variants: same 5-bit range
+        i.imm = addrs[rng_() % 5];
+        break;
+      }
+      case Lay::FpRrm:
+      case Lay::FpR2:
+        i.rd = isa::rd_is_int(op) ? int_rd() : freg();
+        i.rs1 = freg();
+        i.rs2 = freg();
+        i.rm = rand_rm();
+        break;
+      case Lay::FpR4:
+        i.rd = freg();
+        i.rs1 = freg();
+        i.rs2 = freg();
+        i.rs3 = freg();
+        i.rm = rand_rm();
+        break;
+      case Lay::FpUnaryRm:
+      case Lay::FpUnary:
+        i.rd = isa::rd_is_int(op) ? int_rd() : freg();
+        i.rs1 = isa::rs1_is_int(op) ? xreg() : freg();
+        i.rm = rand_rm();
+        break;
+      case Lay::Vec:
+        i.rd = isa::rd_is_int(op) ? int_rd() : freg();
+        i.rs1 = freg();
+        i.rs2 = freg();
+        break;
+      case Lay::VecUnary:
+        i.rd = freg();
+        i.rs1 = freg();
+        break;
+    }
+    return i;
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<Op> pool_;
+};
+
+/// Seed both cores with identical random architectural state.
+void seed_state(sim::Core& core, std::uint64_t seed) {
+  std::mt19937_64 sr(seed ^ 0x5eed5eed5eed5eedull);
+  for (unsigned r = 1; r < 32; ++r) {
+    core.set_x(r, static_cast<std::uint32_t>(sr()));
+  }
+  for (unsigned r = 0; r < 32; ++r) core.set_f_bits(r, sr());
+  core.set_fflags(static_cast<std::uint8_t>(sr() & 0x1f));
+  core.set_frm(static_cast<fp::RoundingMode>(sr() % 5));
+}
+
+/// Run one random stream through both engines; returns executed instructions.
+std::uint64_t run_stream(const IsaConfig& cfg, std::uint64_t seed, int count) {
+  Assembler a;
+  const std::uint32_t buf = a.data_zero(kBufBytes);
+  a.la(kBaseReg, buf);
+  StreamGen gen(cfg, seed);
+  gen.emit_stream(a, count);
+  const asmb::Program prog = a.finish();
+
+  sim::Core uop_core(cfg);
+  sim::Core ref_core(cfg);
+  ref_core.set_engine(sim::Core::Engine::Reference);
+  uop_core.load_program(prog);
+  ref_core.load_program(prog);
+  seed_state(uop_core, seed);
+  seed_state(ref_core, seed);
+
+  EXPECT_EQ(uop_core.run(1'000'000), sim::Core::RunResult::Halted);
+  EXPECT_EQ(ref_core.run(1'000'000), sim::Core::RunResult::Halted);
+
+  // Architectural state.
+  EXPECT_EQ(uop_core.pc(), ref_core.pc());
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(uop_core.x(r), ref_core.x(r)) << "x" << r << " seed=" << seed;
+    EXPECT_EQ(uop_core.f_bits(r), ref_core.f_bits(r))
+        << "f" << r << " seed=" << seed;
+  }
+  EXPECT_EQ(uop_core.fflags(), ref_core.fflags()) << "seed=" << seed;
+  EXPECT_EQ(uop_core.frm(), ref_core.frm()) << "seed=" << seed;
+
+  // Memory (all stores are confined to the scratch buffer).
+  std::vector<std::uint8_t> m_uop(kBufBytes), m_ref(kBufBytes);
+  uop_core.memory().read_block(buf, m_uop.data(), kBufBytes);
+  ref_core.memory().read_block(buf, m_ref.data(), kBufBytes);
+  EXPECT_EQ(m_uop, m_ref) << "seed=" << seed;
+
+  // Timing model.
+  EXPECT_EQ(uop_core.stats().cycles, ref_core.stats().cycles)
+      << "seed=" << seed;
+  EXPECT_EQ(uop_core.stats().instructions, ref_core.stats().instructions);
+  EXPECT_EQ(uop_core.stats().load_count, ref_core.stats().load_count);
+  EXPECT_EQ(uop_core.stats().store_count, ref_core.stats().store_count);
+
+  return uop_core.stats().instructions;
+}
+
+void run_config(const IsaConfig& cfg) {
+  std::uint64_t executed = 0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    executed += run_stream(cfg, 0xAB000000u + s, 1500);
+  }
+  EXPECT_GE(executed, 10'000u) << "stream generator under-delivers coverage";
+}
+
+TEST(AbEquivalence, FullSmallFloatConfig) { run_config(IsaConfig::full()); }
+
+TEST(AbEquivalence, Rv32imfBaseline) { run_config(IsaConfig::rv32imf()); }
+
+TEST(AbEquivalence, FullConfigFlen64) { run_config(IsaConfig::full(64)); }
+
+TEST(AbEquivalence, FullConfigFlen16) { run_config(IsaConfig::full(16)); }
+
+TEST(AbEquivalence, IntegerOnlyConfig) {
+  run_config(IsaConfig({isa::Ext::I, isa::Ext::M, isa::Ext::Zicsr}, 32));
+}
+
+}  // namespace
+}  // namespace sfrv::test
