@@ -68,16 +68,22 @@ double EnergyModel::unit_energy(isa::Op op) const {
 
 double EnergyModel::total_pj(const sim::Stats& stats,
                              const sim::MemConfig& mem) const {
-  double total = leakage_per_cycle * static_cast<double>(stats.cycles);
-  total += base_per_instr * static_cast<double>(stats.instructions);
+  return breakdown(stats, mem).total();
+}
+
+EnergyBreakdown EnergyModel::breakdown(const sim::Stats& stats,
+                                       const sim::MemConfig& mem) const {
+  EnergyBreakdown b;
+  b.leakage = leakage_per_cycle * static_cast<double>(stats.cycles);
+  b.base = base_per_instr * static_cast<double>(stats.instructions);
   for (std::size_t i = 0; i < isa::kNumOps; ++i) {
     const auto n = stats.op_count[i];
     if (n == 0) continue;
-    total += static_cast<double>(n) * unit_energy(static_cast<isa::Op>(i));
+    b.unit += static_cast<double>(n) * unit_energy(static_cast<isa::Op>(i));
   }
-  total += mem_energy(mem.load_latency) *
-           static_cast<double>(stats.load_count + stats.store_count);
-  return total;
+  b.memory = mem_energy(mem.load_latency) *
+             static_cast<double>(stats.load_count + stats.store_count);
+  return b;
 }
 
 }  // namespace sfrv::energy

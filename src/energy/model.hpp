@@ -18,6 +18,18 @@
 
 namespace sfrv::energy {
 
+/// Component-wise decomposition of a run's energy (all values in pJ).
+/// The eval report layer records these alongside the total so regressions
+/// can be attributed to a component (compute vs. memory vs. idle).
+struct EnergyBreakdown {
+  double base = 0;     ///< per-instruction pipeline overhead
+  double leakage = 0;  ///< per-cycle static/clock-tree energy
+  double unit = 0;     ///< functional-unit increments
+  double memory = 0;   ///< data-memory access energy
+
+  [[nodiscard]] double total() const { return base + leakage + unit + memory; }
+};
+
 struct EnergyModel {
   // Core pipeline overhead charged to every instruction (fetch, decode,
   // register file) [pJ].
@@ -55,9 +67,13 @@ struct EnergyModel {
     return mem_l3;
   }
 
-  /// Total energy [pJ] for a finished run.
+  /// Total energy [pJ] for a finished run (= breakdown().total()).
   [[nodiscard]] double total_pj(const sim::Stats& stats,
                                 const sim::MemConfig& mem) const;
+
+  /// Component-wise energy for a finished run.
+  [[nodiscard]] EnergyBreakdown breakdown(const sim::Stats& stats,
+                                          const sim::MemConfig& mem) const;
 };
 
 }  // namespace sfrv::energy

@@ -1,0 +1,98 @@
+// Campaign runner: expand a (benchmark × TypeConfig × CodegenMode) matrix,
+// execute every cell through the predecoded simulator engine on a thread
+// pool, and aggregate cycles, instruction/energy breakdowns, and QoR into an
+// EvalReport.
+//
+// Determinism contract: a campaign's report is a pure function of its spec.
+// Cells are executed in any order (each one builds its own kernel, Core and
+// ExecContext), but results land in matrix-expansion order, and every
+// aggregate is computed serially afterwards — so `-j1` and `-jN` produce
+// byte-identical JSON.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/report.hpp"
+#include "kernels/suite.hpp"
+#include "sim/memory.hpp"
+
+namespace sfrv::eval {
+
+/// Problem sizing: Full runs the paper-sized suite (`kernels::benchmark_suite`),
+/// Smoke a reduced-size clone of it for CI and unit tests.
+enum class SuiteScale { Full, Smoke };
+
+/// A suite entry: the benchmark plus an optional QoR hook for workloads whose
+/// quality metric is not SQNR alone (the SVM reports classification accuracy).
+struct EvalBenchmark {
+  kernels::Benchmark bench;
+  std::function<double(const kernels::KernelSpec&, const kernels::RunResult&)>
+      accuracy;  ///< null when accuracy is not applicable
+};
+
+/// Table III order (SVM, GEMM, ATAX, SYRK, SYR2K, FDTD2D) at either scale.
+[[nodiscard]] const std::vector<EvalBenchmark>& eval_suite(SuiteScale scale);
+
+/// A named variable-to-type assignment.
+struct TypeConfigSpec {
+  std::string name;
+  kernels::TypeConfig tc;
+};
+
+/// The paper's evaluated configurations: float (baseline), float16,
+/// float16alt, float8, and the tuned mixed scheme (float16 data / float acc).
+[[nodiscard]] std::vector<TypeConfigSpec> default_type_configs();
+
+struct CampaignSpec {
+  std::string name = "table3";
+  SuiteScale scale = SuiteScale::Full;
+  /// Benchmarks to run, expanded in the order listed here; empty means the
+  /// whole suite in Table III order.
+  std::vector<std::string> benchmarks;
+  std::vector<TypeConfigSpec> type_configs = default_type_configs();
+  std::vector<ir::CodegenMode> modes = {ir::CodegenMode::Scalar,
+                                        ir::CodegenMode::AutoVec,
+                                        ir::CodegenMode::ManualVec};
+  sim::MemConfig mem{};
+  /// Append the tuner-driven mixed-precision case study (Fig. 6).
+  bool tuner_study = true;
+
+  /// The paper evaluation: full sizes, all benchmarks/configs/modes + tuner.
+  [[nodiscard]] static CampaignSpec table3();
+  /// Reduced problem sizes for CI; same matrix shape.
+  [[nodiscard]] static CampaignSpec smoke();
+
+  /// Whether this campaign will run the tuner case study: it rides on the
+  /// SVM, so a benchmark filter that excludes "svm" also skips the study.
+  [[nodiscard]] bool runs_tuner() const;
+};
+
+/// One cell of the expanded matrix. `benchmark` points into `eval_suite`.
+struct CellSpec {
+  const EvalBenchmark* benchmark = nullptr;
+  TypeConfigSpec type_config;
+  ir::CodegenMode mode = ir::CodegenMode::Scalar;
+};
+
+/// Expand the campaign matrix, benchmark-major then type config then mode.
+/// Throws on a benchmark name not present in the suite.
+[[nodiscard]] std::vector<CellSpec> expand_matrix(const CampaignSpec& spec);
+
+/// Execute one cell: lower, simulate, and measure.
+[[nodiscard]] CellResult run_cell(const CellSpec& cell,
+                                  const sim::MemConfig& mem);
+
+/// Run the whole campaign with `jobs` worker threads (clamped to >= 1).
+[[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1);
+
+/// The Fig. 6 case study: precision tuning of the SVM slots ({data, acc}
+/// over all four scalar types, narrowest first) with QoR = simulated
+/// classification accuracy and cost = simulated cycles, under the strict
+/// constraint of matching the float configuration's accuracy. Exhaustive
+/// over the 16-config grid, every configuration simulated once.
+[[nodiscard]] TunerStudy run_tuner_study(SuiteScale scale,
+                                         const sim::MemConfig& mem);
+
+}  // namespace sfrv::eval

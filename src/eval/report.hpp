@@ -1,0 +1,96 @@
+// The evaluation report: one record per (benchmark, TypeConfig, CodegenMode)
+// cell of a campaign, plus the tuner-driven mixed-precision case study.
+//
+// The JSON form is schema-versioned (`kReportSchema`) and fully
+// deterministic: cells are stored in matrix-expansion order, per-class
+// instruction counts in opcode-class enum order, and doubles serialize with
+// shortest-round-trip formatting. Two runs of the same campaign — at any
+// thread count — produce byte-identical documents, which is what makes
+// `BENCH_eval.json` usable for trend tracking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "eval/json.hpp"
+#include "ir/lower.hpp"
+#include "ir/type.hpp"
+
+namespace sfrv::eval {
+
+/// Bump on any structural change to the JSON layout.
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v1";
+
+/// One matrix cell: a benchmark executed at a type configuration under one
+/// code generator, with its performance, breakdown, energy, and QoR.
+struct CellResult {
+  std::string benchmark;
+  std::string type_config;  ///< display name, e.g. "float16" or "mixed"
+  ir::ScalarType data = ir::ScalarType::F32;
+  ir::ScalarType acc = ir::ScalarType::F32;
+  ir::CodegenMode mode = ir::CodegenMode::Scalar;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// Nonzero per-class instruction counts, in Cls enum order.
+  std::vector<std::pair<std::string, std::uint64_t>> class_counts;
+
+  energy::EnergyBreakdown energy{};
+
+  double sqnr_db = 0;    ///< vs. the double-precision golden outputs
+  double accuracy = -1;  ///< classification accuracy; negative when N/A
+};
+
+/// One configuration the precision tuner evaluated.
+struct TunerTrial {
+  ir::ScalarType data = ir::ScalarType::F32;
+  ir::ScalarType acc = ir::ScalarType::F32;
+  double qor = 0;   ///< classification accuracy
+  double cost = 0;  ///< simulated cycles
+  bool feasible = false;
+};
+
+/// The Fig. 6 case study: greedy precision tuning of the SVM against
+/// simulated cycles under a strict accuracy constraint.
+struct TunerStudy {
+  std::string benchmark;
+  std::string objective;  ///< what `cost` measures ("cycles")
+  double qor_threshold = 0;
+  bool found = false;
+  TunerTrial best{};
+  std::vector<TunerTrial> explored;  ///< in evaluation order
+};
+
+struct EvalReport {
+  std::string suite;  ///< campaign name ("table3", "smoke")
+  int mem_load_latency = 1;
+  int mem_store_latency = 1;
+  std::vector<std::string> benchmarks;    ///< suite order
+  std::vector<std::string> type_configs;  ///< campaign order
+  std::vector<std::string> modes;         ///< campaign order
+  /// benchmark-major, then type config, then mode (matrix-expansion order).
+  std::vector<CellResult> cells;
+  bool has_tuner = false;
+  TunerStudy tuner{};
+
+  /// Cell lookup by coordinates; nullptr when the cell is not present.
+  [[nodiscard]] const CellResult* find_cell(std::string_view benchmark,
+                                            std::string_view type_config,
+                                            ir::CodegenMode mode) const;
+};
+
+[[nodiscard]] Json to_json(const EvalReport& report);
+[[nodiscard]] EvalReport report_from_json(const Json& doc);
+
+/// Human-readable report mirroring the paper's Table III, Fig. 5 and Fig. 6.
+[[nodiscard]] std::string render_markdown(const EvalReport& report);
+
+/// Name <-> enum helpers shared by the JSON codec and the CLI.
+[[nodiscard]] ir::ScalarType scalar_type_from_name(std::string_view name);
+[[nodiscard]] ir::CodegenMode mode_from_name(std::string_view name);
+
+}  // namespace sfrv::eval

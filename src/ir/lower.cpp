@@ -762,6 +762,65 @@ class Lowerer {
         if (ut != *t && ut != ScalarType::F32) return std::nullopt;
       }
     }
+    // Shapes the vector lowering can actually emit. Every reduction value
+    // needs a streaming side to carry the lanes (an all-invariant value has
+    // no packed register to accumulate from), the expanding dot product
+    // needs two packed operands, and a variable accumulated in this loop
+    // must not also be read as an operand (its lanes live in the packed
+    // accumulator, not the home register). Violations fall back to scalar.
+    auto streams = [&](const Expr& e) {
+      auto rec = [&](const Expr& x, auto&& self) -> bool {
+        if (x.kind == Expr::Kind::Load) return x.ref.col.var == lp.var;
+        if (x.lhs) return self(*x.lhs, self) || self(*x.rhs, self);
+        return false;
+      };
+      return rec(e, rec);
+    };
+    std::vector<int> acc_dsts;
+    for (const auto& n : lp.body) {
+      const Stmt& s = std::get<Stmt>(n);
+      if (s.kind == Stmt::Kind::AccumScalar) acc_dsts.push_back(s.dst_var);
+    }
+    auto reads_acc_dst = [&](const Expr& e) {
+      auto rec = [&](const Expr& x, auto&& self) -> bool {
+        if (x.kind == Expr::Kind::Var) {
+          return std::find(acc_dsts.begin(), acc_dsts.end(), x.var) !=
+                 acc_dsts.end();
+        }
+        if (x.lhs) return self(*x.lhs, self) || self(*x.rhs, self);
+        return false;
+      };
+      return rec(e, rec);
+    };
+    for (const auto& n : lp.body) {
+      const Stmt& s = std::get<Stmt>(n);
+      const Expr& v = *s.value;
+      if (reads_acc_dst(v)) return std::nullopt;
+      switch (s.kind) {
+        case Stmt::Kind::StoreArray:
+          break;  // invariant values are broadcast
+        case Stmt::Kind::AccumArray:
+          if (v.kind == Expr::Kind::Add &&
+              v.lhs->kind == Expr::Kind::Mul &&
+              v.rhs->kind == Expr::Kind::Mul) {
+            if (!streams(*v.lhs) || !streams(*v.rhs)) return std::nullopt;
+          } else if (!streams(v)) {
+            return std::nullopt;
+          }
+          break;
+        case Stmt::Kind::AccumScalar: {
+          const auto ut = k_.vars[static_cast<std::size_t>(s.dst_var)].type;
+          if (ut == *t) {
+            if (!streams(v)) return std::nullopt;
+          } else {  // expanding: vfdotpex needs two packed operands
+            if (!streams(*v.lhs) || !streams(*v.rhs)) return std::nullopt;
+          }
+          break;
+        }
+        case Stmt::Kind::AssignScalar:
+          break;  // already rejected above
+      }
+    }
     return t;
   }
 
@@ -809,6 +868,9 @@ class Lowerer {
         return vload(e.ref);
       }
       case Expr::Kind::Var:
+        for (const auto& [vid, reg] : var_vec_regs_) {
+          if (vid == e.var) return {reg, false, vec_t_, false};
+        }
         return {var_reg_[static_cast<std::size_t>(e.var)], false,
                 k_.vars[static_cast<std::size_t>(e.var)].type, false};
       case Expr::Kind::Const:
@@ -1039,6 +1101,9 @@ class Lowerer {
 
   // Vector accumulators for same-type reductions: var id -> packed register.
   std::vector<std::pair<int, std::uint8_t>> vec_accs_;
+  // Invariant scalar variables pre-converted to the element type for the
+  // vector body: var id -> preheader register (see lower_vector_loop).
+  std::vector<std::pair<int, std::uint8_t>> var_vec_regs_;
   std::uint8_t vec_acc_for(int var) {
     for (auto& [v, r] : vec_accs_) {
       if (v == var) return r;
@@ -1068,6 +1133,43 @@ class Lowerer {
         fp_pool_.release(inv.reg);
         inv.reg = d;
         inv.type = t;
+      }
+    }
+    // Same for loop-invariant scalar variables read in the body (mixed
+    // precision: e.g. atax's y[j] += A[i][j] * s with a float accumulator s
+    // feeding a float16 lane operand). Reduction destinations are excluded —
+    // the accumulator paths below own those. The home register stays
+    // untouched so the scalar epilogue still reads the full-precision value.
+    var_vec_regs_.clear();
+    {
+      std::vector<int> reads;
+      std::vector<int> acc_dsts;
+      auto note = [&](const Expr& e, auto&& self) -> void {
+        if (e.kind == Expr::Kind::Var) {
+          if (std::find(reads.begin(), reads.end(), e.var) == reads.end()) {
+            reads.push_back(e.var);
+          }
+        } else if (e.lhs) {
+          self(*e.lhs, self);
+          self(*e.rhs, self);
+        }
+      };
+      for (const auto& n : lp.body) {
+        const Stmt& s = std::get<Stmt>(n);
+        if (s.kind == Stmt::Kind::AccumScalar) acc_dsts.push_back(s.dst_var);
+        note(*s.value, note);
+      }
+      for (const int vid : reads) {
+        if (std::find(acc_dsts.begin(), acc_dsts.end(), vid) !=
+            acc_dsts.end()) {
+          continue;
+        }
+        const auto vt = k_.vars[static_cast<std::size_t>(vid)].type;
+        if (vt == t) continue;
+        const std::uint8_t d = fp_pool_.alloc();
+        asm_.fp_rr(convert_op(t, vt), d,
+                   var_reg_[static_cast<std::size_t>(vid)]);
+        var_vec_regs_.emplace_back(vid, d);
       }
     }
 
@@ -1194,6 +1296,8 @@ class Lowerer {
       fp_pool_.release(zero_vec_);
       zero_vec_valid_ = false;
     }
+    for (const auto& [vid, reg] : var_vec_regs_) fp_pool_.release(reg);
+    var_vec_regs_.clear();
     release_inner(ic);
     int_pool_.release(b);
     int_pool_.release(v);

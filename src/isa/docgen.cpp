@@ -1,0 +1,190 @@
+#include "isa/docgen.hpp"
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "isa/isa.hpp"
+#include "sim/timing.hpp"
+
+namespace sfrv::isa {
+
+namespace {
+
+/// Operand sketch of an encoding layout, in assembler order.
+std::string_view layout_operands(Lay lay) {
+  switch (lay) {
+    case Lay::U: return "rd, imm20";
+    case Lay::J: return "rd, offset21";
+    case Lay::Iimm: return "rd, rs1, imm12";
+    case Lay::Bimm: return "rs1, rs2, offset13";
+    case Lay::Simm: return "rs2, imm12(rs1)";
+    case Lay::Shamt: return "rd, rs1, shamt5";
+    case Lay::R: return "rd, rs1, rs2";
+    case Lay::FullWord: return "—";
+    case Lay::Csr: return "rd, csr12, rs1/zimm";
+    case Lay::FpRrm: return "rd, rs1, rs2 [, rm]";
+    case Lay::FpR2: return "rd, rs1, rs2";
+    case Lay::FpR4: return "rd, rs1, rs2, rs3 [, rm]";
+    case Lay::FpUnaryRm: return "rd, rs1 [, rm]";
+    case Lay::FpUnary: return "rd, rs1";
+    case Lay::Vec: return "rd, rs1, rs2";
+    case Lay::VecUnary: return "rd, rs1";
+  }
+  return "?";
+}
+
+std::string_view layout_name(Lay lay) {
+  switch (lay) {
+    case Lay::U: return "U";
+    case Lay::J: return "J";
+    case Lay::Iimm: return "I";
+    case Lay::Bimm: return "B";
+    case Lay::Simm: return "S";
+    case Lay::Shamt: return "I-shamt";
+    case Lay::R: return "R";
+    case Lay::FullWord: return "full-word";
+    case Lay::Csr: return "CSR";
+    case Lay::FpRrm: return "FP-R+rm";
+    case Lay::FpR2: return "FP-R";
+    case Lay::FpR4: return "FP-R4";
+    case Lay::FpUnaryRm: return "FP-unary+rm";
+    case Lay::FpUnary: return "FP-unary";
+    case Lay::Vec: return "vec";
+    case Lay::VecUnary: return "vec-unary";
+  }
+  return "?";
+}
+
+std::string_view ext_description(Ext e) {
+  switch (e) {
+    case Ext::I: return "RV32I base integer instruction set";
+    case Ext::M: return "integer multiplication and division";
+    case Ext::Zicsr: return "control and status register access";
+    case Ext::F: return "IEEE binary32 scalar floating point";
+    case Ext::Xf16: return "smallFloat scalar binary16 (IEEE half)";
+    case Ext::Xf16alt: return "smallFloat scalar binary16alt (bfloat16-style)";
+    case Ext::Xf8: return "smallFloat scalar binary8 minifloat";
+    case Ext::Xfvec: return "packed-SIMD vectors of smallFloat elements";
+    case Ext::Xfaux: return "auxiliary expanding ops (smallFloat in, binary32 out)";
+  }
+  return "?";
+}
+
+std::string_view format_cell(OpFmt f) {
+  switch (f) {
+    case OpFmt::None: return "—";
+    case OpFmt::S: return "binary32";
+    case OpFmt::AH: return "binary16alt";
+    case OpFmt::H: return "binary16";
+    case OpFmt::B: return "binary8";
+  }
+  return "?";
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_isa_reference() {
+  const sim::Timing timing;
+  std::string out;
+
+  out +=
+      "# ISA reference — RV32IMF + smallFloat extensions\n"
+      "\n"
+      "<!-- GENERATED FILE: do not edit by hand. This document is rendered\n"
+      "     from the opcode tables (src/isa/opcodes.hpp) by\n"
+      "     `./build/tools/gen-isa-doc docs/isa-reference.md`;\n"
+      "     tests/isa/test_isa_doc_sync.cpp asserts it is in sync. -->\n"
+      "\n"
+      "Every instruction the simulator implements, rendered from the same\n"
+      "X-macro table that drives the encoder, decoder, disassembler,\n"
+      "micro-op predecoder and energy model. Encodings are given as the\n"
+      "fixed-bit pattern (operand fields zero) and the mask selecting the\n"
+      "fixed bits; a word `w` matches an instruction iff\n"
+      "`(w & mask) == match`.\n"
+      "\n"
+      "## Extensions\n"
+      "\n";
+
+  constexpr std::array<Ext, 9> kExts = {Ext::I,    Ext::M,      Ext::Zicsr,
+                                        Ext::F,    Ext::Xf16,   Ext::Xf16alt,
+                                        Ext::Xf8,  Ext::Xfvec,  Ext::Xfaux};
+
+  std::array<std::vector<Op>, kExts.size()> by_ext;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    for (std::size_t e = 0; e < kExts.size(); ++e) {
+      if (extension(op) == kExts[e]) {
+        by_ext[e].push_back(op);
+        break;
+      }
+    }
+  }
+
+  out += "| extension | instructions | description |\n|---|---|---|\n";
+  for (std::size_t e = 0; e < kExts.size(); ++e) {
+    out += "| " + std::string(ext_name(kExts[e])) + " | " +
+           std::to_string(by_ext[e].size()) + " | " +
+           std::string(ext_description(kExts[e])) + " |\n";
+  }
+
+  out +=
+      "\n"
+      "## Timing classes\n"
+      "\n"
+      "The RISCY-like model is in-order single-issue: one cycle per\n"
+      "instruction plus stall sources. The `cycles` column below is the\n"
+      "base occupancy; loads additionally stall for the configured memory\n"
+      "latency, and taken branches / jumps pay a 1-cycle refetch penalty.\n"
+      "Iterative units occupy the pipe for multiple cycles, fewer for\n"
+      "narrower formats (smaller mantissa → fewer radix iterations):\n"
+      "\n"
+      "| unit | binary8 | binary16 / binary16alt | binary32 |\n"
+      "|---|---|---|---|\n";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "| fdiv / fsqrt | %d | %d | %d |\n",
+                  timing.fp_div_cycles(fp::FpFormat::F8),
+                  timing.fp_div_cycles(fp::FpFormat::F16),
+                  timing.fp_div_cycles(fp::FpFormat::F32));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "\nInteger division occupies %d cycles.\n\n",
+                  timing.int_div_cycles);
+    out += buf;
+  }
+
+  for (std::size_t e = 0; e < kExts.size(); ++e) {
+    out += "## " + std::string(ext_name(kExts[e])) + " — " +
+           std::string(ext_description(kExts[e])) + "\n\n";
+    out +=
+        "| mnemonic | operands | layout | encoding match | mask | class | "
+        "format | lanes | cycles |\n"
+        "|---|---|---|---|---|---|---|---|---|\n";
+    for (const Op op : by_ext[e]) {
+      const EncPattern enc = encoding_pattern(op);
+      const int lanes =
+          is_vector(op) ? vector_lanes(to_fp_format(op_format(op)), 32) : 0;
+      out += "| `" + std::string(mnemonic(op)) + "` | " +
+             std::string(layout_operands(layout(op))) + " | " +
+             std::string(layout_name(layout(op))) + " | `" +
+             hex32(enc.match) + "` | `" + hex32(enc.mask) + "` | " +
+             std::string(cls_name(op_class(op))) + " | " +
+             std::string(format_cell(op_format(op))) + " | " +
+             (lanes > 0 ? std::to_string(lanes) : "—") + " | " +
+             std::to_string(timing.base_cycles(op)) + " |\n";
+    }
+    out += "\n";
+  }
+
+  return out;
+}
+
+}  // namespace sfrv::isa

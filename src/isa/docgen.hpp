@@ -1,0 +1,15 @@
+// Generated ISA reference: walks the opcode table (the X-macro inventory in
+// opcodes.hpp) plus the encoder and timing model, and renders the complete
+// instruction listing as Markdown. `docs/isa-reference.md` is the checked-in
+// output; a tier-1 test asserts it matches this renderer, so the doc can
+// never drift from the tables it documents.
+#pragma once
+
+#include <string>
+
+namespace sfrv::isa {
+
+/// The full Markdown document (contents of docs/isa-reference.md).
+[[nodiscard]] std::string render_isa_reference();
+
+}  // namespace sfrv::isa

@@ -1,0 +1,202 @@
+// Eval-layer tests: JSON model, matrix expansion, deterministic parallel
+// aggregation (byte-identical reports at -j1 and -jN), report round-trip,
+// and the tuner case study. Campaign-level tests run the Smoke suite so the
+// whole file stays in ctest-friendly time.
+#include "eval/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/json.hpp"
+#include "eval/report.hpp"
+
+namespace sfrv::eval {
+namespace {
+
+// ---- Json ------------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+  const Json v = Json::parse("  [1, 2.25, \"x\", true, null]  ");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array().size(), 5u);
+  EXPECT_EQ(v.array()[0].as_int(), 1);
+  EXPECT_EQ(v.array()[1].as_double(), 2.25);
+  EXPECT_EQ(v.array()[2].as_string(), "x");
+  EXPECT_TRUE(v.array()[3].as_bool());
+  EXPECT_TRUE(v.array()[4].is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te\x01";
+  const std::string dumped = Json(raw).dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  EXPECT_EQ(Json::parse(dumped).as_string(), raw);
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  const Json v(JsonObject{{"z", Json(1)}, {"a", Json(2)}});
+  EXPECT_EQ(v.dump(), "{\"z\":1,\"a\":2}");
+  EXPECT_EQ(v.at("z").as_int(), 1);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+}
+
+TEST(Json, DoubleShortestRoundTrip) {
+  for (const double d : {0.1, 1.0 / 3.0, 1e-30, 123456789.123456789}) {
+    const Json parsed = Json::parse(Json(d).dump());
+    EXPECT_EQ(parsed.as_double(), d);
+  }
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("42 garbage"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, NonFiniteDoublesRejectedAtSerialization) {
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::infinity()).dump(),
+               std::runtime_error);
+}
+
+// ---- matrix expansion ------------------------------------------------------
+
+TEST(ExpandMatrix, FullCrossProductInOrder) {
+  const CampaignSpec spec = CampaignSpec::smoke();
+  const auto cells = expand_matrix(spec);
+  const auto& suite = eval_suite(SuiteScale::Smoke);
+  ASSERT_EQ(cells.size(),
+            suite.size() * spec.type_configs.size() * spec.modes.size());
+  // Benchmark-major, then type config, then mode.
+  std::size_t i = 0;
+  for (const auto& b : suite) {
+    for (const auto& tc : spec.type_configs) {
+      for (const auto mode : spec.modes) {
+        EXPECT_EQ(cells[i].benchmark, &b);
+        EXPECT_EQ(cells[i].type_config.name, tc.name);
+        EXPECT_EQ(cells[i].mode, mode);
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(ExpandMatrix, BenchmarkFilterAndUnknownName) {
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"gemm", "fdtd2d"};
+  const auto cells = expand_matrix(spec);
+  EXPECT_EQ(cells.size(), 2 * spec.type_configs.size() * spec.modes.size());
+  EXPECT_EQ(cells.front().benchmark->bench.name, "gemm");
+  EXPECT_EQ(cells.back().benchmark->bench.name, "fdtd2d");
+
+  spec.benchmarks = {"nope"};
+  EXPECT_THROW((void)expand_matrix(spec), std::runtime_error);
+}
+
+TEST(ExpandMatrix, CoversAcceptanceMatrix) {
+  // The acceptance criterion: all 6 benchmarks x 3 modes x >= 4 type configs.
+  const CampaignSpec spec = CampaignSpec::table3();
+  EXPECT_EQ(eval_suite(spec.scale).size(), 6u);
+  EXPECT_EQ(spec.modes.size(), 3u);
+  EXPECT_GE(spec.type_configs.size(), 4u);
+}
+
+// ---- campaign determinism and round-trip -----------------------------------
+
+/// Small-but-representative campaign: two benchmarks (one with an accuracy
+/// hook), the full type-config and mode matrix.
+CampaignSpec small_spec(bool tuner = false) {
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"svm", "atax"};
+  spec.tuner_study = tuner;
+  return spec;
+}
+
+TEST(Campaign, ParallelAggregationIsDeterministic) {
+  const EvalReport serial = run_campaign(small_spec(), 1);
+  const EvalReport parallel = run_campaign(small_spec(), 4);
+  EXPECT_EQ(to_json(serial).dump(2), to_json(parallel).dump(2));
+}
+
+TEST(Campaign, ReportJsonRoundTrips) {
+  const EvalReport report = run_campaign(small_spec(/*tuner=*/true), 2);
+  const std::string dumped = to_json(report).dump(2);
+  const EvalReport reparsed = report_from_json(Json::parse(dumped));
+  EXPECT_EQ(to_json(reparsed).dump(2), dumped);
+  EXPECT_EQ(reparsed.cells.size(), report.cells.size());
+  EXPECT_TRUE(reparsed.has_tuner);
+}
+
+TEST(Campaign, CellMetricsAreConsistent) {
+  const EvalReport report = run_campaign(small_spec(), 2);
+  ASSERT_FALSE(report.cells.empty());
+  for (const auto& c : report.cells) {
+    EXPECT_GT(c.cycles, 0u) << c.benchmark;
+    EXPECT_GT(c.instructions, 0u) << c.benchmark;
+    EXPECT_GE(c.cycles, c.instructions) << c.benchmark;
+    // Class counts decompose the instruction total.
+    std::uint64_t sum = 0;
+    for (const auto& [cls, n] : c.class_counts) sum += n;
+    EXPECT_EQ(sum, c.instructions) << c.benchmark;
+    EXPECT_GT(c.energy.total(), 0.0) << c.benchmark;
+    if (c.benchmark == "svm") {
+      EXPECT_GE(c.accuracy, 0.0);
+      EXPECT_LE(c.accuracy, 1.0);
+    } else {
+      EXPECT_LT(c.accuracy, 0.0);  // N/A marker
+    }
+  }
+  // The report knows the paper shape: smallFloat SIMD beats scalar float.
+  const CellResult* base =
+      report.find_cell("svm", "float", ir::CodegenMode::Scalar);
+  const CellResult* f16 =
+      report.find_cell("svm", "float16", ir::CodegenMode::ManualVec);
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(f16, nullptr);
+  EXPECT_LT(f16->cycles, base->cycles);
+  EXPECT_LT(f16->energy.total(), base->energy.total());
+}
+
+TEST(Campaign, MarkdownRendersAllSections) {
+  const EvalReport report = run_campaign(small_spec(/*tuner=*/true), 2);
+  const std::string md = render_markdown(report);
+  EXPECT_NE(md.find("## Cycles per cell"), std::string::npos);
+  EXPECT_NE(md.find("## Speedup of manual vectorization"), std::string::npos);
+  EXPECT_NE(md.find("## Quality of results"), std::string::npos);
+  EXPECT_NE(md.find("Fig. 5"), std::string::npos);
+  EXPECT_NE(md.find("## Mixed-precision case study (Fig. 6)"),
+            std::string::npos);
+}
+
+TEST(TunerStudy, EvaluatesGridAndFindsFeasible) {
+  const TunerStudy study = run_tuner_study(SuiteScale::Smoke, {});
+  EXPECT_EQ(study.benchmark, "svm");
+  EXPECT_EQ(study.objective, "cycles");
+  // Exhaustive over {data, acc} x 4 types.
+  EXPECT_EQ(study.explored.size(), 16u);
+  ASSERT_TRUE(study.found);
+  EXPECT_TRUE(study.best.feasible);
+  EXPECT_GE(study.best.qor, study.qor_threshold);
+  // Best is the cheapest feasible configuration evaluated.
+  for (const auto& t : study.explored) {
+    if (t.feasible) EXPECT_LE(study.best.cost, t.cost);
+  }
+}
+
+TEST(ReportCodec, UnknownSchemaAndNamesRejected) {
+  EXPECT_THROW((void)report_from_json(Json::parse(
+                   R"({"schema":"sfrv-eval-report/v999"})")),
+               std::runtime_error);
+  EXPECT_THROW((void)scalar_type_from_name("float128"), std::runtime_error);
+  EXPECT_THROW((void)mode_from_name("jit"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfrv::eval

@@ -1,0 +1,43 @@
+// Tier-1 guard: docs/isa-reference.md is generated from the opcode tables
+// and must match its renderer bit for bit. If this fails, regenerate with
+//   ./build/tools/gen-isa-doc docs/isa-reference.md
+#include "isa/docgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "isa/opcodes.hpp"
+
+namespace sfrv::isa {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return in ? out.str() : std::string();
+}
+
+TEST(IsaDocSync, CheckedInReferenceMatchesRenderer) {
+  const std::string path = std::string(SFRV_SOURCE_DIR) + "/docs/isa-reference.md";
+  const std::string checked_in = read_file(path);
+  ASSERT_FALSE(checked_in.empty()) << "missing or unreadable: " << path;
+  const std::string rendered = render_isa_reference();
+  EXPECT_EQ(checked_in, rendered)
+      << "docs/isa-reference.md is out of sync with the opcode tables; "
+         "regenerate with ./build/tools/gen-isa-doc docs/isa-reference.md";
+}
+
+TEST(IsaDocSync, ReferenceListsEveryMnemonic) {
+  const std::string doc = render_isa_reference();
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const auto mnem = mnemonic(static_cast<Op>(i));
+    EXPECT_NE(doc.find("`" + std::string(mnem) + "`"), std::string::npos)
+        << "mnemonic missing from the reference: " << mnem;
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::isa

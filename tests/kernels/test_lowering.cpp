@@ -186,6 +186,90 @@ TEST(LoweringIdeal, IdealCyclesBracketMeasured) {
   EXPECT_GT(static_cast<double>(man.cycles()), 0.95 * ideal);
 }
 
+TEST(LoweringMixed, InvariantVarOperandInVectorLoop) {
+  // The atax shape that mixed precision exposes: y[j] += A[i][j] * s with a
+  // float accumulator s feeding float16 lanes. The vectorizer must convert
+  // s once in the preheader, and all modes must agree bit for bit with the
+  // scalar code's rounding-per-element semantics... or at least compute a
+  // correct result; atax reductions reassociate, so hold to SQNR proximity.
+  const auto spec = make_atax({ScalarType::F16, ScalarType::F32});
+  const auto gold = golden_concat(spec);
+  for (const auto mode :
+       {CodegenMode::Scalar, CodegenMode::AutoVec, CodegenMode::ManualVec}) {
+    const auto out = run_outputs(spec, mode);
+    EXPECT_GT(sqnr_db(gold, out), 55.0) << ir::mode_name(mode);
+  }
+}
+
+TEST(LoweringFallback, AllInvariantAccumulateRunsAsScalar) {
+  // y[j] += s with s loop-invariant: no streaming operand carries the lanes,
+  // so the vectorizer must reject the loop and fall back to scalar code
+  // (previously an assert / a silent miscompile in release builds).
+  KernelSpec spec;
+  ir::Kernel& k = spec.kernel;
+  k.name = "invariant_accum";
+  const int n = 6;
+  const int Y = k.add_array("y", ScalarType::F16, 1, n);
+  const int s = k.add_var("s", ScalarType::F16);
+  const int i = k.fresh_loop_var();
+  const int j = k.fresh_loop_var();
+  ir::Loop li{i, 0, ir::Bound::fixed(1), {}};
+  li.body.push_back(ir::assign_var(s, ir::Expr::constant(0.25)));
+  ir::Loop lj{j, 0, ir::Bound::fixed(n), {}};
+  lj.body.push_back(
+      ir::accum(ir::ArrayRef{Y, ir::Index::constant(0), ir::Index{j, 0}},
+                ir::Expr::variable(s)));
+  li.body.push_back(std::move(lj));
+  k.body.push_back(std::move(li));
+  spec.init.resize(1);
+  spec.output_arrays = {"y"};
+
+  for (const auto mode :
+       {CodegenMode::Scalar, CodegenMode::AutoVec, CodegenMode::ManualVec}) {
+    const auto r = run_kernel(spec, mode);
+    for (const double v : r.outputs.at("y")) {
+      EXPECT_EQ(v, 0.25) << ir::mode_name(mode);
+    }
+  }
+}
+
+TEST(LoweringFallback, AccumulatedVarReadInSameLoopRunsAsScalar) {
+  // {acc += A[j]*B[j]; y[j] += A[j]*acc} reads the reduction variable as an
+  // operand of the same loop: the packed accumulator lanes are not the home
+  // register, so the loop must not vectorize. All modes then share the
+  // scalar lowering and must agree bit for bit.
+  KernelSpec spec;
+  ir::Kernel& k = spec.kernel;
+  k.name = "acc_read";
+  const int n = 8;
+  const int A = k.add_array("A", ScalarType::F16, 1, n);
+  const int B = k.add_array("B", ScalarType::F16, 1, n);
+  const int Y = k.add_array("y", ScalarType::F16, 1, n);
+  const int acc = k.add_var("acc", ScalarType::F32);
+  const int j = k.fresh_loop_var();
+  auto ref = [&](int arr) {
+    return ir::ArrayRef{arr, ir::Index::constant(0), ir::Index{j, 0}};
+  };
+  ir::Loop lj{j, 0, ir::Bound::fixed(n), {}};
+  lj.body.push_back(ir::accum_var(
+      acc, ir::Expr::mul(ir::Expr::load(ref(A)), ir::Expr::load(ref(B)))));
+  lj.body.push_back(ir::accum(
+      ref(Y), ir::Expr::mul(ir::Expr::load(ref(A)), ir::Expr::variable(acc))));
+  k.body.push_back(std::move(lj));
+  spec.init.resize(3);
+  spec.init[static_cast<std::size_t>(A)] = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.init[static_cast<std::size_t>(B)] = {0.5, 0.5, 0.5, 0.5, 1, 1, 1, 1};
+  spec.output_arrays = {"y"};
+
+  const auto scal = run_kernel(spec, CodegenMode::Scalar);
+  const auto man = run_kernel(spec, CodegenMode::ManualVec);
+  const auto aut = run_kernel(spec, CodegenMode::AutoVec);
+  EXPECT_EQ(scal.outputs.at("y"), man.outputs.at("y"));
+  EXPECT_EQ(scal.outputs.at("y"), aut.outputs.at("y"));
+  // Sanity: the first element saw acc = 0.5 (1*0.5), so y[0] = 1 * 0.5.
+  EXPECT_EQ(scal.outputs.at("y").front(), 0.5);
+}
+
 TEST(LoweringEpilogue, OddTripCountsStayCorrect) {
   // 30 columns: f8 vectors (4 lanes) leave a 2-element epilogue; results must
   // match the scalar code bit-for-bit on the elementwise kernel.

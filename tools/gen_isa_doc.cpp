@@ -1,0 +1,24 @@
+// gen-isa-doc: render the generated ISA reference (docs/isa-reference.md)
+// from the opcode tables. With no argument the document goes to stdout.
+//
+//   ./build/tools/gen-isa-doc docs/isa-reference.md
+#include <cstdio>
+#include <fstream>
+
+#include "isa/docgen.hpp"
+
+int main(int argc, char** argv) {
+  const std::string doc = sfrv::isa::render_isa_reference();
+  if (argc < 2) {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(argv[1], std::ios::binary);
+  out << doc;
+  if (!out) {
+    std::fprintf(stderr, "gen-isa-doc: failed to write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", argv[1], doc.size());
+  return 0;
+}

@@ -1,0 +1,162 @@
+// sfrv-eval: end-to-end evaluation campaign driver.
+//
+// Expands a (benchmark × TypeConfig × CodegenMode) matrix, runs every cell
+// through the predecoded simulator engine on a thread pool, and writes a
+// schema-versioned JSON report plus a generated Markdown report mirroring
+// the paper's Table III / Fig. 5 / Fig. 6 artifacts.
+//
+//   sfrv-eval --suite table3 --out report          # full paper-sized run
+//   sfrv-eval --suite smoke --out eval-ci -j 2     # CI-sized run
+//
+// The JSON output is deterministic: identical across thread counts and
+// across runs, so it can be checked in (BENCH_eval.json) and diffed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "eval/campaign.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--suite table3|smoke] [--out PREFIX] [-j N]\n"
+      "          [--benchmarks a,b,...] [--mem l1|l2|l3] [--no-tuner]\n"
+      "\n"
+      "  --suite       campaign to run (default: table3)\n"
+      "  --out         output prefix; writes PREFIX.json and PREFIX.md\n"
+      "                (default: report)\n"
+      "  -j, --jobs    worker threads (default: 1)\n"
+      "  --benchmarks  comma-separated subset of the suite (default: all)\n"
+      "  --mem         memory level: l1=1, l2=10, l3=100 cycles load latency\n"
+      "                (default: l1)\n"
+      "  --no-tuner    skip the Fig. 6 precision-tuning case study\n",
+      argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const auto comma = arg.find(',', start);
+    const auto end = comma == std::string::npos ? arg.size() : comma;
+    if (end > start) out.push_back(arg.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfrv;
+
+  std::string suite = "table3";
+  std::string out_prefix = "report";
+  std::string benchmarks;
+  std::string mem_level = "l1";
+  int jobs = 1;
+  bool tuner = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      suite = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      out_prefix = v;
+    } else if (arg == "-j" || arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      jobs = std::atoi(v);
+      if (jobs < 1) {
+        std::fprintf(stderr, "invalid job count: %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--benchmarks") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      benchmarks = v;
+    } else if (arg == "--mem") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      mem_level = v;
+    } else if (arg == "--no-tuner") {
+      tuner = false;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  eval::CampaignSpec spec;
+  if (suite == "table3") {
+    spec = eval::CampaignSpec::table3();
+  } else if (suite == "smoke") {
+    spec = eval::CampaignSpec::smoke();
+  } else {
+    std::fprintf(stderr, "unknown suite: %s\n", suite.c_str());
+    return usage(argv[0]);
+  }
+  spec.benchmarks = split_csv(benchmarks);
+  spec.tuner_study = tuner;
+  if (mem_level == "l1") {
+    spec.mem.load_latency = sim::kMemL1.load_latency;
+  } else if (mem_level == "l2") {
+    spec.mem.load_latency = sim::kMemL2.load_latency;
+  } else if (mem_level == "l3") {
+    spec.mem.load_latency = sim::kMemL3.load_latency;
+  } else {
+    std::fprintf(stderr, "unknown memory level: %s\n", mem_level.c_str());
+    return usage(argv[0]);
+  }
+
+  try {
+    const std::size_t n_cells = eval::expand_matrix(spec).size();
+    std::printf("sfrv-eval: suite %s, %zu cells, %d job(s)%s\n",
+                spec.name.c_str(), n_cells, jobs,
+                spec.runs_tuner() ? ", tuner study" : "");
+    const eval::EvalReport report = eval::run_campaign(spec, jobs);
+
+    const std::string json_path = out_prefix + ".json";
+    const std::string md_path = out_prefix + ".md";
+    if (!write_file(json_path, eval::to_json(report).dump(2) + "\n") ||
+        !write_file(md_path, eval::render_markdown(report))) {
+      std::fprintf(stderr, "failed to write %s / %s\n", json_path.c_str(),
+                   md_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu cells) and %s\n", json_path.c_str(),
+                report.cells.size(), md_path.c_str());
+    if (report.has_tuner && report.tuner.found) {
+      std::printf("tuned assignment: data=%s acc=%s (accuracy %.1f%%)\n",
+                  std::string(ir::type_name(report.tuner.best.data)).c_str(),
+                  std::string(ir::type_name(report.tuner.best.acc)).c_str(),
+                  100 * report.tuner.best.qor);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sfrv-eval: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
