@@ -1,8 +1,9 @@
-// Simulator dispatch bench: instruction throughput (MIPS) of the predecoded
-// micro-op engine vs. the retained reference interpreter on three loop
-// shapes -- integer-only ALU, scalar binary32 FP, and packed-SIMD f8/f16.
-// Writes BENCH_dispatch.json (path overridable via argv[1]) so the speedup
-// from the dispatch refactor lands in the bench trajectory.
+// Simulator dispatch bench: instruction throughput (MIPS) of all three
+// engines -- the reference interpreter, the predecoded micro-op engine, and
+// the superblock-fused engine -- on three loop shapes: integer-only ALU,
+// scalar binary32 FP, and packed-SIMD f8/f16. Writes BENCH_dispatch.json
+// (path overridable via argv[1]) so the speedups from the dispatch refactor
+// and the fusion layer land in the bench trajectory.
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -70,6 +71,29 @@ Workload scalar_fp_loop() {
           })};
 }
 
+/// The shape `ir::lower` actually emits for a vectorized kernel inner loop
+/// (gemm/svm manual-vec: loads, one packed mac, store, address bumps,
+/// back-edge) — the packed-SIMD loop the end-to-end campaign executes. The
+/// pure-ALU loop below is the math-bound extreme; this one carries the
+/// realistic glue-to-math ratio the fusion layer targets.
+Workload packed_simd_kernel_loop() {
+  Assembler a;
+  const std::uint32_t buf = a.data_zero(64);
+  a.la(reg::s0, buf);
+  a.li(reg::t0, kIters);
+  const auto loop = a.here();
+  a.emit({.op = Op::FLW, .rd = reg::fs0, .rs1 = reg::s0, .imm = 0});
+  a.emit({.op = Op::FLW, .rd = reg::fs1, .rs1 = reg::s0, .imm = 8});
+  a.fp_rrr(Op::VFMAC_R_H, reg::fs2, reg::fs0, reg::fs1);
+  a.emit({.op = Op::FSW, .rs1 = reg::s0, .rs2 = reg::fs2, .imm = 16});
+  a.addi(reg::a0, reg::a0, 4);
+  a.addi(reg::a1, reg::a1, 4);
+  a.addi(reg::t0, reg::t0, -1);
+  a.bne(reg::t0, reg::zero, loop);
+  a.ebreak();
+  return {"packed_simd_kernel", a.finish()};
+}
+
 Workload packed_simd_loop() {
   return {"packed_simd_f8_f16", make_loop([](Assembler& a) {
             // 4-lane binary8 block.
@@ -134,26 +158,31 @@ Measurement measure(const Workload& w, Core::Engine engine) {
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_dispatch.json";
   const std::vector<Workload> workloads = {int_alu_loop(), scalar_fp_loop(),
-                                           packed_simd_loop()};
+                                           packed_simd_loop(),
+                                           packed_simd_kernel_loop()};
 
-  std::printf("%-22s %12s %12s %9s\n", "workload", "ref MIPS", "uop MIPS",
-              "speedup");
+  std::printf("%-22s %10s %10s %10s %9s %9s\n", "workload", "ref MIPS",
+              "uop MIPS", "fused MIPS", "uop/ref", "fused/uop");
   std::string json = "{\n  \"bench\": \"dispatch\",\n  \"workloads\": [\n";
   bool first = true;
   for (const auto& w : workloads) {
     const auto ref = measure(w, Core::Engine::Reference);
     const auto uop = measure(w, Core::Engine::Predecoded);
+    const auto fus = measure(w, Core::Engine::Fused);
     const double speedup = uop.mips / ref.mips;
-    std::printf("%-22s %12.1f %12.1f %8.2fx\n", w.name.c_str(), ref.mips,
-                uop.mips, speedup);
-    char buf[256];
+    const double fusion_gain = fus.mips / uop.mips;
+    std::printf("%-22s %10.1f %10.1f %10.1f %8.2fx %8.2fx\n", w.name.c_str(),
+                ref.mips, uop.mips, fus.mips, speedup, fusion_gain);
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "%s    {\"name\": \"%s\", \"instructions\": %llu, "
                   "\"ref_mips\": %.1f, \"uop_mips\": %.1f, "
-                  "\"speedup\": %.3f}",
+                  "\"fused_mips\": %.1f, \"speedup\": %.3f, "
+                  "\"fused_speedup\": %.3f, \"fusion_gain\": %.3f}",
                   first ? "" : ",\n", w.name.c_str(),
                   static_cast<unsigned long long>(uop.instructions), ref.mips,
-                  uop.mips, speedup);
+                  uop.mips, fus.mips, speedup, fus.mips / ref.mips,
+                  fusion_gain);
     json += buf;
     first = false;
   }

@@ -16,6 +16,7 @@
 
 #include "eval/report.hpp"
 #include "kernels/suite.hpp"
+#include "sim/core.hpp"
 #include "sim/memory.hpp"
 
 namespace sfrv::eval {
@@ -56,6 +57,10 @@ struct CampaignSpec {
                                         ir::CodegenMode::AutoVec,
                                         ir::CodegenMode::ManualVec};
   sim::MemConfig mem{};
+  /// Simulator engine every cell (and the tuner study) executes through.
+  /// The report records it; results must not depend on it — CI runs the
+  /// smoke campaign under all engines and diffs the reports.
+  sim::Engine engine = sim::default_engine();
   /// Append the tuner-driven mixed-precision case study (Fig. 6).
   bool tuner_study = true;
 
@@ -82,7 +87,8 @@ struct CellSpec {
 
 /// Execute one cell: lower, simulate, and measure.
 [[nodiscard]] CellResult run_cell(const CellSpec& cell,
-                                  const sim::MemConfig& mem);
+                                  const sim::MemConfig& mem,
+                                  sim::Engine engine = sim::default_engine());
 
 /// Run the whole campaign with `jobs` worker threads (clamped to >= 1).
 [[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1);
@@ -92,7 +98,8 @@ struct CellSpec {
 /// classification accuracy and cost = simulated cycles, under the strict
 /// constraint of matching the float configuration's accuracy. Exhaustive
 /// over the 16-config grid, every configuration simulated once.
-[[nodiscard]] TunerStudy run_tuner_study(SuiteScale scale,
-                                         const sim::MemConfig& mem);
+[[nodiscard]] TunerStudy run_tuner_study(
+    SuiteScale scale, const sim::MemConfig& mem,
+    sim::Engine engine = sim::default_engine());
 
 }  // namespace sfrv::eval

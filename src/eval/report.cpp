@@ -135,6 +135,7 @@ Json to_json(const EvalReport& report) {
   JsonObject obj{
       {"schema", Json(kReportSchema)},
       {"suite", Json(report.suite)},
+      {"engine", Json(report.engine)},
       {"mem", Json(JsonObject{{"load_latency", Json(report.mem_load_latency)},
                               {"store_latency", Json(report.mem_store_latency)}})},
       {"benchmarks", strings_to_json(report.benchmarks)},
@@ -167,6 +168,7 @@ EvalReport report_from_json(const Json& doc) {
   }
   EvalReport r;
   r.suite = doc.at("suite").as_string();
+  r.engine = doc.at("engine").as_string();
   const Json& mem = doc.at("mem");
   r.mem_load_latency = static_cast<int>(mem.at("load_latency").as_int());
   r.mem_store_latency = static_cast<int>(mem.at("store_latency").as_int());

@@ -21,7 +21,8 @@
 namespace sfrv::eval {
 
 /// Bump on any structural change to the JSON layout.
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v1";
+/// v2: records the simulator engine the campaign executed through.
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v2";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.
@@ -66,7 +67,12 @@ struct TunerStudy {
 };
 
 struct EvalReport {
-  std::string suite;  ///< campaign name ("table3", "smoke")
+  std::string suite;   ///< campaign name ("table3", "smoke")
+  /// Simulator engine the cells executed through ("predecoded", "fused",
+  /// "reference"). Recorded for provenance; every metric in the report must
+  /// be engine-independent (the conformance suites enforce it), so two
+  /// reports that differ only here are the same measurement.
+  std::string engine = "predecoded";
   int mem_load_latency = 1;
   int mem_store_latency = 1;
   std::vector<std::string> benchmarks;    ///< suite order

@@ -38,9 +38,12 @@ struct RunResult {
 };
 
 /// Lower with `mode`, execute to completion, and read back every array in
-/// `spec.output_arrays`.
+/// `spec.output_arrays`. The engine defaults to the process-wide selection
+/// (SFRV_ENGINE, see sim::default_engine) so the whole kernel/eval stack can
+/// be exercised under any engine without threading a flag by hand.
 [[nodiscard]] RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
                                    sim::MemConfig mem = {},
-                                   isa::IsaConfig cfg = isa::IsaConfig::full());
+                                   isa::IsaConfig cfg = isa::IsaConfig::full(),
+                                   sim::Engine engine = sim::default_engine());
 
 }  // namespace sfrv::kernels

@@ -1,5 +1,8 @@
 #include "sim/core.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "isa/disasm.hpp"
@@ -50,10 +53,54 @@ std::uint64_t widen_to_f32(FpFormat from, std::uint64_t bits, Flags& fl) {
 
 }  // namespace
 
+std::string_view engine_name(Engine e) {
+  switch (e) {
+    case Engine::Predecoded: return "predecoded";
+    case Engine::Reference: return "reference";
+    case Engine::Fused: return "fused";
+  }
+  return "predecoded";
+}
+
+Engine engine_from_name(std::string_view name) {
+  for (const Engine e :
+       {Engine::Predecoded, Engine::Reference, Engine::Fused}) {
+    if (name == engine_name(e)) return e;
+  }
+  throw std::runtime_error("unknown engine name: " + std::string(name));
+}
+
+Engine default_engine() {
+  static const Engine e = [] {
+    const char* v = std::getenv("SFRV_ENGINE");
+    if (v == nullptr || *v == '\0') return Engine::Predecoded;
+    try {
+      return engine_from_name(v);
+    } catch (const std::exception&) {
+      // Never throw here: this runs inside a static-local initializer
+      // reached from default arguments and member initializers, long
+      // before any caller could catch or report it.
+      std::fprintf(stderr,
+                   "warning: ignoring invalid SFRV_ENGINE=%s "
+                   "(expected reference|predecoded|fused)\n",
+                   v);
+      return Engine::Predecoded;
+    }
+  }();
+  return e;
+}
+
 Core::Core(isa::IsaConfig cfg, MemConfig mem_cfg, Timing timing)
     : detail::CoreState{cfg, Memory(mem_cfg), timing} {
   ctx_.flen_mask = width_mask(cfg.flen);
   rebind_context();
+}
+
+void Core::set_engine(Engine e) {
+  engine_ = e;
+  if (e == Engine::Fused && !uops_.empty() && sblk_.ops().empty()) {
+    sblk_.build(uops_, timing_, mem_.config());
+  }
 }
 
 void Core::load_program(const asmb::Program& prog) {
@@ -66,6 +113,13 @@ void Core::load_program(const asmb::Program& prog) {
   }
   decoded_ = prog.text;
   uops_ = decode_program(decoded_, cfg_, timing_);
+  // The fusion pass only pays off for the fused engine; the others skip it
+  // (set_engine and run_fused build on demand).
+  if (engine_ == Engine::Fused) {
+    sblk_.build(uops_, timing_, mem_.config());
+  } else {
+    sblk_ = SuperblockProgram{};
+  }
   text_base_ = prog.text_base;
   ctx_.pc = prog.entry();
   ctx_.x[2] = asmb::kDefaultStackTop;  // sp
@@ -74,6 +128,12 @@ void Core::load_program(const asmb::Program& prog) {
 }
 
 Core::RunResult Core::run(std::uint64_t max_steps) {
+  // Tracing falls back to per-step execution: the fused engine retires the
+  // same instructions in the same order, so the traces stay equal either
+  // way, but the per-step path keeps the trace hook in one place.
+  if (engine_ == Engine::Fused && trace_ == nullptr) {
+    return run_fused(max_steps);
+  }
   for (std::uint64_t n = 0; n < max_steps; ++n) {
     if (ctx_.halted) return RunResult::Halted;
     step();
@@ -81,27 +141,40 @@ Core::RunResult Core::run(std::uint64_t max_steps) {
   return ctx_.halted ? RunResult::Halted : RunResult::MaxStepsReached;
 }
 
-void Core::step() {
-  if (ctx_.halted) return;
-  const std::uint32_t pc = ctx_.pc;
+std::uint32_t Core::fetch_index(std::uint32_t pc) const {
   const std::uint32_t idx = (pc - text_base_) / 4;
   if (pc < text_base_ || idx >= uops_.size() || (pc & 3) != 0) {
     throw SimError("instruction fetch outside text segment", pc);
   }
+  return idx;
+}
+
+void Core::step() {
+  if (ctx_.halted) return;
+  const std::uint32_t idx = fetch_index(ctx_.pc);
   if (engine_ == Engine::Reference) {
     step_reference(idx);
     return;
   }
+  // Predecoded and Fused cores single-step identically: one micro-op. The
+  // fused fast path only exists inside run()/run_block().
+  step_predecoded(idx);
+}
+
+void Core::step_predecoded(std::uint32_t idx) {
   const DecodedOp& u = uops_[idx];
   // Trace only supported instructions: the reference interpreter faults on
   // unsupported ops before tracing, and the engines must emit equal traces.
   if (trace_ != nullptr && u.supported) {
-    (*trace_) << std::hex << pc << std::dec << ": "
-              << isa::disassemble(decoded_[idx], pc) << '\n';
+    (*trace_) << std::hex << ctx_.pc << std::dec << ": "
+              << isa::disassemble(decoded_[idx], ctx_.pc) << '\n';
   }
   ctx_.branch_taken = false;
   u.fn(ctx_, u);
+  account(u, idx);
+}
 
+void Core::account(const DecodedOp& u, std::uint32_t idx) {
   int cyc = u.base_cycles;
   switch (u.tclass) {
     case TimingClass::Load:
@@ -125,6 +198,119 @@ void Core::step() {
   ++stats_.instructions;
   ++stats_.op_count[static_cast<std::size_t>(u.op)];
   stats_.pc_cycles[idx] += static_cast<std::uint64_t>(cyc);
+}
+
+// ---- superblock engine ------------------------------------------------------
+
+Core::RunResult Core::run_fused(std::uint64_t max_steps) {
+  if (sblk_.ops().empty() && !uops_.empty()) {
+    sblk_.build(uops_, timing_, mem_.config());
+  }
+  std::uint64_t remaining = max_steps;
+  while (remaining > 0) {
+    if (ctx_.halted) return RunResult::Halted;
+    remaining -= run_block(remaining);
+  }
+  return ctx_.halted ? RunResult::Halted : RunResult::MaxStepsReached;
+}
+
+std::uint64_t Core::run_block(std::uint64_t budget) {
+  const std::uint32_t idx = fetch_index(ctx_.pc);
+  const std::int32_t start = sblk_.entry(idx);
+  if (start < 0) {
+    // Dynamic jump into the second half of a fused pair: resynchronize with
+    // one plain step — the following index is a FusedOp start again.
+    step_predecoded(idx);
+    return 1;
+  }
+  const FusedOp* const ops = sblk_.ops().data();
+  std::uint64_t* const pcyc = stats_.pc_cycles.data();
+  std::uint64_t* const opcnt = stats_.op_count.data();
+  auto pos = static_cast<std::size_t>(start);
+  std::uint64_t retired = 0;
+  // Counter contributions of fixed-timing slots accumulate in locals and
+  // land in stats_ before anything can observe them: counter CSR reads only
+  // execute on the slow path (CSRs never fuse and are never fixed-timing),
+  // which flushes first, and a SimError flushes on the way out.
+  std::uint64_t cyc_acc = 0;
+  std::uint64_t n_acc = 0;
+  std::uint64_t ld_acc = 0;
+  std::uint64_t st_acc = 0;
+  const auto flush = [&] {
+    stats_.cycles += cyc_acc;
+    stats_.instructions += n_acc;
+    stats_.load_count += ld_acc;
+    stats_.store_count += st_acc;
+    cyc_acc = n_acc = ld_acc = st_acc = 0;
+  };
+  const FusedOp* cur = nullptr;  // slot in flight, for the unwind path
+  try {
+    while (retired < budget) {
+      const FusedOp& fo = ops[pos];
+      cur = &fo;
+      ctx_.branch_taken = false;
+      if (fo.fixed_timing) {
+        if (fo.len == 2) {
+          if (budget - retired < 2) break;
+          fo.fn(ctx_, fo);
+          ++opcnt[static_cast<std::size_t>(fo.u2.op)];
+          pcyc[fo.idx + 1] += fo.c2;
+        } else {
+          fo.u1.fn(ctx_, fo.u1);
+        }
+        cyc_acc += fo.cycles12;
+        n_acc += fo.len;
+        ld_acc += fo.nloads;
+        st_acc += fo.nstores;
+        ++opcnt[static_cast<std::size_t>(fo.u1.op)];
+        pcyc[fo.idx] += fo.c1;
+        retired += fo.len;
+      } else {
+        flush();
+        if (fo.len == 1) {
+          fo.u1.fn(ctx_, fo.u1);
+          account(fo.u1, fo.idx);
+          retired += 1;
+        } else {
+          if (budget - retired < 2) break;
+          fo.fn(ctx_, fo);
+          account(fo.u1, fo.idx);
+          account(fo.u2, fo.idx + 1);
+          retired += 2;
+        }
+      }
+      cur = nullptr;
+      if (fo.terminator) {
+        if (ctx_.halted || retired >= budget) break;
+        const std::int32_t next = sblk_.entry(fetch_index(ctx_.pc));
+        if (next < 0) break;  // mid-pair target: outer loop resynchronizes
+        pos = static_cast<std::size_t>(next);
+      } else {
+        ++pos;
+      }
+    }
+  } catch (...) {
+    // A fault in the *second* half of a pair must not lose the first
+    // half's retirement (the predecoded engine accounts per micro-op).
+    // Fault-capable fused handlers advance pc per half, so the pc sitting
+    // on the pair's second instruction identifies a completed first half;
+    // handlers only move pc after all other effects, so a first-half fault
+    // leaves pc on the pair itself and books nothing.
+    if (cur != nullptr && cur->len == 2 &&
+        ctx_.pc == text_base_ + 4 * cur->idx + 4) {
+      account(cur->u1, cur->idx);
+    }
+    flush();
+    throw;
+  }
+  flush();
+  if (retired == 0) {
+    // The budget (>= 1) could not fit the pair at the entry position:
+    // retire just its first micro-op; re-entry lands on the resync path.
+    step_predecoded(ops[pos].idx);
+    return 1;
+  }
+  return retired;
 }
 
 // ---- reference interpreter --------------------------------------------------

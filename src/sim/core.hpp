@@ -12,13 +12,20 @@
 // vectorial extension legitimately leaves packed data in the registers (the
 // same relaxation the PULP FPU makes when Xfvec is enabled).
 //
-// Two execution engines share the architectural state (ExecContext):
+// Three execution engines share the architectural state (ExecContext):
 //  * Engine::Predecoded (default): load_program lowers the text into
 //    micro-ops (sim/decode.hpp) carrying a resolved handler pointer, lane
 //    plan, pre-bound softfloat entry points, and timing class; step() is a
 //    single indirect call plus a 5-way timing adjustment.
+//  * Engine::Fused: superblock execution (sim/superblock.hpp) — the
+//    micro-op stream is additionally lowered into fused-pair slots and
+//    run() executes straight-line runs through run_block(), re-entering
+//    step()-style fetch bookkeeping only at block boundaries. Bit- and
+//    cycle-identical to Predecoded; step() on a Fused core executes one
+//    plain predecoded micro-op (the same single-instruction semantics),
+//    and tracing falls back to per-step execution so traces stay equal.
 //  * Engine::Reference: the original switch-tree interpreter, retained both
-//    as the A/B oracle for the equivalence suite and as the baseline the
+//    as the oracle for the differential suite and as the baseline the
 //    dispatch bench measures against.
 #pragma once
 
@@ -26,6 +33,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "asmb/program.hpp"
 #include "isa/isa.hpp"
@@ -33,12 +41,25 @@
 #include "sim/exec.hpp"
 #include "sim/memory.hpp"
 #include "sim/stats.hpp"
+#include "sim/superblock.hpp"
 #include "sim/timing.hpp"
 
 namespace sfrv::sim {
 
 /// Execution engine selection (see Core's header comment).
-enum class Engine : std::uint8_t { Predecoded, Reference };
+enum class Engine : std::uint8_t { Predecoded, Reference, Fused };
+
+/// Stable lowercase engine names ("predecoded", "reference", "fused") used
+/// by the CLI, the eval report JSON, and the SFRV_ENGINE variable.
+[[nodiscard]] std::string_view engine_name(Engine e);
+/// Parse an engine name; throws std::runtime_error on an unknown one.
+[[nodiscard]] Engine engine_from_name(std::string_view name);
+/// Process-wide default engine: the SFRV_ENGINE environment variable
+/// (reference|predecoded|fused, read once) or Engine::Predecoded. Lets CI
+/// run the whole test suite and campaigns under each engine. An invalid
+/// value falls back to Predecoded with a stderr warning — never throws
+/// (it runs inside static initialization via default arguments).
+[[nodiscard]] Engine default_engine();
 
 namespace detail {
 /// The memberwise-copyable state of a Core, split into a base so Core's
@@ -55,6 +76,7 @@ struct CoreState {
   std::uint32_t text_base_ = 0;
   std::vector<isa::Inst> decoded_;   // predecoded text (no self-modifying code)
   std::vector<DecodedOp> uops_;      // micro-op cache (same indexing)
+  SuperblockProgram sblk_;           // fused-op lowering (Engine::Fused)
 
   std::ostream* trace_ = nullptr;
 };
@@ -89,7 +111,10 @@ class Core : private detail::CoreState {
   ~Core() = default;
 
   using Engine = sim::Engine;
-  void set_engine(Engine e) { engine_ = e; }
+  /// Select the execution engine. Switching to Fused (re)builds the
+  /// superblock lowering for the loaded program; the other engines never
+  /// pay for it (load_program skips the fusion pass unless fused).
+  void set_engine(Engine e);
   [[nodiscard]] Engine engine() const { return engine_; }
 
   /// Copy a program image into memory, point the PC at its entry, set up the
@@ -137,6 +162,8 @@ class Core : private detail::CoreState {
   [[nodiscard]] ExecContext& context() { return ctx_; }
   /// The predecoded micro-op cache (index = (pc - text_base) / 4).
   [[nodiscard]] const std::vector<DecodedOp>& uops() const { return uops_; }
+  /// The superblock lowering of the loaded program (Engine::Fused).
+  [[nodiscard]] const SuperblockProgram& superblocks() const { return sblk_; }
 
   /// Stream instruction-level trace output (nullptr disables).
   void set_trace(std::ostream* os) { trace_ = os; }
@@ -146,6 +173,22 @@ class Core : private detail::CoreState {
     ctx_.mem = &mem_;
     ctx_.stats = &stats_;
   }
+
+  /// pc -> micro-op index with the fetch checks of step(); throws SimError.
+  [[nodiscard]] std::uint32_t fetch_index(std::uint32_t pc) const;
+  /// One micro-op through the predecoded path (trace, execute, account).
+  void step_predecoded(std::uint32_t idx);
+  /// Post-execution bookkeeping for one retired micro-op: dynamic-outcome
+  /// timing, cycle/instret counters, per-op and per-pc attribution. Shared
+  /// verbatim by the predecoded and fused engines (the identity contract).
+  void account(const DecodedOp& u, std::uint32_t idx);
+
+  // Superblock engine (Engine::Fused, see sim/superblock.hpp).
+  RunResult run_fused(std::uint64_t max_steps);
+  /// Execute fused ops from the current pc until control leaves the known
+  /// straight line, the core halts, or `budget` instructions retire.
+  /// Returns the number of retired instructions (>= 1 unless budget == 0).
+  std::uint64_t run_block(std::uint64_t budget);
 
   // Reference interpreter (the retained pre-refactor execute path).
   void step_reference(std::uint32_t idx);

@@ -46,27 +46,15 @@ void h_jalr(ExecContext& c, const DecodedOp& u) {
   c.pc = target;
 }
 
-#define SFRV_H_BRANCH(NAME, COND)                        \
-  void h_##NAME(ExecContext& c, const DecodedOp& u) {    \
-    const U32 rs1 = c.x[u.rs1];                          \
-    const U32 rs2 = c.x[u.rs2];                          \
-    (void)rs1;                                           \
-    (void)rs2;                                           \
-    if (COND) {                                          \
-      c.pc += static_cast<U32>(u.imm);                   \
-      c.branch_taken = true;                             \
-    } else {                                             \
-      c.pc += 4;                                         \
-    }                                                    \
+template <Op B>
+void h_branch(ExecContext& c, const DecodedOp& u) {
+  if (branch_taken<B>(c.x[u.rs1], c.x[u.rs2])) {
+    c.pc += static_cast<U32>(u.imm);
+    c.branch_taken = true;
+  } else {
+    c.pc += 4;
   }
-
-SFRV_H_BRANCH(beq, rs1 == rs2)
-SFRV_H_BRANCH(bne, rs1 != rs2)
-SFRV_H_BRANCH(blt, static_cast<I32>(rs1) < static_cast<I32>(rs2))
-SFRV_H_BRANCH(bge, static_cast<I32>(rs1) >= static_cast<I32>(rs2))
-SFRV_H_BRANCH(bltu, rs1 < rs2)
-SFRV_H_BRANCH(bgeu, rs1 >= rs2)
-#undef SFRV_H_BRANCH
+}
 
 // ALU handlers: EXPR sees `rs1`, `rs2` (pre-read register values) and `imm`.
 #define SFRV_H_ALU(NAME, EXPR)                           \
@@ -550,12 +538,12 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
     case Op::AUIPC: u.fn = &h_auipc; break;
     case Op::JAL: u.fn = &h_jal; break;
     case Op::JALR: u.fn = &h_jalr; break;
-    case Op::BEQ: u.fn = &h_beq; break;
-    case Op::BNE: u.fn = &h_bne; break;
-    case Op::BLT: u.fn = &h_blt; break;
-    case Op::BGE: u.fn = &h_bge; break;
-    case Op::BLTU: u.fn = &h_bltu; break;
-    case Op::BGEU: u.fn = &h_bgeu; break;
+    case Op::BEQ: u.fn = &h_branch<Op::BEQ>; break;
+    case Op::BNE: u.fn = &h_branch<Op::BNE>; break;
+    case Op::BLT: u.fn = &h_branch<Op::BLT>; break;
+    case Op::BGE: u.fn = &h_branch<Op::BGE>; break;
+    case Op::BLTU: u.fn = &h_branch<Op::BLTU>; break;
+    case Op::BGEU: u.fn = &h_branch<Op::BGEU>; break;
     case Op::LB: u.fn = &h_lb; break;
     case Op::LH: u.fn = &h_lh; break;
     case Op::LW: u.fn = &h_lw; break;
@@ -827,6 +815,15 @@ DecodedOp decode_op(const Inst& inst, const isa::IsaConfig& cfg,
     return u;
   }
   bind_handler(u, cfg);
+  // Handler-shape tag for the superblock fuser, derived from the bound
+  // handler so the big switch above stays single-purpose.
+  if (u.fn == &h_fp_bin) {
+    u.hkind = HandlerKind::FpBin;
+  } else if (u.fn == &h_vec_bin) {
+    u.hkind = HandlerKind::VecBin;
+  } else if (u.fn == &h_vec_mac) {
+    u.hkind = HandlerKind::VecMac;
+  }
   return u;
 }
 

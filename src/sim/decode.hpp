@@ -29,6 +29,32 @@ namespace sfrv::sim {
 /// decode time so step() switches on five values instead of ~30 op classes.
 enum class TimingClass : std::uint8_t { None, Load, Store, Jump, Branch };
 
+/// Branch condition of the six RV32I branch ops, shared by the micro-op
+/// branch handlers (decode.cpp) and the superblock fuser's inlined
+/// branch-pair handlers (superblock.cpp) so the semantics live once.
+/// (The reference interpreter keeps its own switch: it is the verbatim
+/// pre-refactor oracle and intentionally shares no code with the engines
+/// it checks.)
+template <isa::Op B>
+[[nodiscard]] constexpr bool branch_taken(std::uint32_t a, std::uint32_t b) {
+  if constexpr (B == isa::Op::BEQ) return a == b;
+  if constexpr (B == isa::Op::BNE) return a != b;
+  if constexpr (B == isa::Op::BLT) {
+    return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+  }
+  if constexpr (B == isa::Op::BGE) {
+    return static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+  }
+  if constexpr (B == isa::Op::BLTU) return a < b;
+  if constexpr (B == isa::Op::BGEU) return a >= b;
+}
+
+/// Coarse handler-shape tag for the superblock fuser (sim/superblock.cpp):
+/// pairs of these shapes get fully specialized fused handlers instead of
+/// the generic two-call chain. Purely an optimization hint — semantics live
+/// in `fn` and the bound table entries.
+enum class HandlerKind : std::uint8_t { Other, VecBin, VecMac, FpBin };
+
 struct DecodedOp {
   /// Bound softfloat entry point; the active member is fixed by `fn`.
   union FpFn {
@@ -64,6 +90,7 @@ struct DecodedOp {
   FpFn fp2{.raw = nullptr};
   std::uint16_t base_cycles = 1;
   TimingClass tclass = TimingClass::None;
+  HandlerKind hkind = HandlerKind::Other;
   isa::Op op = isa::Op::EBREAK;  ///< for stats, tracing, and error messages
 };
 

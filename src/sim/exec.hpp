@@ -76,10 +76,11 @@ struct ExecContext {
     return f[reg & 31] & width_mask(width);
   }
 
-  /// NaN-box: fill bits above `width` with ones up to FLEN.
+  /// NaN-box: fill bits above `width` with ones up to FLEN. (~width_mask
+  /// rather than a left shift: a full 64-bit write must not shift by 64.)
   void write_fp(unsigned reg, int width, std::uint64_t bits) {
     const std::uint64_t boxed =
-        (bits & width_mask(width)) | (~std::uint64_t{0} << width);
+        (bits & width_mask(width)) | ~width_mask(width);
     f[reg & 31] = boxed & flen_mask;
   }
 

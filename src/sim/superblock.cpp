@@ -1,0 +1,375 @@
+// Fused-pair handlers and the micro-op -> superblock lowering.
+//
+// Every handler here must be observationally identical to running the two
+// constituent micro-op handlers (decode.cpp) back-to-back: same register
+// and memory writes in the same order, same fflags accumulation, same pc
+// and branch_taken outcome. The three-way differential suite enforces it.
+#include "sim/superblock.hpp"
+
+namespace sfrv::sim {
+
+namespace {
+
+using fp::Flags;
+using isa::Cls;
+using isa::Op;
+using U32 = std::uint32_t;
+using I32 = std::int32_t;
+
+// ---- fused handlers ---------------------------------------------------------
+
+/// Generic pair: chain the two bound handlers. Still a win over two step()
+/// iterations — one position advance, no fetch checks between the halves.
+void f_pair(ExecContext& c, const FusedOp& fo) {
+  fo.u1.fn(c, fo.u1);
+  fo.u2.fn(c, fo.u2);
+}
+
+/// Loop back-edge: addi (often the induction-variable bump) + branch, fully
+/// inlined. The branch reads the register file *after* the addi writes, so
+/// rs aliasing behaves exactly as in the unfused sequence. The condition is
+/// the shared branch_taken<B> predicate from decode.hpp.
+template <Op B>
+void f_addi_br(ExecContext& c, const FusedOp& fo) {
+  c.set_x(fo.u1.rd, c.x[fo.u1.rs1] + static_cast<U32>(fo.u1.imm));
+  if (branch_taken<B>(c.x[fo.u2.rs1], c.x[fo.u2.rs2])) {
+    // The branch displacement is relative to the branch's own pc (+4).
+    c.pc += 4 + static_cast<U32>(fo.u2.imm);
+    c.branch_taken = true;
+  } else {
+    c.pc += 8;
+  }
+}
+
+/// Compare-and-branch (and any other producer+branch): the producer runs
+/// through its bound handler, the branch is inlined on top.
+template <Op B>
+void f_op_br(ExecContext& c, const FusedOp& fo) {
+  fo.u1.fn(c, fo.u1);
+  if (branch_taken<B>(c.x[fo.u2.rs1], c.x[fo.u2.rs2])) {
+    c.pc += static_cast<U32>(fo.u2.imm);
+    c.branch_taken = true;
+  } else {
+    c.pc += 4;
+  }
+}
+
+/// Two address/induction bumps back to back (the vectorized inner-loop
+/// epilogue shape), fully inlined.
+void f_addi_addi(ExecContext& c, const FusedOp& fo) {
+  c.set_x(fo.u1.rd, c.x[fo.u1.rs1] + static_cast<U32>(fo.u1.imm));
+  c.set_x(fo.u2.rd, c.x[fo.u2.rs1] + static_cast<U32>(fo.u2.imm));
+  c.pc += 8;
+}
+
+/// Two FP word loads back to back (the vectorized inner-loop prologue
+/// shape), fully inlined.
+void f_flw_flw(ExecContext& c, const FusedOp& fo) {
+  c.write_fp(fo.u1.rd, 32,
+             c.mem->load32(c.x[fo.u1.rs1] + static_cast<U32>(fo.u1.imm)));
+  c.pc += 4;
+  c.write_fp(fo.u2.rd, 32,
+             c.mem->load32(c.x[fo.u2.rs1] + static_cast<U32>(fo.u2.imm)));
+  c.pc += 4;
+}
+
+// Handlers whose second half can fault (memory accesses throw) advance pc
+// per retired half, not once at the end: Core::run_block's unwind path uses
+// "pc sits on the pair's second instruction" to tell a completed first half
+// from an untouched pair and book its retirement — matching the predecoded
+// engine's per-micro-op accounting across exceptions.
+
+/// Address generation + integer word load, fully inlined. The load base may
+/// alias the addi destination; reading x after set_x preserves that.
+void f_addi_lw(ExecContext& c, const FusedOp& fo) {
+  c.set_x(fo.u1.rd, c.x[fo.u1.rs1] + static_cast<U32>(fo.u1.imm));
+  c.pc += 4;
+  c.set_x(fo.u2.rd,
+          c.mem->load32(c.x[fo.u2.rs1] + static_cast<U32>(fo.u2.imm)));
+  c.pc += 4;
+}
+
+/// Address generation + FP word load.
+void f_addi_flw(ExecContext& c, const FusedOp& fo) {
+  c.set_x(fo.u1.rd, c.x[fo.u1.rs1] + static_cast<U32>(fo.u1.imm));
+  c.pc += 4;
+  c.write_fp(fo.u2.rd, 32,
+             c.mem->load32(c.x[fo.u2.rs1] + static_cast<U32>(fo.u2.imm)));
+  c.pc += 4;
+}
+
+/// Two packed-SIMD ops back to back (the dominant kernel-body shape): both
+/// bound lane loops called directly, one rounding-mode read (frm cannot
+/// change mid-pair — CSRs never fuse), one fflags merge, one pc bump.
+/// `Mac` selects the three-operand accumulate shape per slot.
+template <bool Mac1, bool Mac2>
+void f_vec_vec(ExecContext& c, const FusedOp& fo) {
+  Flags fl;
+  const fp::RoundingMode rm = c.frm_mode();
+  const DecodedOp& a = fo.u1;
+  const DecodedOp& b = fo.u2;
+  if constexpr (Mac1) {
+    c.f[a.rd] = a.fp1.vtern(c.f[a.rs1], c.f[a.rs2], c.f[a.rd], a.lanes,
+                            a.replicate, rm, fl) &
+                c.flen_mask;
+  } else {
+    c.f[a.rd] =
+        a.fp1.vbin(c.f[a.rs1], c.f[a.rs2], a.lanes, a.replicate, rm, fl) &
+        c.flen_mask;
+  }
+  if constexpr (Mac2) {
+    c.f[b.rd] = b.fp1.vtern(c.f[b.rs1], c.f[b.rs2], c.f[b.rd], b.lanes,
+                            b.replicate, rm, fl) &
+                c.flen_mask;
+  } else {
+    c.f[b.rd] =
+        b.fp1.vbin(c.f[b.rs1], c.f[b.rs2], b.lanes, b.replicate, rm, fl) &
+        c.flen_mask;
+  }
+  c.fflags |= fl.bits;
+  c.pc += 8;
+}
+
+/// Two scalar two-operand FP ops back to back: both bound entries called
+/// directly with per-op rounding modes, shared flags merge and pc bump.
+void f_fp_fp(ExecContext& c, const FusedOp& fo) {
+  Flags fl;
+  const DecodedOp& a = fo.u1;
+  const DecodedOp& b = fo.u2;
+  c.write_fp(a.rd, a.width,
+             a.fp1.bin(c.read_fp(a.rs1, a.width), c.read_fp(a.rs2, a.width),
+                       c.resolve_rm(a.rm), fl));
+  c.write_fp(b.rd, b.width,
+             b.fp1.bin(c.read_fp(b.rs1, b.width), c.read_fp(b.rs2, b.width),
+                       c.resolve_rm(b.rm), fl));
+  c.fflags |= fl.bits;
+  c.pc += 8;
+}
+
+/// FP load + scalar FP<->FP convert (the smallFloat up-convert idiom):
+/// inlined load, then the pre-bound converter.
+template <int W>
+void f_fload_cvt(ExecContext& c, const FusedOp& fo) {
+  const U32 addr = c.x[fo.u1.rs1] + static_cast<U32>(fo.u1.imm);
+  if constexpr (W == 32) {
+    c.write_fp(fo.u1.rd, 32, c.mem->load32(addr));
+  } else if constexpr (W == 16) {
+    c.write_fp(fo.u1.rd, 16, c.mem->load16(addr));
+  } else {
+    c.write_fp(fo.u1.rd, 8, c.mem->load8(addr));
+  }
+  c.pc += 4;
+  Flags fl;
+  c.write_fp(fo.u2.rd, fo.u2.width,
+             fo.u2.fp1.cvt(c.read_fp(fo.u2.rs1, fo.u2.width2),
+                           c.resolve_rm(fo.u2.rm), fl));
+  c.fflags |= fl.bits;
+  c.pc += 4;
+}
+
+// ---- eligibility and handler selection --------------------------------------
+
+/// Ops after which control cannot be assumed to fall through (or that fault
+/// before retiring): they end a straight-line run.
+bool is_terminator(const DecodedOp& u) {
+  if (!u.supported) return true;
+  switch (isa::op_class(u.op)) {
+    case Cls::Branch:
+    case Cls::Jump:
+    case Cls::Sys:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// First slot of a pair: must fall through to idx+1 and never fault or read
+/// the cycle/instret counters.
+bool fusable_first(const DecodedOp& u) {
+  if (!u.supported) return false;
+  switch (isa::op_class(u.op)) {
+    case Cls::Branch:
+    case Cls::Jump:
+    case Cls::Sys:
+    // CSR reads of the counter CSRs must observe the first micro-op's cycle
+    // and instret contribution, which a pair only books after both halves
+    // executed — so CSR ops never share a slot with anything.
+    case Cls::Csr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Second slot: branches and jumps are allowed (the pair becomes a block
+/// terminator), CSRs are not (same counter-observability argument), and the
+/// halting/faulting ops stay singles.
+bool fusable_second(const DecodedOp& u) {
+  if (!u.supported) return false;
+  switch (isa::op_class(u.op)) {
+    case Cls::Sys:
+    case Cls::Csr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+FusedFn addi_br_fn(Op b) {
+  switch (b) {
+    case Op::BEQ: return &f_addi_br<Op::BEQ>;
+    case Op::BNE: return &f_addi_br<Op::BNE>;
+    case Op::BLT: return &f_addi_br<Op::BLT>;
+    case Op::BGE: return &f_addi_br<Op::BGE>;
+    case Op::BLTU: return &f_addi_br<Op::BLTU>;
+    default: return &f_addi_br<Op::BGEU>;
+  }
+}
+
+FusedFn op_br_fn(Op b) {
+  switch (b) {
+    case Op::BEQ: return &f_op_br<Op::BEQ>;
+    case Op::BNE: return &f_op_br<Op::BNE>;
+    case Op::BLT: return &f_op_br<Op::BLT>;
+    case Op::BGE: return &f_op_br<Op::BGE>;
+    case Op::BLTU: return &f_op_br<Op::BLTU>;
+    default: return &f_op_br<Op::BGEU>;
+  }
+}
+
+FusedFn select_fn(const DecodedOp& a, const DecodedOp& b) {
+  const Cls bc = isa::op_class(b.op);
+  if (bc == Cls::Branch) {
+    return a.op == Op::ADDI ? addi_br_fn(b.op) : op_br_fn(b.op);
+  }
+  if (a.op == Op::ADDI) {
+    if (b.op == Op::ADDI) return &f_addi_addi;
+    if (b.op == Op::LW) return &f_addi_lw;
+    if (b.op == Op::FLW) return &f_addi_flw;
+  }
+  if (a.op == Op::FLW && b.op == Op::FLW) return &f_flw_flw;
+  if (bc == Cls::FpCvt && !isa::is_vector(b.op)) {
+    if (a.op == Op::FLW) return &f_fload_cvt<32>;
+    if (a.op == Op::FLH) return &f_fload_cvt<16>;
+    if (a.op == Op::FLB) return &f_fload_cvt<8>;
+  }
+  using HK = HandlerKind;
+  if (a.hkind == HK::VecBin && b.hkind == HK::VecBin) {
+    return &f_vec_vec<false, false>;
+  }
+  if (a.hkind == HK::VecBin && b.hkind == HK::VecMac) {
+    return &f_vec_vec<false, true>;
+  }
+  if (a.hkind == HK::VecMac && b.hkind == HK::VecBin) {
+    return &f_vec_vec<true, false>;
+  }
+  if (a.hkind == HK::VecMac && b.hkind == HK::VecMac) {
+    return &f_vec_vec<true, true>;
+  }
+  if (a.hkind == HK::FpBin && b.hkind == HK::FpBin) return &f_fp_fp;
+  return &f_pair;
+}
+
+/// Build-time mirror of Core::account()'s cycle computation for the timing
+/// classes whose outcome is static. Branch is the only dynamic class (taken
+/// or not); callers must not request it here.
+std::uint16_t fixed_cycles(const DecodedOp& u, const Timing& timing,
+                           const MemConfig& mem) {
+  int cyc = u.base_cycles;
+  switch (u.tclass) {
+    case TimingClass::Load: cyc += mem.load_latency - 1; break;
+    case TimingClass::Store: cyc += mem.store_latency - 1; break;
+    case TimingClass::Jump: cyc += timing.jump_penalty; break;
+    default: break;
+  }
+  return static_cast<std::uint16_t>(cyc);
+}
+
+/// Slow-path-only micro-ops: branches (dynamic cycle outcome) and CSRs
+/// (read the live cycle/instret counters during execution, so every pending
+/// contribution must be flushed first).
+bool needs_slow_accounting(const DecodedOp& u) {
+  if (!u.supported) return true;
+  switch (isa::op_class(u.op)) {
+    case Cls::Branch:
+    case Cls::Csr:
+    case Cls::Sys:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void SuperblockProgram::build(const std::vector<DecodedOp>& uops,
+                              const Timing& timing, const MemConfig& mem) {
+  const std::size_t n = uops.size();
+  ops_.clear();
+  entry_.assign(n, -1);
+  fused_pairs_ = 0;
+
+  // Leaders: static control-flow targets plus terminator fall-throughs. A
+  // pair never spans a leader, so statically known jumps always land on a
+  // FusedOp start (only jalr can hit the -1 resync path).
+  std::vector<bool> leader(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecodedOp& u = uops[i];
+    if ((isa::op_class(u.op) == Cls::Branch || u.op == Op::JAL) &&
+        u.imm % 4 == 0) {
+      const auto t = static_cast<std::int64_t>(i) + u.imm / 4;
+      if (t >= 0 && t < static_cast<std::int64_t>(n)) {
+        leader[static_cast<std::size_t>(t)] = true;
+      }
+    }
+    if (is_terminator(u) && i + 1 < n) leader[i + 1] = true;
+  }
+
+  ops_.reserve(n);
+  const auto ldst = [](const DecodedOp& u, FusedOp& fo) {
+    if (u.tclass == TimingClass::Load) ++fo.nloads;
+    if (u.tclass == TimingClass::Store) ++fo.nstores;
+  };
+  std::size_t i = 0;
+  while (i < n) {
+    FusedOp fo;
+    fo.idx = static_cast<std::uint32_t>(i);
+    fo.u1 = uops[i];
+    if (i + 1 < n && !leader[i + 1] && fusable_first(uops[i]) &&
+        fusable_second(uops[i + 1])) {
+      fo.len = 2;
+      fo.u2 = uops[i + 1];
+      fo.fn = select_fn(fo.u1, fo.u2);
+      fo.terminator = is_terminator(fo.u2);
+      // u1 of a pair is never a branch/CSR, so only u2 can force slow
+      // accounting.
+      fo.fixed_timing = !needs_slow_accounting(fo.u2);
+      if (fo.fixed_timing) {
+        fo.c1 = fixed_cycles(fo.u1, timing, mem);
+        fo.c2 = fixed_cycles(fo.u2, timing, mem);
+        fo.cycles12 = static_cast<std::uint32_t>(fo.c1) + fo.c2;
+        ldst(fo.u1, fo);
+        ldst(fo.u2, fo);
+      }
+      ++fused_pairs_;
+    } else {
+      fo.len = 1;
+      fo.terminator = is_terminator(fo.u1);
+      fo.fixed_timing = !needs_slow_accounting(fo.u1);
+      if (fo.fixed_timing) {
+        fo.c1 = fixed_cycles(fo.u1, timing, mem);
+        fo.cycles12 = fo.c1;
+        ldst(fo.u1, fo);
+      }
+    }
+    entry_[i] = static_cast<std::int32_t>(ops_.size());
+    ops_.push_back(fo);
+    i += fo.len;
+  }
+  // Falling through the last slot leaves the text segment: force the
+  // executor back through the fetch check so it throws the same SimError
+  // the predecoded engine would, instead of walking off ops_.
+  if (!ops_.empty()) ops_.back().terminator = true;
+}
+
+}  // namespace sfrv::sim

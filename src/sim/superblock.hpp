@@ -1,0 +1,101 @@
+// Superblock layer: basic-block discovery and macro-op fusion over the
+// predecoded micro-op stream (Engine::Fused).
+//
+// The predecoded engine (decode.hpp) already collapsed per-instruction
+// dispatch to one indirect call, but Core::step() still pays per-retired-
+// instruction loop overhead: the fetch-bounds check, the pc -> index
+// division, the engine and trace checks. This layer hoists that too:
+//
+//  * `SuperblockProgram::build` walks the micro-op stream once at
+//    load-program time, marks block leaders (static branch/jal targets and
+//    fall-throughs of terminators), and lowers the text into a flat array of
+//    `FusedOp`s in text order. Adjacent micro-ops are fused pairwise into a
+//    single handler wherever architecture and timing allow; the rest become
+//    singles.
+//  * `Core::run_block()` then executes straight-line runs position-to-
+//    position through this array — one well-predicted loop, no per-uop fetch
+//    checks — and only recomputes its position (the `step()`-style fetch
+//    check) at block boundaries: taken control flow, halts, or faults.
+//
+// Fused handlers inline both micro-ops' semantics (the hot patterns:
+// loop back-edge alu+branch, address-gen+load, load+convert, compare+branch)
+// or chain the two bound handlers (the generic pair). Either way the
+// architectural effects, fflags accumulation, and the per-instruction cycle
+// attribution MUST stay bit- and cycle-identical to executing the two
+// micro-ops back-to-back through Engine::Predecoded — the three-way
+// differential suite in tests/sim/test_ab_equivalence.cpp and the golden
+// digests in tests/data/ enforce this.
+//
+// Dynamic control flow (jalr) can land on the *second* element of a fused
+// pair; such indices have no entry in the position map and the core
+// resynchronizes with one plain predecoded step (the next index is always a
+// FusedOp start again).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/decode.hpp"
+
+namespace sfrv::sim {
+
+struct FusedOp;
+
+/// A fused handler: executes one or two micro-ops and advances pc, exactly
+/// as the underlying DecodedOp handlers would back-to-back.
+using FusedFn = void (*)(ExecContext&, const FusedOp&);
+
+/// One slot of the superblock stream: a single micro-op or a fused pair.
+/// Micro-ops are stored by value so a SuperblockProgram is self-contained
+/// and Core stays memberwise-copyable.
+struct FusedOp {
+  FusedFn fn = nullptr;  ///< pair handler; unused when len == 1 (u1.fn runs)
+  DecodedOp u1;          ///< first micro-op
+  DecodedOp u2;          ///< second micro-op (valid iff len == 2)
+  std::uint32_t idx = 0;  ///< text index of u1 (pc = text_base + 4 * idx)
+  std::uint8_t len = 1;   ///< micro-ops covered (1 or 2)
+  /// Control may leave the straight line after this op (branch/jump/halt or
+  /// a faulting placeholder): the executor must recompute its position from
+  /// pc instead of falling through to the next slot.
+  bool terminator = false;
+  /// Every cycle of this slot is known at build time: loads, stores, and
+  /// jumps have fixed latencies/penalties; only branches (taken?) and CSRs
+  /// (which read the live counters mid-execution) stay on the slow path.
+  /// The executor then books `c1`/`c2` cycles and the load/store increments
+  /// without consulting the timing model.
+  bool fixed_timing = false;
+  std::uint16_t c1 = 0;       ///< u1 cycles incl. memory latency / penalty
+  std::uint16_t c2 = 0;       ///< u2 cycles (len == 2)
+  std::uint32_t cycles12 = 0;  ///< c1 + c2 (c1 for singles)
+  std::uint8_t nloads = 0, nstores = 0;  ///< load/store count contributions
+};
+
+/// The fused-op lowering of one text segment, in text order.
+class SuperblockProgram {
+ public:
+  /// Discover leaders, fuse, and precompute fixed timing against the given
+  /// memory latencies and control-flow penalties (both immutable for a
+  /// Core's lifetime). Safe to call again (rebuilds from scratch).
+  void build(const std::vector<DecodedOp>& uops, const Timing& timing,
+             const MemConfig& mem);
+
+  [[nodiscard]] const std::vector<FusedOp>& ops() const { return ops_; }
+
+  /// Position of the FusedOp *starting* at text index `idx`, or -1 when
+  /// `idx` is the second element of a fused pair. Callers resynchronize on
+  /// -1 with a single predecoded step; index `idx + 1` then always has an
+  /// entry again. Precondition: idx < text size.
+  [[nodiscard]] std::int32_t entry(std::uint32_t idx) const {
+    return entry_[idx];
+  }
+
+  /// Number of fused pairs (diagnostics: bench/doc reporting, tests).
+  [[nodiscard]] std::size_t fused_pairs() const { return fused_pairs_; }
+
+ private:
+  std::vector<FusedOp> ops_;
+  std::vector<std::int32_t> entry_;
+  std::size_t fused_pairs_ = 0;
+};
+
+}  // namespace sfrv::sim

@@ -125,6 +125,24 @@ TEST(Campaign, ParallelAggregationIsDeterministic) {
   EXPECT_EQ(to_json(serial).dump(2), to_json(parallel).dump(2));
 }
 
+TEST(Campaign, ReportIsEngineInvariant) {
+  // The same campaign through all three engines must produce byte-identical
+  // JSON apart from the recorded engine name — the report measures the
+  // simulated machine, not the simulator.
+  std::vector<std::string> dumps;
+  for (const auto e : {sim::Engine::Reference, sim::Engine::Predecoded,
+                       sim::Engine::Fused}) {
+    CampaignSpec spec = small_spec();
+    spec.engine = e;
+    EvalReport report = run_campaign(spec, 2);
+    EXPECT_EQ(report.engine, sim::engine_name(e));
+    report.engine.clear();  // normalize the one intentional difference
+    dumps.push_back(to_json(report).dump(2));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
 TEST(Campaign, ReportJsonRoundTrips) {
   const EvalReport report = run_campaign(small_spec(/*tuner=*/true), 2);
   const std::string dumped = to_json(report).dump(2);

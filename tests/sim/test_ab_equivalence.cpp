@@ -1,9 +1,21 @@
-// Randomized A/B equivalence suite: the predecoded micro-op engine must
-// match the retained reference interpreter bit-for-bit on architectural
-// state (x/f register files, memory, fflags/frm) AND on the timing model
-// (cycles, instruction/load/store counts) across every extension
-// configuration. Streams read the cycle CSR mid-run, so a single
-// mis-accounted cycle also shows up as an architectural divergence.
+// Randomized three-way differential suite: the predecoded micro-op engine
+// AND the superblock-fused engine must match the retained reference
+// interpreter bit-for-bit on architectural state (x/f register files,
+// memory, fflags/frm) AND on the timing model (cycles, instruction/load/
+// store counts) across every extension configuration. Streams read the
+// cycle CSR mid-run, so a single mis-accounted cycle also shows up as an
+// architectural divergence.
+//
+// Each random stream runs three ways:
+//  * free-run — every engine to completion at full speed (fused pairs and
+//    block-local dispatch fully exercised), final state + memory compared;
+//  * per-instruction lockstep — run(1) on all three engines, full state
+//    compared after every retired instruction (this also drives the fused
+//    engine's budget-split and mid-pair resync paths);
+//  * random-chunk lockstep — run(k), k in [1, 8], so fused pairs execute
+//    between observation points and state is compared at interior pcs.
+// The streams' jalr groups produce dynamic targets that land in the middle
+// of fused pairs (the +12 skip), covering the entry-map fallback.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -186,50 +198,125 @@ void seed_state(sim::Core& core, std::uint64_t seed) {
   core.set_frm(static_cast<fp::RoundingMode>(sr() % 5));
 }
 
-/// Run one random stream through both engines; returns executed instructions.
-std::uint64_t run_stream(const IsaConfig& cfg, std::uint64_t seed, int count) {
+constexpr sim::Engine kEngines[] = {sim::Engine::Reference,
+                                    sim::Engine::Predecoded,
+                                    sim::Engine::Fused};
+
+/// Full architectural + timing state comparison between two cores.
+::testing::AssertionResult state_eq(const sim::Core& a, const sim::Core& b) {
+  auto fail = [&](const char* what, std::uint64_t va, std::uint64_t vb) {
+    return ::testing::AssertionFailure()
+           << sim::engine_name(a.engine()) << " vs "
+           << sim::engine_name(b.engine()) << ": " << what << " " << va
+           << " != " << vb << " (pc=0x" << std::hex << a.pc() << ")";
+  };
+  if (a.pc() != b.pc()) return fail("pc", a.pc(), b.pc());
+  for (unsigned r = 0; r < 32; ++r) {
+    if (a.x(r) != b.x(r)) return fail("x reg", a.x(r), b.x(r));
+    if (a.f_bits(r) != b.f_bits(r)) return fail("f reg", a.f_bits(r), b.f_bits(r));
+  }
+  if (a.fflags() != b.fflags()) return fail("fflags", a.fflags(), b.fflags());
+  if (a.frm() != b.frm()) {
+    return fail("frm", static_cast<std::uint64_t>(a.frm()),
+                static_cast<std::uint64_t>(b.frm()));
+  }
+  if (a.halted() != b.halted()) return fail("halted", a.halted(), b.halted());
+  const sim::Stats& sa = a.stats();
+  const sim::Stats& sb = b.stats();
+  if (sa.cycles != sb.cycles) return fail("cycles", sa.cycles, sb.cycles);
+  if (sa.instructions != sb.instructions) {
+    return fail("instructions", sa.instructions, sb.instructions);
+  }
+  if (sa.load_count != sb.load_count) {
+    return fail("loads", sa.load_count, sb.load_count);
+  }
+  if (sa.store_count != sb.store_count) {
+    return fail("stores", sa.store_count, sb.store_count);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void expect_same_memory(const sim::Core& a, const sim::Core& b,
+                        std::uint32_t buf, std::uint64_t seed) {
+  std::vector<std::uint8_t> ma(kBufBytes), mb(kBufBytes);
+  a.memory().read_block(buf, ma.data(), kBufBytes);
+  b.memory().read_block(buf, mb.data(), kBufBytes);
+  EXPECT_EQ(ma, mb) << sim::engine_name(a.engine()) << " vs "
+                    << sim::engine_name(b.engine()) << " seed=" << seed;
+}
+
+struct Stream {
+  asmb::Program prog;
+  std::uint32_t buf = 0;
+};
+
+Stream make_stream(const IsaConfig& cfg, std::uint64_t seed, int count) {
   Assembler a;
-  const std::uint32_t buf = a.data_zero(kBufBytes);
-  a.la(kBaseReg, buf);
+  Stream s;
+  s.buf = a.data_zero(kBufBytes);
+  a.la(kBaseReg, s.buf);
   StreamGen gen(cfg, seed);
   gen.emit_stream(a, count);
-  const asmb::Program prog = a.finish();
+  s.prog = a.finish();
+  return s;
+}
 
-  sim::Core uop_core(cfg);
-  sim::Core ref_core(cfg);
-  ref_core.set_engine(sim::Core::Engine::Reference);
-  uop_core.load_program(prog);
-  ref_core.load_program(prog);
-  seed_state(uop_core, seed);
-  seed_state(ref_core, seed);
+sim::Core make_core(const IsaConfig& cfg, const Stream& s, sim::Engine e,
+                    std::uint64_t seed) {
+  sim::Core core(cfg);
+  core.set_engine(e);
+  core.load_program(s.prog);
+  seed_state(core, seed);
+  return core;
+}
 
-  EXPECT_EQ(uop_core.run(1'000'000), sim::Core::RunResult::Halted);
-  EXPECT_EQ(ref_core.run(1'000'000), sim::Core::RunResult::Halted);
-
-  // Architectural state.
-  EXPECT_EQ(uop_core.pc(), ref_core.pc());
-  for (unsigned r = 0; r < 32; ++r) {
-    EXPECT_EQ(uop_core.x(r), ref_core.x(r)) << "x" << r << " seed=" << seed;
-    EXPECT_EQ(uop_core.f_bits(r), ref_core.f_bits(r))
-        << "f" << r << " seed=" << seed;
+/// Lockstep all three engines in chunks of `chunk(rng)` instructions,
+/// comparing the full state at every chunk boundary.
+template <typename ChunkFn>
+void lockstep(const IsaConfig& cfg, const Stream& s, std::uint64_t seed,
+              ChunkFn chunk) {
+  std::vector<sim::Core> cores;
+  for (const auto e : kEngines) cores.push_back(make_core(cfg, s, e, seed));
+  std::mt19937_64 cr(seed ^ 0xC0DEC0DEC0DEull);
+  for (std::uint64_t retired = 0; retired < 1'000'000;) {
+    const std::uint64_t k = chunk(cr);
+    for (auto& c : cores) c.run(k);
+    retired += k;
+    for (std::size_t i = 1; i < cores.size(); ++i) {
+      ASSERT_TRUE(state_eq(cores[0], cores[i]))
+          << "seed=" << seed << " after " << retired << " budgeted steps";
+    }
+    if (cores[0].halted()) break;
   }
-  EXPECT_EQ(uop_core.fflags(), ref_core.fflags()) << "seed=" << seed;
-  EXPECT_EQ(uop_core.frm(), ref_core.frm()) << "seed=" << seed;
+  ASSERT_TRUE(cores[0].halted()) << "stream did not halt, seed=" << seed;
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    expect_same_memory(cores[0], cores[i], s.buf, seed);
+  }
+}
 
-  // Memory (all stores are confined to the scratch buffer).
-  std::vector<std::uint8_t> m_uop(kBufBytes), m_ref(kBufBytes);
-  uop_core.memory().read_block(buf, m_uop.data(), kBufBytes);
-  ref_core.memory().read_block(buf, m_ref.data(), kBufBytes);
-  EXPECT_EQ(m_uop, m_ref) << "seed=" << seed;
+/// Run one random stream through all engines; returns executed instructions.
+std::uint64_t run_stream(const IsaConfig& cfg, std::uint64_t seed, int count) {
+  const Stream s = make_stream(cfg, seed, count);
 
-  // Timing model.
-  EXPECT_EQ(uop_core.stats().cycles, ref_core.stats().cycles)
-      << "seed=" << seed;
-  EXPECT_EQ(uop_core.stats().instructions, ref_core.stats().instructions);
-  EXPECT_EQ(uop_core.stats().load_count, ref_core.stats().load_count);
-  EXPECT_EQ(uop_core.stats().store_count, ref_core.stats().store_count);
+  // Free-run: every engine at full speed (fused pairs + block dispatch).
+  std::vector<sim::Core> cores;
+  for (const auto e : kEngines) cores.push_back(make_core(cfg, s, e, seed));
+  for (auto& c : cores) {
+    EXPECT_EQ(c.run(1'000'000), sim::Core::RunResult::Halted)
+        << sim::engine_name(c.engine()) << " seed=" << seed;
+  }
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    EXPECT_TRUE(state_eq(cores[0], cores[i])) << "seed=" << seed;
+    expect_same_memory(cores[0], cores[i], s.buf, seed);
+  }
 
-  return uop_core.stats().instructions;
+  // Per-instruction lockstep: state checked at every retired instruction.
+  lockstep(cfg, s, seed, [](std::mt19937_64&) -> std::uint64_t { return 1; });
+  // Random-chunk lockstep: fused pairs execute between observation points.
+  lockstep(cfg, s, seed,
+           [](std::mt19937_64& r) -> std::uint64_t { return 1 + r() % 8; });
+
+  return cores[0].stats().instructions;
 }
 
 void run_config(const IsaConfig& cfg) {
@@ -250,6 +337,95 @@ TEST(AbEquivalence, FullConfigFlen16) { run_config(IsaConfig::full(16)); }
 
 TEST(AbEquivalence, IntegerOnlyConfig) {
   run_config(IsaConfig({isa::Ext::I, isa::Ext::M, isa::Ext::Zicsr}, 32));
+}
+
+// Deterministic guard: the canonical loop shapes must actually fuse (the
+// randomized suite would still pass if the builder degenerated to all
+// singles), and the fused run must stay cycle-identical across a taken
+// back-edge that crosses fused pairs.
+TEST(Superblock, FusesLoopPairsAndStaysIdentical) {
+  Assembler a;
+  a.li(asmb::reg::t0, 1000);
+  const auto loop = a.here();
+  a.fp_rrr(Op::VFADD_B, asmb::reg::fa0, asmb::reg::fa1, asmb::reg::fa2);
+  a.fp_rrr(Op::VFMUL_B, asmb::reg::fa3, asmb::reg::fa1, asmb::reg::fa2);
+  a.fp_rrr(Op::VFSUB_H, asmb::reg::ft0, asmb::reg::ft1, asmb::reg::ft2);
+  a.fp_rrr(Op::VFMIN_H, asmb::reg::ft3, asmb::reg::ft1, asmb::reg::ft2);
+  a.addi(asmb::reg::t0, asmb::reg::t0, -1);
+  a.bne(asmb::reg::t0, asmb::reg::zero, loop);
+  a.ebreak();
+  const asmb::Program prog = a.finish();
+
+  sim::Core uop(isa::IsaConfig::full());
+  sim::Core fus(isa::IsaConfig::full());
+  fus.set_engine(sim::Engine::Fused);
+  uop.load_program(prog);
+  fus.load_program(prog);
+
+  // The loop body must fuse: two vec/vec pairs plus the addi+bne back-edge.
+  EXPECT_GE(fus.superblocks().fused_pairs(), 3u);
+
+  EXPECT_EQ(uop.run(), sim::Core::RunResult::Halted);
+  EXPECT_EQ(fus.run(), sim::Core::RunResult::Halted);
+  EXPECT_TRUE(state_eq(uop, fus));
+}
+
+// Falling through the last text instruction (no ebreak) must raise the same
+// fetch fault with the same fully-retired state under every engine — the
+// fused block walker must not run off the end of its op array.
+TEST(Superblock, FallthroughOffTextEndMatchesAllEngines) {
+  Assembler a;
+  a.addi(asmb::reg::t0, asmb::reg::zero, 1);
+  a.addi(asmb::reg::t1, asmb::reg::zero, 2);
+  a.addi(asmb::reg::t2, asmb::reg::zero, 3);
+  const asmb::Program prog = a.finish();
+
+  std::vector<sim::Core> cores;
+  for (const auto e : kEngines) {
+    sim::Core c(isa::IsaConfig::full());
+    c.set_engine(e);
+    c.load_program(prog);
+    EXPECT_THROW(c.run(), sim::SimError) << sim::engine_name(e);
+    cores.push_back(std::move(c));
+  }
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    EXPECT_TRUE(state_eq(cores[0], cores[i]));
+  }
+}
+
+// A fault in the *second* half of a fused pair (addi + out-of-bounds lw)
+// must leave the same post-exception state as the predecoded engine: the
+// addi retired (pc, cycles, instret, register write), the load did not.
+TEST(Superblock, FaultInSecondHalfOfPairRetiresFirstHalf) {
+  Assembler a;
+  a.li(asmb::reg::t0, 0x7ff00000);  // far outside the 8 MiB memory (1 inst)
+  a.addi(asmb::reg::t3, asmb::reg::zero, 0);  // filler: aligns the pair below
+  a.addi(asmb::reg::t1, asmb::reg::zero, 7);
+  a.emit({.op = Op::LW, .rd = asmb::reg::t2, .rs1 = asmb::reg::t0});
+  a.ebreak();
+  const asmb::Program prog = a.finish();
+
+  std::vector<sim::Core> cores;
+  for (const auto e : kEngines) {
+    sim::Core c(isa::IsaConfig::full());
+    c.set_engine(e);
+    c.load_program(prog);
+    if (e == sim::Engine::Fused) {
+      // The shape under test must actually fuse into an addi+lw pair.
+      bool has_pair = false;
+      for (const auto& fo : c.superblocks().ops()) {
+        has_pair |= fo.len == 2 && fo.u1.op == Op::ADDI && fo.u2.op == Op::LW;
+      }
+      EXPECT_TRUE(has_pair);
+    }
+    EXPECT_THROW(c.run(), std::out_of_range) << sim::engine_name(e);
+    cores.push_back(std::move(c));
+  }
+  EXPECT_EQ(cores[0].x(asmb::reg::t1), 7u);  // first half's write landed
+  EXPECT_EQ(cores[0].stats().instructions, 3u);  // li (2 uops) + addi
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    EXPECT_TRUE(state_eq(cores[0], cores[i]));
+  }
 }
 
 }  // namespace

@@ -23,7 +23,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--suite table3|smoke] [--out PREFIX] [-j N]\n"
-      "          [--benchmarks a,b,...] [--mem l1|l2|l3] [--no-tuner]\n"
+      "          [--benchmarks a,b,...] [--mem l1|l2|l3]\n"
+      "          [--engine predecoded|fused|reference] [--no-tuner]\n"
       "\n"
       "  --suite       campaign to run (default: table3)\n"
       "  --out         output prefix; writes PREFIX.json and PREFIX.md\n"
@@ -32,6 +33,8 @@ int usage(const char* argv0) {
       "  --benchmarks  comma-separated subset of the suite (default: all)\n"
       "  --mem         memory level: l1=1, l2=10, l3=100 cycles load latency\n"
       "                (default: l1)\n"
+      "  --engine      simulator engine; results are engine-independent, only\n"
+      "                wall-clock changes (default: $SFRV_ENGINE or predecoded)\n"
       "  --no-tuner    skip the Fig. 6 precision-tuning case study\n",
       argv0);
   return 2;
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   std::string out_prefix = "report";
   std::string benchmarks;
   std::string mem_level = "l1";
+  std::string engine;
   int jobs = 1;
   bool tuner = true;
 
@@ -98,6 +102,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       mem_level = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      engine = v;
     } else if (arg == "--no-tuner") {
       tuner = false;
     } else if (arg == "-h" || arg == "--help") {
@@ -120,6 +128,14 @@ int main(int argc, char** argv) {
   }
   spec.benchmarks = split_csv(benchmarks);
   spec.tuner_study = tuner;
+  if (!engine.empty()) {
+    try {
+      spec.engine = sim::engine_from_name(engine);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return usage(argv[0]);
+    }
+  }
   if (mem_level == "l1") {
     spec.mem.load_latency = sim::kMemL1.load_latency;
   } else if (mem_level == "l2") {
@@ -133,9 +149,10 @@ int main(int argc, char** argv) {
 
   try {
     const std::size_t n_cells = eval::expand_matrix(spec).size();
-    std::printf("sfrv-eval: suite %s, %zu cells, %d job(s)%s\n",
-                spec.name.c_str(), n_cells, jobs,
-                spec.runs_tuner() ? ", tuner study" : "");
+    std::printf("sfrv-eval: suite %s, engine %s, %zu cells, %d job(s)%s\n",
+                spec.name.c_str(),
+                std::string(sim::engine_name(spec.engine)).c_str(), n_cells,
+                jobs, spec.runs_tuner() ? ", tuner study" : "");
     const eval::EvalReport report = eval::run_campaign(spec, jobs);
 
     const std::string json_path = out_prefix + ".json";
