@@ -1,9 +1,13 @@
 // Simulator dispatch bench: instruction throughput (MIPS) of all three
 // engines -- the reference interpreter, the predecoded micro-op engine, and
-// the superblock-fused engine -- on three loop shapes: integer-only ALU,
-// scalar binary32 FP, and packed-SIMD f8/f16. Writes BENCH_dispatch.json
-// (path overridable via argv[1]) so the speedups from the dispatch refactor
-// and the fusion layer land in the bench trajectory.
+// the superblock-fused engine -- on four loop shapes: integer-only ALU,
+// scalar binary32 FP, packed-SIMD f8/f16, and a realistic vectorized kernel
+// inner loop. The FP-capable engines are additionally measured under both
+// math backends (grs = guard/round/sticky softfloat, fast = exhaustive f8
+// LUTs + host-double f16/f32 path); the backend column is the speedup of
+// fast over grs on the predecoded engine. Writes BENCH_dispatch.json (path
+// overridable via argv[1]) so the speedups from the dispatch refactor, the
+// fusion layer, and the math backend land in the bench trajectory.
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -131,12 +135,14 @@ struct Measurement {
   std::uint64_t instructions;
 };
 
-Measurement measure(const Workload& w, Core::Engine engine) {
+Measurement measure(const Workload& w, Core::Engine engine,
+                    sfrv::fp::MathBackend backend = sfrv::fp::MathBackend::Grs) {
   double best = 0;
   std::uint64_t instructions = 0;
   for (int rep = 0; rep < 3; ++rep) {
     Core core;
     core.set_engine(engine);
+    core.set_backend(backend);
     core.load_program(w.prog);
     seed_fp(core);
     const auto t0 = std::chrono::steady_clock::now();
@@ -161,28 +167,36 @@ int main(int argc, char** argv) {
                                            packed_simd_loop(),
                                            packed_simd_kernel_loop()};
 
-  std::printf("%-22s %10s %10s %10s %9s %9s\n", "workload", "ref MIPS",
-              "uop MIPS", "fused MIPS", "uop/ref", "fused/uop");
+  std::printf("%-22s %9s %9s %10s %9s %10s %8s %9s %9s\n", "workload",
+              "ref MIPS", "uop MIPS", "fused MIPS", "uop-fast", "fused-fast",
+              "uop/ref", "fused/uop", "fast/grs");
   std::string json = "{\n  \"bench\": \"dispatch\",\n  \"workloads\": [\n";
   bool first = true;
   for (const auto& w : workloads) {
+    using MathBackend = sfrv::fp::MathBackend;
     const auto ref = measure(w, Core::Engine::Reference);
     const auto uop = measure(w, Core::Engine::Predecoded);
     const auto fus = measure(w, Core::Engine::Fused);
+    const auto uop_fast = measure(w, Core::Engine::Predecoded, MathBackend::Fast);
+    const auto fus_fast = measure(w, Core::Engine::Fused, MathBackend::Fast);
     const double speedup = uop.mips / ref.mips;
     const double fusion_gain = fus.mips / uop.mips;
-    std::printf("%-22s %10.1f %10.1f %10.1f %8.2fx %8.2fx\n", w.name.c_str(),
-                ref.mips, uop.mips, fus.mips, speedup, fusion_gain);
-    char buf[320];
+    const double backend_gain = uop_fast.mips / uop.mips;
+    std::printf("%-22s %9.1f %9.1f %10.1f %9.1f %10.1f %7.2fx %8.2fx %8.2fx\n",
+                w.name.c_str(), ref.mips, uop.mips, fus.mips, uop_fast.mips,
+                fus_fast.mips, speedup, fusion_gain, backend_gain);
+    char buf[448];
     std::snprintf(buf, sizeof buf,
                   "%s    {\"name\": \"%s\", \"instructions\": %llu, "
                   "\"ref_mips\": %.1f, \"uop_mips\": %.1f, "
-                  "\"fused_mips\": %.1f, \"speedup\": %.3f, "
-                  "\"fused_speedup\": %.3f, \"fusion_gain\": %.3f}",
+                  "\"fused_mips\": %.1f, \"uop_fast_mips\": %.1f, "
+                  "\"fused_fast_mips\": %.1f, \"speedup\": %.3f, "
+                  "\"fused_speedup\": %.3f, \"fusion_gain\": %.3f, "
+                  "\"backend_gain\": %.3f}",
                   first ? "" : ",\n", w.name.c_str(),
                   static_cast<unsigned long long>(uop.instructions), ref.mips,
-                  uop.mips, fus.mips, speedup, fus.mips / ref.mips,
-                  fusion_gain);
+                  uop.mips, fus.mips, uop_fast.mips, fus_fast.mips, speedup,
+                  fus.mips / ref.mips, fusion_gain, backend_gain);
     json += buf;
     first = false;
   }

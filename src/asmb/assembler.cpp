@@ -102,12 +102,15 @@ void Assembler::li(std::uint8_t rd, std::int32_t value) {
     return;
   }
   // lui loads bits [31:12]; addi adds the sign-extended low 12 bits, so the
-  // upper part must be pre-compensated when bit 11 is set.
-  std::int32_t hi = value & ~0xfff;
-  const std::int32_t lo = value & 0xfff;
+  // upper part must be pre-compensated when bit 11 is set. Computed in
+  // unsigned arithmetic: the compensation wraps modulo 2^32 near INT32_MAX,
+  // exactly like the lui+addi pair it mirrors.
+  const auto uvalue = static_cast<std::uint32_t>(value);
+  std::uint32_t hi = uvalue & ~0xfffu;
+  const std::uint32_t lo = uvalue & 0xfffu;
   if (lo >= 0x800) hi += 0x1000;
-  lui(rd, hi);
-  const std::int32_t lo_signed = value - hi;
+  lui(rd, static_cast<std::int32_t>(hi));
+  const auto lo_signed = static_cast<std::int32_t>(uvalue - hi);
   if (lo_signed != 0) addi(rd, rd, lo_signed);
 }
 

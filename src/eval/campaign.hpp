@@ -61,6 +61,10 @@ struct CampaignSpec {
   /// The report records it; results must not depend on it — CI runs the
   /// smoke campaign under all engines and diffs the reports.
   sim::Engine engine = sim::default_engine();
+  /// Softfloat math backend every cell binds its FP entry points from.
+  /// Same contract as the engine: recorded for provenance, results must not
+  /// depend on it (CI diffs the smoke reports across backends too).
+  fp::MathBackend backend = fp::default_backend();
   /// Append the tuner-driven mixed-precision case study (Fig. 6).
   bool tuner_study = true;
 
@@ -86,9 +90,10 @@ struct CellSpec {
 [[nodiscard]] std::vector<CellSpec> expand_matrix(const CampaignSpec& spec);
 
 /// Execute one cell: lower, simulate, and measure.
-[[nodiscard]] CellResult run_cell(const CellSpec& cell,
-                                  const sim::MemConfig& mem,
-                                  sim::Engine engine = sim::default_engine());
+[[nodiscard]] CellResult run_cell(
+    const CellSpec& cell, const sim::MemConfig& mem,
+    sim::Engine engine = sim::default_engine(),
+    fp::MathBackend backend = fp::default_backend());
 
 /// Run the whole campaign with `jobs` worker threads (clamped to >= 1).
 [[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1);
@@ -100,6 +105,7 @@ struct CellSpec {
 /// over the 16-config grid, every configuration simulated once.
 [[nodiscard]] TunerStudy run_tuner_study(
     SuiteScale scale, const sim::MemConfig& mem,
-    sim::Engine engine = sim::default_engine());
+    sim::Engine engine = sim::default_engine(),
+    fp::MathBackend backend = fp::default_backend());
 
 }  // namespace sfrv::eval

@@ -22,7 +22,9 @@ namespace sfrv::eval {
 
 /// Bump on any structural change to the JSON layout.
 /// v2: records the simulator engine the campaign executed through.
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v2";
+/// v3: records the softfloat math backend (`backend`: "grs" | "fast") the
+///     campaign's FP entry points were bound from.
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v3";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.
@@ -73,6 +75,9 @@ struct EvalReport {
   /// be engine-independent (the conformance suites enforce it), so two
   /// reports that differ only here are the same measurement.
   std::string engine = "predecoded";
+  /// Softfloat math backend ("grs", "fast"). Same provenance-only contract
+  /// as `engine`: the backends are bit- and fflags-identical.
+  std::string backend = "grs";
   int mem_load_latency = 1;
   int mem_store_latency = 1;
   std::vector<std::string> benchmarks;    ///< suite order

@@ -28,11 +28,12 @@ std::vector<double> RunResult::concat_outputs(
 
 RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
                      sim::MemConfig mem, isa::IsaConfig cfg,
-                     sim::Engine engine) {
+                     sim::Engine engine, fp::MathBackend backend) {
   RunResult r;
   r.lowered = ir::lower(spec.kernel, mode, spec.init);
   sim::Core core(cfg, mem);
   core.set_engine(engine);
+  core.set_backend(backend);
   core.load_program(r.lowered.program);
   if (core.run() != sim::Core::RunResult::Halted) {
     throw std::runtime_error("kernel did not halt: " + spec.kernel.name);

@@ -38,12 +38,15 @@ struct RunResult {
 };
 
 /// Lower with `mode`, execute to completion, and read back every array in
-/// `spec.output_arrays`. The engine defaults to the process-wide selection
-/// (SFRV_ENGINE, see sim::default_engine) so the whole kernel/eval stack can
-/// be exercised under any engine without threading a flag by hand.
-[[nodiscard]] RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
-                                   sim::MemConfig mem = {},
-                                   isa::IsaConfig cfg = isa::IsaConfig::full(),
-                                   sim::Engine engine = sim::default_engine());
+/// `spec.output_arrays`. The engine and math backend default to the
+/// process-wide selections (SFRV_ENGINE / SFRV_BACKEND, see
+/// sim::default_engine and fp::default_backend) so the whole kernel/eval
+/// stack can be exercised under any combination without threading flags by
+/// hand.
+[[nodiscard]] RunResult run_kernel(
+    const KernelSpec& spec, ir::CodegenMode mode, sim::MemConfig mem = {},
+    isa::IsaConfig cfg = isa::IsaConfig::full(),
+    sim::Engine engine = sim::default_engine(),
+    fp::MathBackend backend = fp::default_backend());
 
 }  // namespace sfrv::kernels

@@ -70,23 +70,24 @@ Engine engine_from_name(std::string_view name) {
   throw std::runtime_error("unknown engine name: " + std::string(name));
 }
 
+Engine engine_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return Engine::Predecoded;
+  try {
+    return engine_from_name(value);
+  } catch (const std::exception&) {
+    // Never throw here: this runs inside a static-local initializer
+    // reached from default arguments and member initializers, long
+    // before any caller could catch or report it.
+    std::fprintf(stderr,
+                 "warning: ignoring invalid SFRV_ENGINE=%s "
+                 "(expected reference|predecoded|fused)\n",
+                 value);
+    return Engine::Predecoded;
+  }
+}
+
 Engine default_engine() {
-  static const Engine e = [] {
-    const char* v = std::getenv("SFRV_ENGINE");
-    if (v == nullptr || *v == '\0') return Engine::Predecoded;
-    try {
-      return engine_from_name(v);
-    } catch (const std::exception&) {
-      // Never throw here: this runs inside a static-local initializer
-      // reached from default arguments and member initializers, long
-      // before any caller could catch or report it.
-      std::fprintf(stderr,
-                   "warning: ignoring invalid SFRV_ENGINE=%s "
-                   "(expected reference|predecoded|fused)\n",
-                   v);
-      return Engine::Predecoded;
-    }
-  }();
+  static const Engine e = engine_from_env(std::getenv("SFRV_ENGINE"));
   return e;
 }
 
@@ -103,6 +104,20 @@ void Core::set_engine(Engine e) {
   }
 }
 
+void Core::set_backend(fp::MathBackend b) {
+  if (b == backend_) return;
+  backend_ = b;
+  if (decoded_.empty()) return;
+  // Re-bind the micro-op entry points from the newly selected table family.
+  // The superblock stream copies micro-ops by value, so it must be rebuilt
+  // (or cleared for lazy rebuild) whenever the micro-ops are re-lowered.
+  uops_ = decode_program(decoded_, cfg_, timing_, backend_);
+  sblk_ = SuperblockProgram{};
+  if (engine_ == Engine::Fused) {
+    sblk_.build(uops_, timing_, mem_.config());
+  }
+}
+
 void Core::load_program(const asmb::Program& prog) {
   if (!prog.text_words.empty()) {
     mem_.write_block(prog.text_base, prog.text_words.data(),
@@ -112,7 +127,7 @@ void Core::load_program(const asmb::Program& prog) {
     mem_.write_block(prog.data_base, prog.data.data(), prog.data.size());
   }
   decoded_ = prog.text;
-  uops_ = decode_program(decoded_, cfg_, timing_);
+  uops_ = decode_program(decoded_, cfg_, timing_, backend_);
   // The fusion pass only pays off for the fused engine; the others skip it
   // (set_engine and run_fused build on demand).
   if (engine_ == Engine::Fused) {

@@ -54,6 +54,12 @@ enum class Engine : std::uint8_t { Predecoded, Reference, Fused };
 [[nodiscard]] std::string_view engine_name(Engine e);
 /// Parse an engine name; throws std::runtime_error on an unknown one.
 [[nodiscard]] Engine engine_from_name(std::string_view name);
+/// Resolve an SFRV_ENGINE-style environment value: null/empty selects
+/// Predecoded, an invalid value warns on stderr and falls back to Predecoded
+/// (never throws). Exposed separately from default_engine() so the
+/// invalid-value contract is directly testable (fp::backend_from_env is the
+/// SFRV_BACKEND counterpart).
+[[nodiscard]] Engine engine_from_env(const char* value);
 /// Process-wide default engine: the SFRV_ENGINE environment variable
 /// (reference|predecoded|fused, read once) or Engine::Predecoded. Lets CI
 /// run the whole test suite and campaigns under each engine. An invalid
@@ -72,6 +78,7 @@ struct CoreState {
   Stats stats_;
   ExecContext ctx_;
   Engine engine_ = Engine::Predecoded;
+  fp::MathBackend backend_ = fp::default_backend();
 
   std::uint32_t text_base_ = 0;
   std::vector<isa::Inst> decoded_;   // predecoded text (no self-modifying code)
@@ -116,6 +123,16 @@ class Core : private detail::CoreState {
   /// pay for it (load_program skips the fusion pass unless fused).
   void set_engine(Engine e);
   [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Select the softfloat math backend (fp::MathBackend). The predecoded and
+  /// fused engines bind their micro-op entry points from the selected table
+  /// family, so switching after load_program re-lowers the text (and the
+  /// superblock stream when fused). The reference interpreter is the frozen
+  /// pre-refactor oracle and always computes through the Grs routines; the
+  /// backends are bit- and fflags-identical, so architectural results never
+  /// depend on this choice (the conformance suites enforce it).
+  void set_backend(fp::MathBackend b);
+  [[nodiscard]] fp::MathBackend backend() const { return backend_; }
 
   /// Copy a program image into memory, point the PC at its entry, set up the
   /// stack pointer, and predecode the text into the micro-op cache.

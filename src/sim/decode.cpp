@@ -512,7 +512,8 @@ void h_unhandled(ExecContext& c, const DecodedOp&) {
   case Op::NAME##_AH:     \
   case Op::NAME##_B:
 
-void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
+void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
+                  fp::MathBackend backend) {
   const isa::OpFmt of = isa::op_format(u.op);
   if (of != isa::OpFmt::None) {
     u.fmt = isa::to_fp_format(of);
@@ -521,16 +522,16 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
       u.lanes = static_cast<std::uint8_t>(isa::vector_lanes(u.fmt, cfg.flen));
     }
   }
-  const fp::RtOps& so = fp::rt_ops(u.fmt);
-  const fp::RtVecOps& vo = fp::rt_vec_ops(u.fmt);
-  const fp::RtOps& s32 = fp::rt_ops(FpFormat::F32);
+  const fp::RtOps& so = fp::rt_ops(u.fmt, backend);
+  const fp::RtVecOps& vo = fp::rt_vec_ops(u.fmt, backend);
+  const fp::RtOps& s32 = fp::rt_ops(FpFormat::F32, backend);
 
   // Binds an FP<->FP converter and the source/destination widths.
-  auto cvt = [&u](FpFormat to, FpFormat from) {
+  auto cvt = [&u, backend](FpFormat to, FpFormat from) {
     u.fn = &h_fp_cvt;
     u.width = static_cast<std::uint8_t>(fp::format_width(to));
     u.width2 = static_cast<std::uint8_t>(fp::format_width(from));
-    u.fp1.cvt = fp::rt_convert_fn(to, from);
+    u.fp1.cvt = fp::rt_convert_fn(to, from, backend);
   };
 
   switch (u.op) {
@@ -665,7 +666,7 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
       u.width2 = u.width;
       u.width = 32;
       u.fp1.bin = s32.mul;
-      u.fp2.cvt = fp::rt_convert_fn(FpFormat::F32, u.fmt);
+      u.fp2.cvt = fp::rt_convert_fn(FpFormat::F32, u.fmt, backend);
       break;
     case Op::FMACEX_S_AH:
     case Op::FMACEX_S_H:
@@ -674,7 +675,7 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
       u.width2 = u.width;
       u.width = 32;
       u.fp1.tern = s32.fma;
-      u.fp2.cvt = fp::rt_convert_fn(FpFormat::F32, u.fmt);
+      u.fp2.cvt = fp::rt_convert_fn(FpFormat::F32, u.fmt, backend);
       break;
 
     case Op::FCVT_S_AH: cvt(FpFormat::F32, FpFormat::F16Alt); break;
@@ -751,11 +752,11 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
 
     case Op::VFCVT_H_AH:
       u.fn = &h_vec_cvt;
-      u.fp1.cvt = fp::rt_convert_fn(FpFormat::F16, FpFormat::F16Alt);
+      u.fp1.cvt = fp::rt_convert_fn(FpFormat::F16, FpFormat::F16Alt, backend);
       break;
     case Op::VFCVT_AH_H:
       u.fn = &h_vec_cvt;
-      u.fp1.cvt = fp::rt_convert_fn(FpFormat::F16Alt, FpFormat::F16);
+      u.fp1.cvt = fp::rt_convert_fn(FpFormat::F16Alt, FpFormat::F16, backend);
       break;
 
     case Op::VFCPKA_H_S:
@@ -763,12 +764,12 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
     case Op::VFCPKA_B_S:
       u.fn = &h_vec_cpk;
       u.imm = 0;
-      u.fp1.cvt = fp::rt_convert_fn(u.fmt, FpFormat::F32);
+      u.fp1.cvt = fp::rt_convert_fn(u.fmt, FpFormat::F32, backend);
       break;
     case Op::VFCPKB_B_S:
       u.fn = &h_vec_cpk;
       u.imm = 2;
-      u.fp1.cvt = fp::rt_convert_fn(u.fmt, FpFormat::F32);
+      u.fp1.cvt = fp::rt_convert_fn(u.fmt, FpFormat::F32, backend);
       break;
 
     SFRV_VCASE3(VFDOTPEX_S) u.fn = &h_vec_dotp; u.fp1.vdotp = vo.dotp; break;
@@ -790,7 +791,7 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg) {
 }  // namespace
 
 DecodedOp decode_op(const Inst& inst, const isa::IsaConfig& cfg,
-                    const Timing& timing) {
+                    const Timing& timing, fp::MathBackend backend) {
   DecodedOp u;
   u.rd = inst.rd;
   u.rs1 = inst.rs1;
@@ -814,7 +815,7 @@ DecodedOp decode_op(const Inst& inst, const isa::IsaConfig& cfg,
     u.supported = false;
     return u;
   }
-  bind_handler(u, cfg);
+  bind_handler(u, cfg, backend);
   // Handler-shape tag for the superblock fuser, derived from the bound
   // handler so the big switch above stays single-purpose.
   if (u.fn == &h_fp_bin) {
@@ -829,10 +830,11 @@ DecodedOp decode_op(const Inst& inst, const isa::IsaConfig& cfg,
 
 std::vector<DecodedOp> decode_program(const std::vector<Inst>& text,
                                       const isa::IsaConfig& cfg,
-                                      const Timing& timing) {
+                                      const Timing& timing,
+                                      fp::MathBackend backend) {
   std::vector<DecodedOp> uops;
   uops.reserve(text.size());
-  for (const Inst& i : text) uops.push_back(decode_op(i, cfg, timing));
+  for (const Inst& i : text) uops.push_back(decode_op(i, cfg, timing, backend));
   return uops;
 }
 

@@ -98,13 +98,17 @@ struct DecodedOp {
 /// Instructions the configuration does not implement decode to a handler
 /// that raises SimError on execution -- matching the reference interpreter,
 /// which faults only when the PC actually reaches the instruction.
+/// `backend` selects which softfloat table family (fp::rt_ops and friends)
+/// the micro-op's entry points are bound from; the backends are bit- and
+/// fflags-identical, so it only changes wall-clock time.
 [[nodiscard]] DecodedOp decode_op(const isa::Inst& inst,
                                   const isa::IsaConfig& cfg,
-                                  const Timing& timing);
+                                  const Timing& timing,
+                                  fp::MathBackend backend = fp::default_backend());
 
 /// Lower a whole text segment (index i corresponds to text_base + 4*i).
 [[nodiscard]] std::vector<DecodedOp> decode_program(
     const std::vector<isa::Inst>& text, const isa::IsaConfig& cfg,
-    const Timing& timing);
+    const Timing& timing, fp::MathBackend backend = fp::default_backend());
 
 }  // namespace sfrv::sim

@@ -1,6 +1,10 @@
 #include "softfloat/runtime.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <iterator>
+#include <stdexcept>
+#include <string>
 
 #include "softfloat/arith.hpp"
 #include "softfloat/compare.hpp"
@@ -286,6 +290,41 @@ constexpr RtVecOps kVecOps[] = {
 
 }  // namespace
 
+// ---- backend selection ------------------------------------------------------
+
+std::string_view backend_name(MathBackend b) {
+  switch (b) {
+    case MathBackend::Grs: return "grs";
+    case MathBackend::Fast: return "fast";
+  }
+  return "grs";
+}
+
+MathBackend backend_from_name(std::string_view name) {
+  for (const MathBackend b : {MathBackend::Grs, MathBackend::Fast}) {
+    if (name == backend_name(b)) return b;
+  }
+  throw std::runtime_error("unknown backend name: " + std::string(name));
+}
+
+MathBackend backend_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return MathBackend::Grs;
+  try {
+    return backend_from_name(value);
+  } catch (const std::exception&) {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid SFRV_BACKEND=%s "
+                 "(expected grs|fast)\n",
+                 value);
+    return MathBackend::Grs;
+  }
+}
+
+MathBackend default_backend() {
+  static const MathBackend b = backend_from_env(std::getenv("SFRV_BACKEND"));
+  return b;
+}
+
 // Same out-of-range policy as dispatch_format: assert in debug, declared
 // unreachable in release (which also lets the bounds check compile away).
 const RtOps& rt_ops(FpFormat f) {
@@ -301,6 +340,19 @@ const RtVecOps& rt_vec_ops(FpFormat f) {
 RtCvtFn rt_convert_fn(FpFormat to, FpFormat from) {
   if (fidx(to) >= 5 || fidx(from) >= 5) detail::invalid_format_tag();
   return kCvt[fidx(to)][fidx(from)];
+}
+
+const RtOps& rt_ops(FpFormat f, MathBackend b) {
+  return b == MathBackend::Fast ? detail::fast_ops(f) : rt_ops(f);
+}
+
+const RtVecOps& rt_vec_ops(FpFormat f, MathBackend b) {
+  return b == MathBackend::Fast ? detail::fast_vec_ops(f) : rt_vec_ops(f);
+}
+
+RtCvtFn rt_convert_fn(FpFormat to, FpFormat from, MathBackend b) {
+  return b == MathBackend::Fast ? detail::fast_convert_fn(to, from)
+                                : rt_convert_fn(to, from);
 }
 
 // ---- per-call wrappers -----------------------------------------------------

@@ -20,6 +20,42 @@
 
 namespace sfrv::fp {
 
+// ---- math backends ---------------------------------------------------------
+
+/// Which implementation family backs the per-(op, format) tables below.
+///
+///  * Grs  -- the guard/round/sticky softfloat routines in arith.hpp /
+///    convert.hpp. The reference implementation: every operation is computed
+///    from first principles with a single rounding. Always available; the
+///    per-call rt_*(FpFormat, ...) wrappers and the reference interpreter
+///    use it unconditionally (they are the frozen oracle).
+///  * Fast -- bit- and fflags-identical accelerated entries:
+///    exhaustive precomputed LUTs for the 8-bit format (generated once from
+///    the Grs path, so correct by construction) and a host-double fast path
+///    for f16/f16alt/f32 add/sub/mul/div/sqrt where the single-rounding
+///    argument holds (see docs/formats.md), falling back to Grs for FMA and
+///    any case whose result or flags cannot be proven identical.
+///
+/// The contract -- enforced by exhaustive 8-bit equivalence tests,
+/// randomized f16/f32 differential fuzzing, and the golden digest matrix --
+/// is that the two backends are indistinguishable except in wall-clock time.
+enum class MathBackend : std::uint8_t { Grs, Fast };
+
+/// Stable lowercase backend names ("grs", "fast") used by the CLI, the eval
+/// report JSON, and the SFRV_BACKEND variable.
+[[nodiscard]] std::string_view backend_name(MathBackend b);
+/// Parse a backend name; throws std::runtime_error on an unknown one.
+[[nodiscard]] MathBackend backend_from_name(std::string_view name);
+/// Resolve an SFRV_BACKEND-style environment value: null/empty selects Grs,
+/// an invalid value warns on stderr and falls back to Grs (same contract as
+/// SFRV_ENGINE; never throws -- it runs inside static initialization via
+/// default arguments). Exposed separately from default_backend() so the
+/// invalid-value contract is directly testable.
+[[nodiscard]] MathBackend backend_from_env(const char* value);
+/// Process-wide default backend: the SFRV_BACKEND environment variable
+/// (grs|fast, read once) or MathBackend::Grs.
+[[nodiscard]] MathBackend default_backend();
+
 // ---- per-(op, format) scalar tables ----------------------------------------
 
 /// Signature families for table entries. min/max and the sign-injection ops
@@ -56,11 +92,14 @@ struct RtOps {
 };
 
 /// The operation table for a format tag. The reference never dangles: tables
-/// have static storage duration.
+/// have static storage duration. The single-argument form is the Grs
+/// backend (the oracle); pass a backend to bind accelerated entries.
 [[nodiscard]] const RtOps& rt_ops(FpFormat f);
+[[nodiscard]] const RtOps& rt_ops(FpFormat f, MathBackend b);
 
 /// Pre-bound converter for a (destination, source) format pair.
 [[nodiscard]] RtCvtFn rt_convert_fn(FpFormat to, FpFormat from);
+[[nodiscard]] RtCvtFn rt_convert_fn(FpFormat to, FpFormat from, MathBackend b);
 
 // ---- per-(op, format) packed-SIMD tables -----------------------------------
 
@@ -100,8 +139,17 @@ struct RtVecOps {
 };
 
 /// The packed-lane table for a format tag (meaningful for the sub-32-bit
-/// smallFloat formats; provided for all tags for uniformity).
+/// smallFloat formats; provided for all tags for uniformity). Same backend
+/// convention as rt_ops.
 [[nodiscard]] const RtVecOps& rt_vec_ops(FpFormat f);
+[[nodiscard]] const RtVecOps& rt_vec_ops(FpFormat f, MathBackend b);
+
+namespace detail {
+/// Fast-backend tables (fastpath.cpp); rt_ops(f, b) dispatches here.
+[[nodiscard]] const RtOps& fast_ops(FpFormat f);
+[[nodiscard]] const RtVecOps& fast_vec_ops(FpFormat f);
+[[nodiscard]] RtCvtFn fast_convert_fn(FpFormat to, FpFormat from);
+}  // namespace detail
 
 // ---- per-call format dispatch (cold paths) ---------------------------------
 

@@ -78,7 +78,9 @@ TEST(Assembler, LiHighBit11Compensation) {
       if (i.op == Op::LUI) {
         acc = i.imm;
       } else {
-        acc = static_cast<std::int32_t>(acc) + i.imm;
+        // The machine add wraps modulo 2^32; model it in unsigned space.
+        acc = static_cast<std::int32_t>(static_cast<std::uint32_t>(acc) +
+                                        static_cast<std::uint32_t>(i.imm));
       }
     }
     EXPECT_EQ(static_cast<std::int32_t>(acc), v) << v;

@@ -143,6 +143,22 @@ TEST(Campaign, ReportIsEngineInvariant) {
   EXPECT_EQ(dumps[0], dumps[2]);
 }
 
+TEST(Campaign, ReportIsBackendInvariant) {
+  // The math backends are bit- and fflags-identical by contract, so the
+  // report -- cycles, instruction mix, SQNR, accuracy -- must be
+  // byte-identical apart from the recorded backend name.
+  std::vector<std::string> dumps;
+  for (const auto b : {fp::MathBackend::Grs, fp::MathBackend::Fast}) {
+    CampaignSpec spec = small_spec();
+    spec.backend = b;
+    EvalReport report = run_campaign(spec, 2);
+    EXPECT_EQ(report.backend, fp::backend_name(b));
+    report.backend.clear();  // normalize the one intentional difference
+    dumps.push_back(to_json(report).dump(2));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
 TEST(Campaign, ReportJsonRoundTrips) {
   const EvalReport report = run_campaign(small_spec(/*tuner=*/true), 2);
   const std::string dumped = to_json(report).dump(2);

@@ -1,0 +1,525 @@
+// MathBackend::Fast vs MathBackend::Grs differential suite.
+//
+// The backend contract is bit- AND fflags-identity for every table entry.
+// binary8 is checked exhaustively: every operand pair for every binary-op
+// table under every rounding mode, every unary/compare/convert table entry,
+// and the packed-lane entries over full lane sweeps. The host-FP formats
+// (f16 / f16alt / f32) are checked with an exhaustive unary sweep where the
+// space allows, a full cross product of a boundary-value set (exponent
+// edges, subnormals, specials -- the values the single-rounding argument has
+// to survive), and deterministic random fuzzing on top.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::MathBackend;
+using fp::RtOps;
+using fp::RtVecOps;
+
+const RtOps& grs(FpFormat f) { return fp::rt_ops(f, MathBackend::Grs); }
+const RtOps& fast(FpFormat f) { return fp::rt_ops(f, MathBackend::Fast); }
+
+/// One scalar binary entry, both backends, bits + flags must agree.
+void check_bin(fp::RtBinFn g, fp::RtBinFn f, std::uint64_t a, std::uint64_t b,
+               RoundingMode rm, const char* what) {
+  Flags fg, ff;
+  const std::uint64_t rg = g(a, b, rm, fg);
+  const std::uint64_t rf = f(a, b, rm, ff);
+  ASSERT_EQ(rg, rf) << what << " bits a=0x" << std::hex << a << " b=0x" << b
+                    << " rm=" << fp::rounding_mode_name(rm);
+  ASSERT_EQ(fg.bits, ff.bits) << what << " flags a=0x" << std::hex << a
+                              << " b=0x" << b << " rm="
+                              << fp::rounding_mode_name(rm);
+}
+
+// ---- binary8: exhaustive over every table ----------------------------------
+
+struct NamedBin {
+  const char* name;
+  fp::RtBinFn RtOps::*entry;
+};
+
+const NamedBin kF8BinOps[] = {
+    {"add", &RtOps::add}, {"sub", &RtOps::sub}, {"mul", &RtOps::mul},
+    {"div", &RtOps::div}, {"min", &RtOps::min}, {"max", &RtOps::max},
+    {"sgnj", &RtOps::sgnj}, {"sgnjn", &RtOps::sgnjn}, {"sgnjx", &RtOps::sgnjx},
+};
+
+class F8LutVsGrs : public ::testing::TestWithParam<RoundingMode> {};
+
+TEST_P(F8LutVsGrs, EveryBinaryTableEntry) {
+  const RoundingMode rm = GetParam();
+  for (const auto& op : kF8BinOps) {
+    const fp::RtBinFn g = grs(FpFormat::F8).*(op.entry);
+    const fp::RtBinFn f = fast(FpFormat::F8).*(op.entry);
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        check_bin(g, f, a, b, rm, op.name);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST_P(F8LutVsGrs, UnaryAndIntConvertTables) {
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 256; ++a) {
+    Flags fg, ff;
+    ASSERT_EQ(grs(FpFormat::F8).sqrt(a, rm, fg),
+              fast(FpFormat::F8).sqrt(a, rm, ff))
+        << "sqrt a=0x" << std::hex << a;
+    ASSERT_EQ(fg.bits, ff.bits) << "sqrt flags a=0x" << std::hex << a;
+
+    fg.clear();
+    ff.clear();
+    ASSERT_EQ(grs(FpFormat::F8).to_int32(a, rm, fg),
+              fast(FpFormat::F8).to_int32(a, rm, ff))
+        << "to_int32 a=0x" << std::hex << a;
+    ASSERT_EQ(fg.bits, ff.bits) << "to_int32 flags a=0x" << std::hex << a;
+
+    fg.clear();
+    ff.clear();
+    ASSERT_EQ(grs(FpFormat::F8).to_uint32(a, rm, fg),
+              fast(FpFormat::F8).to_uint32(a, rm, ff))
+        << "to_uint32 a=0x" << std::hex << a;
+    ASSERT_EQ(fg.bits, ff.bits) << "to_uint32 flags a=0x" << std::hex << a;
+
+    ASSERT_EQ(grs(FpFormat::F8).classify(a), fast(FpFormat::F8).classify(a))
+        << "classify a=0x" << std::hex << a;
+  }
+}
+
+TEST_P(F8LutVsGrs, ConvertTables) {
+  const RoundingMode rm = GetParam();
+  // f8 -> wider: 256 entries per destination.
+  for (const FpFormat to :
+       {FpFormat::F16, FpFormat::F16Alt, FpFormat::F32, FpFormat::F64}) {
+    const auto g = fp::rt_convert_fn(to, FpFormat::F8, MathBackend::Grs);
+    const auto f = fp::rt_convert_fn(to, FpFormat::F8, MathBackend::Fast);
+    for (unsigned a = 0; a < 256; ++a) {
+      Flags fg, ff;
+      ASSERT_EQ(g(a, rm, fg), f(a, rm, ff))
+          << "f8->" << fp::format_name(to) << " a=0x" << std::hex << a;
+      ASSERT_EQ(fg.bits, ff.bits)
+          << "f8->" << fp::format_name(to) << " flags a=0x" << std::hex << a;
+    }
+  }
+  // 16-bit -> f8: the full 65536-pattern source space per mode.
+  for (const FpFormat from : {FpFormat::F16, FpFormat::F16Alt}) {
+    const auto g = fp::rt_convert_fn(FpFormat::F8, from, MathBackend::Grs);
+    const auto f = fp::rt_convert_fn(FpFormat::F8, from, MathBackend::Fast);
+    for (unsigned a = 0; a < 0x10000; ++a) {
+      Flags fg, ff;
+      ASSERT_EQ(g(a, rm, fg), f(a, rm, ff))
+          << fp::format_name(from) << "->f8 a=0x" << std::hex << a;
+      ASSERT_EQ(fg.bits, ff.bits)
+          << fp::format_name(from) << "->f8 flags a=0x" << std::hex << a;
+    }
+  }
+}
+
+TEST(F8LutVsGrs, CompareTables) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      for (const auto entry : {&RtOps::feq, &RtOps::flt, &RtOps::fle}) {
+        Flags fg, ff;
+        ASSERT_EQ((grs(FpFormat::F8).*entry)(a, b, fg),
+                  (fast(FpFormat::F8).*entry)(a, b, ff))
+            << "cmp a=0x" << std::hex << a << " b=0x" << b;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "cmp flags a=0x" << std::hex << a << " b=0x" << b;
+      }
+    }
+  }
+}
+
+TEST_P(F8LutVsGrs, PackedLaneEntries) {
+  // Exhaustive over the lane-0 pair space with the other three lanes set to
+  // a moving pattern, for every lane count and both replicate settings.
+  const RoundingMode rm = GetParam();
+  const RtVecOps& vg = fp::rt_vec_ops(FpFormat::F8, MathBackend::Grs);
+  const RtVecOps& vf = fp::rt_vec_ops(FpFormat::F8, MathBackend::Fast);
+  for (const auto entry : {&RtVecOps::add, &RtVecOps::sub, &RtVecOps::mul,
+                           &RtVecOps::div, &RtVecOps::min, &RtVecOps::max}) {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        const std::uint64_t va = a | (std::uint64_t{b} << 8) |
+                                 (std::uint64_t{a ^ 0x80} << 16) |
+                                 (std::uint64_t{0x7f} << 24);
+        const std::uint64_t vb = b | (std::uint64_t{a} << 8) |
+                                 (std::uint64_t{b ^ 0x55} << 16) |
+                                 (std::uint64_t{a} << 24);
+        const int lanes = 1 + static_cast<int>((a + b) % 4);
+        const bool rep = ((a ^ b) & 1) != 0;
+        Flags fg, ff;
+        ASSERT_EQ((vg.*entry)(va, vb, lanes, rep, rm, fg),
+                  (vf.*entry)(va, vb, lanes, rep, rm, ff))
+            << "vec a=0x" << std::hex << va << " b=0x" << vb;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "vec flags a=0x" << std::hex << va << " b=0x" << vb;
+      }
+    }
+  }
+  // Packed sqrt and compares, full 16-bit sweep of the low two lanes.
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    Flags fg, ff;
+    ASSERT_EQ(vg.sqrt(a, 2, rm, fg), vf.sqrt(a, 2, rm, ff))
+        << "vsqrt a=0x" << std::hex << a;
+    ASSERT_EQ(fg.bits, ff.bits) << "vsqrt flags a=0x" << std::hex << a;
+  }
+  for (const auto entry : {&RtVecOps::feq, &RtVecOps::flt, &RtVecOps::fle}) {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        const std::uint64_t va = a | (std::uint64_t{b} << 8);
+        const std::uint64_t vb = b | (std::uint64_t{a} << 8);
+        Flags fg, ff;
+        ASSERT_EQ((vg.*entry)(va, vb, 2, fg), (vf.*entry)(va, vb, 2, ff))
+            << "vcmp a=0x" << std::hex << va << " b=0x" << vb;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "vcmp flags a=0x" << std::hex << va << " b=0x" << vb;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, F8LutVsGrs,
+                         ::testing::ValuesIn(kAllRoundingModes),
+                         [](const auto& info) {
+                           return std::string(
+                               fp::rounding_mode_name(info.param));
+                         });
+
+// ---- host-FP formats: boundary cross product + fuzz ------------------------
+
+/// Values the host fast path has to survive: specials, zeros, subnormal
+/// extremes, exponent-range edges (the f32/f16alt add exactness guard and
+/// the div subnormal guard), powers of two, and odd-mantissa neighbours.
+template <class F>
+std::vector<std::uint64_t> boundary_values() {
+  using T = Float<F>;
+  std::vector<std::uint64_t> vals;
+  const std::uint64_t specials[] = {
+      T::zero(false).bits,          T::zero(true).bits,
+      T::inf(false).bits,           T::inf(true).bits,
+      T::quiet_nan().bits,          static_cast<std::uint64_t>(T::quiet_nan().bits | 1),
+      T::min_subnormal(false).bits, T::min_subnormal(true).bits,
+      T::min_normal(false).bits,    T::min_normal(true).bits,
+      T::max_finite(false).bits,    T::max_finite(true).bits,
+      T::one(false).bits,           T::one(true).bits,
+      // Signaling NaN: exponent all ones, quiet bit clear, payload 1.
+      (T::inf(false).bits | 1u),
+  };
+  vals.insert(vals.end(), std::begin(specials), std::end(specials));
+  // Every exponent field at mantissa 0 (both signs), plus dense mantissa
+  // patterns at the edge/centre exponents where the guards change behaviour.
+  constexpr unsigned emax = static_cast<unsigned>(F::exp_field_max);
+  for (unsigned e = 0; e <= emax; ++e) {
+    vals.push_back(T::from_parts(false, e, 0).bits);
+    vals.push_back(T::from_parts(true, e, 0).bits);
+  }
+  for (const unsigned e : {0u, 1u, 2u, emax / 2, emax / 2 + 1, emax - 1, emax}) {
+    for (const std::uint64_t m :
+         {std::uint64_t{1}, F::man_mask >> 1, F::man_mask}) {
+      vals.push_back(T::from_parts(false, e, m).bits);
+      vals.push_back(T::from_parts(true, e, m).bits);
+    }
+  }
+  return vals;
+}
+
+template <class F>
+void check_host_fast_format(FpFormat tag, int fuzz_pairs) {
+  const RtOps& g = grs(tag);
+  const RtOps& f = fast(tag);
+  const auto vals = boundary_values<F>();
+  const NamedBin ops[] = {{"add", &RtOps::add},
+                          {"sub", &RtOps::sub},
+                          {"mul", &RtOps::mul},
+                          {"div", &RtOps::div}};
+  for (const RoundingMode rm : kAllRoundingModes) {
+    for (const auto& op : ops) {
+      // Full boundary cross product.
+      for (const std::uint64_t a : vals) {
+        for (const std::uint64_t b : vals) {
+          check_bin(g.*(op.entry), f.*(op.entry), a, b, rm, op.name);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+      // Random bit patterns (covers the whole encoding space).
+      for (int i = 0; i < fuzz_pairs; ++i) {
+        const std::uint64_t a = random_bits<F>().bits;
+        const std::uint64_t b = random_bits<F>().bits;
+        check_bin(g.*(op.entry), f.*(op.entry), a, b, rm, op.name);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    // Unary sweep: exhaustive for 16-bit formats, boundary+fuzz for f32.
+    if (F::width == 16) {
+      for (unsigned a = 0; a < 0x10000; ++a) {
+        Flags fg, ff;
+        ASSERT_EQ(g.sqrt(a, rm, fg), f.sqrt(a, rm, ff))
+            << "sqrt a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits) << "sqrt flags a=0x" << std::hex << a;
+      }
+    } else {
+      for (const std::uint64_t a : vals) {
+        Flags fg, ff;
+        ASSERT_EQ(g.sqrt(a, rm, fg), f.sqrt(a, rm, ff))
+            << "sqrt a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits) << "sqrt flags a=0x" << std::hex << a;
+      }
+      for (int i = 0; i < fuzz_pairs; ++i) {
+        const std::uint64_t a = random_bits<F>().bits;
+        Flags fg, ff;
+        ASSERT_EQ(g.sqrt(a, rm, fg), f.sqrt(a, rm, ff))
+            << "sqrt a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits) << "sqrt flags a=0x" << std::hex << a;
+      }
+    }
+  }
+}
+
+TEST(HostFastVsGrs, Binary16) {
+  check_host_fast_format<Binary16>(FpFormat::F16, 20'000);
+}
+
+TEST(HostFastVsGrs, Binary16Alt) {
+  check_host_fast_format<Binary16Alt>(FpFormat::F16Alt, 20'000);
+}
+
+TEST(HostFastVsGrs, Binary32) {
+  check_host_fast_format<Binary32>(FpFormat::F32, 40'000);
+}
+
+TEST(HostFastVsGrs, Binary32SubnormalDivision) {
+  // Directed pressure on the division subnormal-guard boundary: quotients
+  // landing in and just above the subnormal range of the target format.
+  for (const RoundingMode rm : kAllRoundingModes) {
+    for (int i = 0; i < 60'000; ++i) {
+      // Small numerator, large denominator: quotient near/below min normal.
+      auto a = random_finite<fp::Binary32>();
+      auto b = random_finite<fp::Binary32>();
+      const std::uint64_t ab =
+          (a.bits & ~fp::Binary32::exp_mask) |
+          (static_cast<std::uint64_t>(1 + (rng()() % 40)) << 23);
+      const std::uint64_t bb =
+          (b.bits & ~fp::Binary32::exp_mask) |
+          (static_cast<std::uint64_t>(120 + (rng()() % 60)) << 23);
+      check_bin(grs(FpFormat::F32).div, fast(FpFormat::F32).div, ab, bb, rm,
+                "div-subnormal");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(HostFastVsGrs, WideningConvertsToF32) {
+  for (const FpFormat from : {FpFormat::F16, FpFormat::F16Alt}) {
+    const auto g = fp::rt_convert_fn(FpFormat::F32, from, MathBackend::Grs);
+    const auto f = fp::rt_convert_fn(FpFormat::F32, from, MathBackend::Fast);
+    for (const RoundingMode rm : kAllRoundingModes) {
+      for (unsigned a = 0; a < 0x10000; ++a) {
+        Flags fg, ff;
+        ASSERT_EQ(g(a, rm, fg), f(a, rm, ff))
+            << fp::format_name(from) << "->f32 a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << fp::format_name(from) << "->f32 flags a=0x" << std::hex << a;
+      }
+    }
+  }
+}
+
+TEST(HostFastVsGrs, PackedLaneEntriesMatch) {
+  // f16/f16alt packed entries: random packed registers, all lane counts.
+  for (const FpFormat tag : {FpFormat::F16, FpFormat::F16Alt}) {
+    const RtVecOps& vg = fp::rt_vec_ops(tag, MathBackend::Grs);
+    const RtVecOps& vf = fp::rt_vec_ops(tag, MathBackend::Fast);
+    for (const RoundingMode rm : kAllRoundingModes) {
+      for (const auto entry :
+           {&RtVecOps::add, &RtVecOps::sub, &RtVecOps::mul, &RtVecOps::div}) {
+        for (int i = 0; i < 20'000; ++i) {
+          const std::uint64_t a = rng()();
+          const std::uint64_t b = rng()();
+          const int lanes = 1 + static_cast<int>(rng()() % 4);
+          const bool rep = (rng()() & 1) != 0;
+          Flags fg, ff;
+          ASSERT_EQ((vg.*entry)(a, b, lanes, rep, rm, fg),
+                    (vf.*entry)(a, b, lanes, rep, rm, ff))
+              << fp::format_name(tag) << " vec a=0x" << std::hex << a
+              << " b=0x" << b;
+          ASSERT_EQ(fg.bits, ff.bits)
+              << fp::format_name(tag) << " vec flags a=0x" << std::hex << a
+              << " b=0x" << b;
+        }
+      }
+      for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t a = rng()();
+        const int lanes = 1 + static_cast<int>(rng()() % 4);
+        Flags fg, ff;
+        ASSERT_EQ(vg.sqrt(a, lanes, rm, fg), vf.sqrt(a, lanes, rm, ff))
+            << fp::format_name(tag) << " vsqrt a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << fp::format_name(tag) << " vsqrt flags a=0x" << std::hex << a;
+      }
+    }
+  }
+}
+
+TEST(Backend, F64AndUnprovenEntriesShareTheGrsImplementation) {
+  // binary64 is the host width: the fast table must be the Grs table. The
+  // unproven scalar entries (sign injection, from_int*) keep the Grs
+  // pointers too.
+  EXPECT_EQ(fast(FpFormat::F64).add, grs(FpFormat::F64).add);
+  EXPECT_EQ(fast(FpFormat::F64).fma, grs(FpFormat::F64).fma);
+  EXPECT_EQ(fast(FpFormat::F16).sgnj, grs(FpFormat::F16).sgnj);
+  EXPECT_EQ(fast(FpFormat::F8).from_int32, grs(FpFormat::F8).from_int32);
+  // And the accelerated entries really are rebound.
+  EXPECT_NE(fast(FpFormat::F8).add, grs(FpFormat::F8).add);
+  EXPECT_NE(fast(FpFormat::F16).add, grs(FpFormat::F16).add);
+  EXPECT_NE(fast(FpFormat::F16).fma, grs(FpFormat::F16).fma);
+  EXPECT_NE(fast(FpFormat::F32).div, grs(FpFormat::F32).div);
+}
+
+// ---- guarded-exact fma / mac / dotp ----------------------------------------
+
+template <class F>
+void check_fma_format(FpFormat tag, int fuzz_triples) {
+  const RtOps& g = grs(tag);
+  const RtOps& f = fast(tag);
+  const auto vals = boundary_values<F>();
+  for (const RoundingMode rm : kAllRoundingModes) {
+    // Boundary triples: all pairs from the set, with c sweeping a stride so
+    // the product/addend span crosses the exactness guard both ways.
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      for (std::size_t j = 0; j < vals.size(); ++j) {
+        const std::uint64_t c = vals[(i * 7 + j * 13 + 5) % vals.size()];
+        Flags fg, ff;
+        ASSERT_EQ(g.fma(vals[i], vals[j], c, rm, fg),
+                  f.fma(vals[i], vals[j], c, rm, ff))
+            << "fma a=0x" << std::hex << vals[i] << " b=0x" << vals[j]
+            << " c=0x" << c << " rm=" << fp::rounding_mode_name(rm);
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "fma flags a=0x" << std::hex << vals[i] << " b=0x" << vals[j]
+            << " c=0x" << c << " rm=" << fp::rounding_mode_name(rm);
+      }
+    }
+    for (int i = 0; i < fuzz_triples; ++i) {
+      const std::uint64_t a = random_bits<F>().bits;
+      const std::uint64_t b = random_bits<F>().bits;
+      const std::uint64_t c = random_bits<F>().bits;
+      Flags fg, ff;
+      ASSERT_EQ(g.fma(a, b, c, rm, fg), f.fma(a, b, c, rm, ff))
+          << "fma a=0x" << std::hex << a << " b=0x" << b << " c=0x" << c
+          << " rm=" << fp::rounding_mode_name(rm);
+      ASSERT_EQ(fg.bits, ff.bits)
+          << "fma flags a=0x" << std::hex << a << " b=0x" << b << " c=0x" << c
+          << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST(HostFastVsGrs, FmaBinary8Exhaustive) {
+  // binary8's span always fits, so the fast fma never delegates on finite
+  // non-zero operands: check the whole operand cube at a fixed addend grid.
+  const RtOps& g = grs(FpFormat::F8);
+  const RtOps& f = fast(FpFormat::F8);
+  for (const RoundingMode rm : kAllRoundingModes) {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        for (unsigned c = (a + b) % 8; c < 256; c += 8) {
+          Flags fg, ff;
+          ASSERT_EQ(g.fma(a, b, c, rm, fg), f.fma(a, b, c, rm, ff))
+              << "fma a=0x" << std::hex << a << " b=0x" << b << " c=0x" << c
+              << " rm=" << fp::rounding_mode_name(rm);
+          ASSERT_EQ(fg.bits, ff.bits)
+              << "fma flags a=0x" << std::hex << a << " b=0x" << b << " c=0x"
+              << c << " rm=" << fp::rounding_mode_name(rm);
+        }
+      }
+    }
+  }
+}
+
+TEST(HostFastVsGrs, FmaBinary16) {
+  check_fma_format<Binary16>(FpFormat::F16, 30'000);
+}
+
+TEST(HostFastVsGrs, FmaBinary16Alt) {
+  check_fma_format<Binary16Alt>(FpFormat::F16Alt, 30'000);
+}
+
+TEST(HostFastVsGrs, FmaBinary32) {
+  check_fma_format<Binary32>(FpFormat::F32, 60'000);
+}
+
+TEST(HostFastVsGrs, FmaBinary32AccumulationShapes) {
+  // The guard's sweet spot: |a*b| ~ |c|. Build triples whose product and
+  // addend exponents are deliberately close, where the fast path must take
+  // (not delegate) the exact branch and still agree bit-for-bit.
+  const RtOps& g = grs(FpFormat::F32);
+  const RtOps& f = fast(FpFormat::F32);
+  for (const RoundingMode rm : kAllRoundingModes) {
+    for (int i = 0; i < 60'000; ++i) {
+      const auto a = random_finite<fp::Binary32>();
+      const auto b = random_finite<fp::Binary32>();
+      // c's exponent field ~ ea + eb - bias (+/- 2): addend aligned with
+      // the product.
+      const int ea = a.bits >> 23 & 0xff ? int(a.bits >> 23 & 0xff) : 1;
+      const int eb = b.bits >> 23 & 0xff ? int(b.bits >> 23 & 0xff) : 1;
+      int ec = ea + eb - 127 + static_cast<int>(rng()() % 5) - 2;
+      ec = std::min(std::max(ec, 0), 254);
+      const std::uint64_t c =
+          (rng()() & 0x807fffffu) | (static_cast<std::uint32_t>(ec) << 23);
+      Flags fg, ff;
+      ASSERT_EQ(g.fma(a.bits, b.bits, c, rm, fg),
+                f.fma(a.bits, b.bits, c, rm, ff))
+          << "fma a=0x" << std::hex << a.bits << " b=0x" << b.bits << " c=0x"
+          << c << " rm=" << fp::rounding_mode_name(rm);
+      ASSERT_EQ(fg.bits, ff.bits)
+          << "fma flags a=0x" << std::hex << a.bits << " b=0x" << b.bits
+          << " c=0x" << c << " rm=" << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST(HostFastVsGrs, VecMacAndDotpMatch) {
+  for (const FpFormat tag : {FpFormat::F8, FpFormat::F16, FpFormat::F16Alt}) {
+    const RtVecOps& vg = fp::rt_vec_ops(tag, MathBackend::Grs);
+    const RtVecOps& vf = fp::rt_vec_ops(tag, MathBackend::Fast);
+    for (const RoundingMode rm : kAllRoundingModes) {
+      for (int i = 0; i < 30'000; ++i) {
+        const std::uint64_t a = rng()();
+        const std::uint64_t b = rng()();
+        const std::uint64_t d = rng()();
+        const int lanes = 1 + static_cast<int>(rng()() % 4);
+        const bool rep = (rng()() & 1) != 0;
+        Flags fg, ff;
+        ASSERT_EQ(vg.mac(a, b, d, lanes, rep, rm, fg),
+                  vf.mac(a, b, d, lanes, rep, rm, ff))
+            << fp::format_name(tag) << " mac a=0x" << std::hex << a << " b=0x"
+            << b << " d=0x" << d;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << fp::format_name(tag) << " mac flags a=0x" << std::hex << a
+            << " b=0x" << b << " d=0x" << d;
+
+        fg.clear();
+        ff.clear();
+        ASSERT_EQ(vg.dotp(a, b, d & 0xffffffffu, lanes, rep, rm, fg),
+                  vf.dotp(a, b, d & 0xffffffffu, lanes, rep, rm, ff))
+            << fp::format_name(tag) << " dotp a=0x" << std::hex << a
+            << " b=0x" << b << " acc=0x" << (d & 0xffffffffu);
+        ASSERT_EQ(fg.bits, ff.bits)
+            << fp::format_name(tag) << " dotp flags a=0x" << std::hex << a
+            << " b=0x" << b << " acc=0x" << (d & 0xffffffffu);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -1,0 +1,202 @@
+// Exhaustive verification of binary16 unary operations, conversions and
+// comparisons against the host-double oracle: all 65536 bit patterns per
+// host-representable rounding mode. The binary-op space (65536^2) is covered
+// pairwise elsewhere (test_f16_bf16_arith.cpp randomized, and the backend
+// differential suite); here every *single-operand* behaviour is pinned
+// exactly, extending the binary8 exhaustive suite one format up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::BF16;
+using fp::F16;
+using fp::F32;
+using fp::F8;
+
+class F16Exhaustive : public ::testing::TestWithParam<RoundingMode> {};
+
+TEST_P(F16Exhaustive, SqrtAllValues) {
+  // Host double sqrt is correctly rounded in the current rounding direction,
+  // and 53 >= 2p + 2 makes the second rounding innocuous (see
+  // tests/test_util.hpp header), so sqrt-then-narrow is an exact oracle.
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    Flags fl;
+    const F16 got = fp::sqrt(fa, rm, fl);
+    double r;
+    {
+      HostRounding guard(rm);
+      r = fence_fp(std::sqrt(fence_fp(fp::to_double(fa))));
+    }
+    Flags fl2;
+    const F16 want = fp::from_double<fp::Binary16>(r, rm, fl2);
+    ASSERT_TRUE(same_value(got, want))
+        << "a=0x" << std::hex << a << " rm=" << fp::rounding_mode_name(rm)
+        << " got=0x" << got.bits << " want=0x" << want.bits;
+  }
+}
+
+TEST_P(F16Exhaustive, NarrowToF8MatchesOracle) {
+  // binary16 -> binary8: every source pattern, result and flags, against a
+  // single correctly rounded narrowing of the exact double value.
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    Flags fl;
+    const F8 got = fp::convert<fp::Binary8>(fa, rm, fl);
+    Flags fl2;
+    const F8 want = fp::from_double<fp::Binary8>(fp::to_double(fa), rm, fl2);
+    ASSERT_TRUE(same_value(got, want))
+        << "a=0x" << std::hex << a << " rm=" << fp::rounding_mode_name(rm);
+    // Flag oracle: the same value rounded once raises the same NX/UF/OF.
+    // (NaN inputs excluded: to_double() quiets them, hiding the NV.)
+    if (!fa.is_nan()) {
+      ASSERT_EQ(fl.bits, fl2.bits)
+          << "flags a=0x" << std::hex << a << " rm="
+          << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST_P(F16Exhaustive, NarrowToBf16MatchesOracle) {
+  // binary16 -> binary16alt loses mantissa bits (10 -> 7) but gains range,
+  // so results can round but never overflow; oracle as above.
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    Flags fl;
+    const BF16 got = fp::convert<fp::Binary16Alt>(fa, rm, fl);
+    Flags fl2;
+    const BF16 want =
+        fp::from_double<fp::Binary16Alt>(fp::to_double(fa), rm, fl2);
+    ASSERT_TRUE(same_value(got, want))
+        << "a=0x" << std::hex << a << " rm=" << fp::rounding_mode_name(rm);
+    if (!fa.is_nan()) {
+      ASSERT_EQ(fl.bits, fl2.bits)
+          << "flags a=0x" << std::hex << a << " rm="
+          << fp::rounding_mode_name(rm);
+    }
+  }
+}
+
+TEST_P(F16Exhaustive, WidenToF32IsExact) {
+  // Widening to binary32 covers both more precision and more range: every
+  // value converts exactly, with flags only for a signaling NaN input.
+  const RoundingMode rm = GetParam();
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    Flags fl;
+    const F32 got = fp::convert<fp::Binary32>(fa, rm, fl);
+    Flags fl2;
+    const F32 want = fp::from_double<fp::Binary32>(fp::to_double(fa), rm, fl2);
+    ASSERT_TRUE(same_value(got, want)) << "a=0x" << std::hex << a;
+    if (!fa.is_nan()) {
+      ASSERT_EQ(fl.bits, 0u) << "widening raised flags, a=0x" << std::hex << a;
+      // Round-trip: exactness means narrowing back recovers the input.
+      Flags fl3;
+      const F16 back = fp::convert<fp::Binary16>(got, RoundingMode::RNE, fl3);
+      ASSERT_TRUE(same_value(fa, back)) << "a=0x" << std::hex << a;
+      ASSERT_EQ(fl3.bits, 0u) << "round-trip raised flags, a=0x" << std::hex << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHostModes, F16Exhaustive,
+                         ::testing::ValuesIn(kHostRoundingModes),
+                         [](const auto& info) {
+                           return std::string(
+                               fp::rounding_mode_name(info.param));
+                         });
+
+/// Second operands for the comparison sweep: the full classification space
+/// plus values adjacent to every first operand's neighbourhood boundaries.
+std::vector<F16> compare_partners() {
+  std::vector<F16> v;
+  for (const std::uint16_t bits :
+       {std::uint16_t{0x0000}, std::uint16_t{0x8000},   // +-0
+        std::uint16_t{0x0001}, std::uint16_t{0x8001},   // min subnormals
+        std::uint16_t{0x03ff}, std::uint16_t{0x83ff},   // max subnormals
+        std::uint16_t{0x0400}, std::uint16_t{0x8400},   // min normals
+        std::uint16_t{0x3c00}, std::uint16_t{0xbc00},   // +-1
+        std::uint16_t{0x3c01}, std::uint16_t{0x4000},   // 1+ulp, 2
+        std::uint16_t{0x7bff}, std::uint16_t{0xfbff},   // max finite
+        std::uint16_t{0x7c00}, std::uint16_t{0xfc00},   // +-inf
+        std::uint16_t{0x7e00}, std::uint16_t{0xfe00},   // quiet NaNs
+        std::uint16_t{0x7d00}, std::uint16_t{0x7c01}}) {  // signaling NaNs
+    v.push_back(F16{bits});
+  }
+  for (int i = 0; i < 44; ++i) {
+    v.push_back(F16::from_bits(rng()()));
+  }
+  return v;
+}
+
+TEST(F16Exhaustive, CompareMatchesHostAllValues) {
+  const auto partners = compare_partners();
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    const double da = fp::to_double(fa);
+    for (const F16 fb : partners) {
+      const double db = fp::to_double(fb);
+      Flags fl;
+      ASSERT_EQ(fp::feq(fa, fb, fl), da == db) << std::hex << a << " " << fb.bits;
+      ASSERT_EQ(fp::flt(fa, fb, fl), da < db) << std::hex << a << " " << fb.bits;
+      ASSERT_EQ(fp::fle(fa, fb, fl), da <= db) << std::hex << a << " " << fb.bits;
+    }
+  }
+}
+
+TEST(F16Exhaustive, CompareFlagSemanticsAllValues) {
+  // IEEE 754 / RISC-V F: flt/fle signal on any NaN, feq only on sNaN.
+  const auto partners = compare_partners();
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    for (const F16 fb : partners) {
+      const bool any_nan = fa.is_nan() || fb.is_nan();
+      const bool any_snan = fa.is_signaling_nan() || fb.is_signaling_nan();
+      Flags fe, fl, fle;
+      (void)fp::feq(fa, fb, fe);
+      (void)fp::flt(fa, fb, fl);
+      (void)fp::fle(fa, fb, fle);
+      ASSERT_EQ(fe.bits, any_snan ? Flags::NV : 0)
+          << std::hex << a << " " << fb.bits;
+      ASSERT_EQ(fl.bits, any_nan ? Flags::NV : 0)
+          << std::hex << a << " " << fb.bits;
+      ASSERT_EQ(fle.bits, any_nan ? Flags::NV : 0)
+          << std::hex << a << " " << fb.bits;
+    }
+  }
+}
+
+TEST(F16Exhaustive, ClassifyMatchesStructure) {
+  for (unsigned a = 0; a < 0x10000; ++a) {
+    const F16 fa = F16::from_bits(a);
+    const std::uint16_t cls = fp::classify(fa);
+    // Exactly one class bit, and it agrees with the predicate structure.
+    ASSERT_EQ(cls & (cls - 1), 0) << std::hex << a;
+    ASSERT_NE(cls, 0) << std::hex << a;
+    const double da = fp::to_double(fa);
+    if (fa.is_nan()) {
+      ASSERT_TRUE(cls & 0x300) << std::hex << a;
+      ASSERT_TRUE(std::isnan(da)) << std::hex << a;
+    } else if (std::isinf(da)) {
+      ASSERT_EQ(cls, fa.sign() ? 0x001u : 0x080u) << std::hex << a;
+    } else if (da == 0) {
+      ASSERT_EQ(cls, fa.sign() ? 0x008u : 0x010u) << std::hex << a;
+    } else if (fa.is_subnormal()) {
+      ASSERT_EQ(cls, fa.sign() ? 0x004u : 0x020u) << std::hex << a;
+    } else {
+      ASSERT_EQ(cls, fa.sign() ? 0x002u : 0x040u) << std::hex << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::test

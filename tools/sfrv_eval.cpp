@@ -24,7 +24,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--suite table3|smoke] [--out PREFIX] [-j N]\n"
       "          [--benchmarks a,b,...] [--mem l1|l2|l3]\n"
-      "          [--engine predecoded|fused|reference] [--no-tuner]\n"
+      "          [--engine predecoded|fused|reference] [--backend grs|fast]\n"
+      "          [--no-tuner]\n"
       "\n"
       "  --suite       campaign to run (default: table3)\n"
       "  --out         output prefix; writes PREFIX.json and PREFIX.md\n"
@@ -35,6 +36,8 @@ int usage(const char* argv0) {
       "                (default: l1)\n"
       "  --engine      simulator engine; results are engine-independent, only\n"
       "                wall-clock changes (default: $SFRV_ENGINE or predecoded)\n"
+      "  --backend     softfloat math backend; bit- and fflags-identical, only\n"
+      "                wall-clock changes (default: $SFRV_BACKEND or grs)\n"
       "  --no-tuner    skip the Fig. 6 precision-tuning case study\n",
       argv0);
   return 2;
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   std::string benchmarks;
   std::string mem_level = "l1";
   std::string engine;
+  std::string backend;
   int jobs = 1;
   bool tuner = true;
 
@@ -106,6 +110,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       engine = v;
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      backend = v;
     } else if (arg == "--no-tuner") {
       tuner = false;
     } else if (arg == "-h" || arg == "--help") {
@@ -136,6 +144,14 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (!backend.empty()) {
+    try {
+      spec.backend = fp::backend_from_name(backend);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return usage(argv[0]);
+    }
+  }
   if (mem_level == "l1") {
     spec.mem.load_latency = sim::kMemL1.load_latency;
   } else if (mem_level == "l2") {
@@ -149,9 +165,11 @@ int main(int argc, char** argv) {
 
   try {
     const std::size_t n_cells = eval::expand_matrix(spec).size();
-    std::printf("sfrv-eval: suite %s, engine %s, %zu cells, %d job(s)%s\n",
+    std::printf("sfrv-eval: suite %s, engine %s, backend %s, %zu cells, "
+                "%d job(s)%s\n",
                 spec.name.c_str(),
-                std::string(sim::engine_name(spec.engine)).c_str(), n_cells,
+                std::string(sim::engine_name(spec.engine)).c_str(),
+                std::string(fp::backend_name(spec.backend)).c_str(), n_cells,
                 jobs, spec.runs_tuner() ? ", tuner study" : "");
     const eval::EvalReport report = eval::run_campaign(spec, jobs);
 
