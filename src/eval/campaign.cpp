@@ -181,11 +181,12 @@ std::vector<CellSpec> expand_matrix(const CampaignSpec& spec) {
 }
 
 CellResult run_cell(const CellSpec& cell, const sim::MemConfig& mem,
-                    sim::Engine engine, fp::MathBackend backend) {
+                    sim::Engine engine, fp::MathBackend backend,
+                    const ir::OptConfig& opt) {
   const KernelSpec spec = cell.benchmark->bench.make(cell.type_config.tc);
   const RunResult r = kernels::run_kernel(spec, cell.mode, mem,
                                           isa::IsaConfig::full(), engine,
-                                          backend);
+                                          backend, opt);
 
   CellResult c;
   c.benchmark = cell.benchmark->bench.name;
@@ -232,7 +233,8 @@ EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
       const std::size_t i = next.fetch_add(1);
       if (i >= cells.size()) return;
       try {
-        results[i] = run_cell(cells[i], spec.mem, spec.engine, spec.backend);
+        results[i] = run_cell(cells[i], spec.mem, spec.engine, spec.backend,
+                              spec.opt);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -257,6 +259,7 @@ EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
   report.suite = spec.name;
   report.engine = std::string(sim::engine_name(spec.engine));
   report.backend = std::string(fp::backend_name(spec.backend));
+  report.opt = std::string(ir::opt_name(spec.opt));
   report.mem_load_latency = spec.mem.load_latency;
   report.mem_store_latency = spec.mem.store_latency;
   for (const auto& c : cells) {
@@ -274,13 +277,15 @@ EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
   report.cells = std::move(results);
   if (spec.runs_tuner()) {
     report.has_tuner = true;
-    report.tuner = run_tuner_study(spec.scale, spec.mem, spec.engine, spec.backend);
+    report.tuner = run_tuner_study(spec.scale, spec.mem, spec.engine,
+                                   spec.backend, spec.opt);
   }
   return report;
 }
 
 TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
-                           sim::Engine engine, fp::MathBackend backend) {
+                           sim::Engine engine, fp::MathBackend backend,
+                           const ir::OptConfig& opt) {
   const auto& suite = eval_suite(scale);
   const auto it = std::find_if(
       suite.begin(), suite.end(),
@@ -314,7 +319,7 @@ TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
     const KernelSpec spec = svm.bench.make(tc);
     const RunResult r = kernels::run_kernel(spec, mode, mem,
                                             isa::IsaConfig::full(), engine,
-                                            backend);
+                                            backend, opt);
     const Outcome out{svm.accuracy(spec, r), static_cast<double>(r.cycles())};
     memo.emplace(key, out);
     return out;

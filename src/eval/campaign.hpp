@@ -65,6 +65,10 @@ struct CampaignSpec {
   /// Same contract as the engine: recorded for provenance, results must not
   /// depend on it (CI diffs the smoke reports across backends too).
   fp::MathBackend backend = fp::default_backend();
+  /// Post-lowering optimization level every cell (and the tuner study) is
+  /// lowered under. Cycle metrics depend on it; QoR metrics must not (CI
+  /// diffs the QoR rows of the smoke report across levels).
+  ir::OptConfig opt = ir::default_opt();
   /// Append the tuner-driven mixed-precision case study (Fig. 6).
   bool tuner_study = true;
 
@@ -93,7 +97,8 @@ struct CellSpec {
 [[nodiscard]] CellResult run_cell(
     const CellSpec& cell, const sim::MemConfig& mem,
     sim::Engine engine = sim::default_engine(),
-    fp::MathBackend backend = fp::default_backend());
+    fp::MathBackend backend = fp::default_backend(),
+    const ir::OptConfig& opt = ir::default_opt());
 
 /// Run the whole campaign with `jobs` worker threads (clamped to >= 1).
 [[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1);
@@ -106,6 +111,7 @@ struct CellSpec {
 [[nodiscard]] TunerStudy run_tuner_study(
     SuiteScale scale, const sim::MemConfig& mem,
     sim::Engine engine = sim::default_engine(),
-    fp::MathBackend backend = fp::default_backend());
+    fp::MathBackend backend = fp::default_backend(),
+    const ir::OptConfig& opt = ir::default_opt());
 
 }  // namespace sfrv::eval

@@ -47,7 +47,8 @@ std::string render_markdown(const EvalReport& r) {
   std::string out;
   out += "# sfrv-eval report — suite `" + r.suite + "`\n\n";
   out += "Schema `" + std::string(kReportSchema) + "`, engine `" + r.engine +
-         "`. " + std::to_string(r.benchmarks.size()) + " benchmarks × " +
+         "`, backend `" + r.backend + "`, opt `" + r.opt + "`. " +
+         std::to_string(r.benchmarks.size()) + " benchmarks × " +
          std::to_string(r.type_configs.size()) + " type configs × " +
          std::to_string(r.modes.size()) + " codegen modes = " +
          std::to_string(r.cells.size()) + " cells. Memory: load latency " +

@@ -137,6 +137,7 @@ Json to_json(const EvalReport& report) {
       {"suite", Json(report.suite)},
       {"engine", Json(report.engine)},
       {"backend", Json(report.backend)},
+      {"opt", Json(report.opt)},
       {"mem", Json(JsonObject{{"load_latency", Json(report.mem_load_latency)},
                               {"store_latency", Json(report.mem_store_latency)}})},
       {"benchmarks", strings_to_json(report.benchmarks)},
@@ -171,6 +172,7 @@ EvalReport report_from_json(const Json& doc) {
   r.suite = doc.at("suite").as_string();
   r.engine = doc.at("engine").as_string();
   r.backend = doc.at("backend").as_string();
+  r.opt = doc.at("opt").as_string();
   const Json& mem = doc.at("mem");
   r.mem_load_latency = static_cast<int>(mem.at("load_latency").as_int());
   r.mem_store_latency = static_cast<int>(mem.at("store_latency").as_int());

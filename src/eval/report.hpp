@@ -24,7 +24,11 @@ namespace sfrv::eval {
 /// v2: records the simulator engine the campaign executed through.
 /// v3: records the softfloat math backend (`backend`: "grs" | "fast") the
 ///     campaign's FP entry points were bound from.
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v3";
+/// v4: records the post-lowering optimization level (`opt`: "O0"|"O1"|"O2")
+///     every cell was lowered under. Unlike engine/backend, cycle and
+///     instruction metrics legitimately depend on it; QoR metrics (sqnr_db,
+///     accuracy) must not (outputs are bit-identical across levels).
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v4";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.
@@ -78,6 +82,11 @@ struct EvalReport {
   /// Softfloat math backend ("grs", "fast"). Same provenance-only contract
   /// as `engine`: the backends are bit- and fflags-identical.
   std::string backend = "grs";
+  /// Post-lowering optimization level ("O0", "O1", "O2") the cells were
+  /// lowered under. Cycle/instruction/energy metrics depend on it (that is
+  /// the optimizer's point); QoR metrics must not — the differential suite
+  /// and CI's normalized report diff enforce output bit-identity.
+  std::string opt = "O0";
   int mem_load_latency = 1;
   int mem_store_latency = 1;
   std::vector<std::string> benchmarks;    ///< suite order

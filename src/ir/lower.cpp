@@ -87,9 +87,10 @@ struct ConstKey {
 
 class Lowerer {
  public:
-  Lowerer(const Kernel& k, CodegenMode mode)
+  Lowerer(const Kernel& k, CodegenMode mode, const OptConfig& opt)
       : k_(k),
         mode_(mode),
+        opt_(opt),
         int_pool_({reg::t0, reg::t1, reg::t2, reg::t3, reg::t4, reg::t5,
                    reg::t6, reg::a0, reg::a1, reg::a2, reg::a3, reg::a4,
                    reg::a5, reg::a6, reg::a7}),
@@ -144,7 +145,35 @@ class Lowerer {
     LoweredKernel out;
     out.program = asm_.finish();
     out.array_addr = array_addr_;
-    out.inner_ranges = inner_ranges_;
+    out.inner_ranges = normalized_ranges();
+    out.opt = opt_;
+    if (opt_.dead_glue_elim) {
+      // Provenance for the alias rules: per-text-index array id (distinct
+      // arrays and the constant pool are guaranteed-disjoint objects).
+      std::vector<int> mem_array(out.program.text.size(), -1);
+      for (const auto& [idx, arr] : mem_notes_) {
+        if (idx < mem_array.size()) mem_array[idx] = arr;
+      }
+      out.glue = dead_glue_elim(out.program, out.inner_ranges, mem_array,
+                                /*regs_dead_at_exit=*/true);
+    }
+    return out;
+  }
+
+  /// Innermost ranges sorted, empties dropped, overlaps merged — the
+  /// attribution contract RunResult::ideal_cycles depends on.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> normalized_ranges() {
+    auto r = inner_ranges_;
+    std::sort(r.begin(), r.end());
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+    for (const auto& [b, e] : r) {
+      if (b >= e) continue;
+      if (!out.empty() && b < out.back().second) {
+        out.back().second = std::max(out.back().second, e);
+      } else {
+        out.emplace_back(b, e);
+      }
+    }
     return out;
   }
 
@@ -205,6 +234,7 @@ class Lowerer {
       const std::uint8_t f = fp_pool_.alloc();
       const std::uint8_t t = int_pool_.alloc();
       asm_.la(t, addr);
+      note_mem(const_region_id());
       asm_.emit({.op = scalar_ops(key.type).load, .rd = f, .rs1 = t, .imm = 0});
       int_pool_.release(t);
       const_regs_.push_back(f);
@@ -342,8 +372,10 @@ class Lowerer {
       const int pi = find_pattern(*inner_, r);
       assert(pi >= 0);
       if (inner_->pointers_active) {
+        // Unrolled bodies fold the lane offset into the displacement; the
+        // pointers themselves bump once per unrolled group.
         return {inner_->ptr_regs[static_cast<std::size_t>(pi)],
-                r.col.offset * esize, false};
+                (r.col.offset + unroll_off_) * esize, false};
       }
       if (inner_->indexed_active) {
         // Indexed addressing (auto-vectorizer style): recompute per access.
@@ -351,7 +383,7 @@ class Lowerer {
         asm_.slli(t, loop_var_reg(inner_->var),
                   log2_bytes(k_.arrays[static_cast<std::size_t>(r.array)].type));
         asm_.add(t, inner_->rowbase_regs[static_cast<std::size_t>(pi)], t);
-        return {t, r.col.offset * esize, true};
+        return {t, (r.col.offset + unroll_off_) * esize, true};
       }
     }
     return address_of(r);
@@ -364,6 +396,7 @@ class Lowerer {
         const auto& arr = k_.arrays[static_cast<std::size_t>(e.ref.array)];
         const Addr a = stream_addr(e.ref);
         const std::uint8_t d = fp_pool_.alloc();
+        note_mem(e.ref.array);
         asm_.emit({.op = scalar_ops(arr.type).load, .rd = d, .rs1 = a.reg,
                    .imm = a.imm});
         release_addr(a);
@@ -448,6 +481,7 @@ class Lowerer {
         Val v = eval(*s.value, arr.type);
         v = convert_to(v, arr.type);
         const Addr a = stream_addr(s.dst);
+        note_mem(s.dst.array);
         asm_.emit({.op = scalar_ops(arr.type).store, .rs1 = a.reg, .rs2 = v.reg,
                    .imm = a.imm});
         release_addr(a);
@@ -458,6 +492,7 @@ class Lowerer {
         const auto& arr = k_.arrays[static_cast<std::size_t>(s.dst.array)];
         const Addr a = stream_addr(s.dst);
         const std::uint8_t d = fp_pool_.alloc();
+        note_mem(s.dst.array);
         asm_.emit({.op = scalar_ops(arr.type).load, .rd = d, .rs1 = a.reg,
                    .imm = a.imm});
         if (s.value->kind == Expr::Kind::Mul) {
@@ -473,6 +508,7 @@ class Lowerer {
           asm_.fp_rrr(scalar_ops(arr.type).fadd, d, d, v.reg);
           free_val(v);
         }
+        note_mem(s.dst.array);
         asm_.emit({.op = scalar_ops(arr.type).store, .rs1 = a.reg, .rs2 = d,
                    .imm = a.imm});
         release_addr(a);
@@ -644,6 +680,7 @@ class Lowerer {
       const auto& arr = k_.arrays[static_cast<std::size_t>(r.array)];
       const Addr a = address_of(r);
       const std::uint8_t d = fp_pool_.alloc();
+      note_mem(r.array);
       asm_.emit({.op = scalar_ops(arr.type).load, .rd = d, .rs1 = a.reg,
                  .imm = a.imm});
       release_addr(a);
@@ -680,18 +717,75 @@ class Lowerer {
     ic.pointers_active = true;
     inner_ = &ic;
 
-    const auto lend = asm_.make_label();
-    const auto ltop = asm_.make_label();
-    asm_.bge(v, b, lend);
-    const std::uint32_t range_begin = asm_.pc();
-    asm_.bind(ltop);
-    for (const auto& n : lp.body) lower_stmt_scalar(std::get<Stmt>(n));
-    bump_pointers(ic, 1);
-    asm_.addi(v, v, 1);
-    asm_.blt(v, b, ltop);
-    const std::uint32_t range_end = asm_.pc();
-    asm_.bind(lend);
-    inner_ranges_.emplace_back(range_begin, range_end);
+    const int U = opt_.unroll_factor;
+    const bool scalar_const_trip = lp.upper.is_constant();
+    const int scalar_trip =
+        scalar_const_trip ? lp.upper.constant - lp.lower : -1;
+    // A statically-known trip count that cannot fill one unrolled group
+    // makes the unrolled loop pure overhead: fall back to the O0 shape.
+    const bool do_unroll = U > 1 && !(scalar_const_trip && scalar_trip < U);
+    if (do_unroll) {
+      // Unrolled main loop: U bodies per back-edge, lane offsets folded into
+      // the load/store displacements, one pointer bump and one induction
+      // update per group. Covers lower + floor(trip / U) * U iterations.
+      const bool const_trip = scalar_const_trip;
+      const int trip_const = scalar_trip;
+      const std::uint8_t uend = int_pool_.alloc();
+      if (const_trip) {
+        asm_.li(uend,
+                lp.lower + (trip_const > 0 ? (trip_const / U) * U : 0));
+      } else {
+        // uend = v + (trip & -U); a negative trip stays negative, so the
+        // guard below skips the loop exactly as the O0 guard would.
+        const std::uint8_t trip = int_pool_.alloc();
+        asm_.sub(trip, b, v);
+        asm_.emit({.op = Op::ANDI, .rd = trip, .rs1 = trip, .imm = -U});
+        asm_.add(uend, v, trip);
+        int_pool_.release(trip);
+      }
+      const auto luend = asm_.make_label();
+      const auto lutop = asm_.make_label();
+      const std::uint32_t range_begin = asm_.pc();
+      asm_.bge(v, uend, luend);
+      asm_.bind(lutop);
+      for (int u = 0; u < U; ++u) {
+        unroll_off_ = u;
+        for (const auto& n : lp.body) lower_stmt_scalar(std::get<Stmt>(n));
+      }
+      unroll_off_ = 0;
+      bump_pointers(ic, U);
+      asm_.addi(v, v, U);
+      asm_.blt(v, uend, lutop);
+      asm_.bind(luend);
+      int_pool_.release(uend);
+      // Step-1 epilogue, body identical to O0 (bit-identical remainder);
+      // skipped when the trip count is statically divisible by U.
+      if (!(const_trip && trip_const >= 0 && trip_const % U == 0)) {
+        const auto lend = asm_.make_label();
+        const auto ltop = asm_.make_label();
+        asm_.bge(v, b, lend);
+        asm_.bind(ltop);
+        for (const auto& n : lp.body) lower_stmt_scalar(std::get<Stmt>(n));
+        bump_pointers(ic, 1);
+        asm_.addi(v, v, 1);
+        asm_.blt(v, b, ltop);
+        asm_.bind(lend);
+      }
+      inner_ranges_.emplace_back(range_begin, asm_.pc());
+    } else {
+      const auto lend = asm_.make_label();
+      const auto ltop = asm_.make_label();
+      asm_.bge(v, b, lend);
+      const std::uint32_t range_begin = asm_.pc();
+      asm_.bind(ltop);
+      for (const auto& n : lp.body) lower_stmt_scalar(std::get<Stmt>(n));
+      bump_pointers(ic, 1);
+      asm_.addi(v, v, 1);
+      asm_.blt(v, b, ltop);
+      const std::uint32_t range_end = asm_.pc();
+      asm_.bind(lend);
+      inner_ranges_.emplace_back(range_begin, range_end);
+    }
 
     inner_ = nullptr;
     release_inner(ic);
@@ -847,6 +941,7 @@ class Lowerer {
   VVal vload(const ArrayRef& r) {
     const Addr a = stream_addr(r);
     const std::uint8_t d = fp_pool_.alloc();
+    note_mem(r.array);
     asm_.flw(d, a.imm, a.reg);
     release_addr(a);
     return {d, true, vec_t_, true};
@@ -1027,6 +1122,7 @@ class Lowerer {
           v = {bc, true, vec_t_, true};
         }
         const Addr a = stream_addr(s.dst);
+        note_mem(s.dst.array);
         asm_.fsw(v.reg, a.imm, a.reg);
         release_addr(a);
         free_vval(v);
@@ -1035,6 +1131,7 @@ class Lowerer {
       case Stmt::Kind::AccumArray: {
         const Addr a = stream_addr(s.dst);
         const std::uint8_t d = fp_pool_.alloc();
+        note_mem(s.dst.array);
         asm_.flw(d, a.imm, a.reg);
         if (s.value->kind == Expr::Kind::Mul) {
           emit_vec_mac(d, *s.value, vec_t_);
@@ -1049,6 +1146,7 @@ class Lowerer {
           asm_.fp_rrr(vops.vfadd, d, d, v.reg);
           free_vval(v);
         }
+        note_mem(s.dst.array);
         asm_.fsw(d, a.imm, a.reg);
         release_addr(a);
         fp_pool_.release(d);
@@ -1214,24 +1312,43 @@ class Lowerer {
     }
 
     // Trip-count split: vector part covers floor(trip / vl) * vl iterations.
+    // With unrolling the split is three-way — an unrolled loop stepping
+    // U * vl, a vl-stepped loop for the remaining full-width chunks, and the
+    // scalar epilogue — and every element keeps the exact O0 execution shape
+    // (same chunk order, same instructions per chunk), so reductions stay
+    // bit-identical.
     const bool const_trip = lp.upper.is_constant();
     const int trip_const = const_trip ? lp.upper.constant - lp.lower : -1;
     const bool exact = const_trip && trip_const % vl == 0;
+    const int U = opt_.unroll_factor;
+    const int step = U * vl;
+    // A statically-known trip count that cannot fill one unrolled group
+    // makes the unrolled loop pure overhead: fall back to the O0 shape.
+    const bool do_unroll = U > 1 && !(const_trip && trip_const < step);
+    // The vl-stepped loop is statically empty when the unrolled loop already
+    // covers every full-width chunk.
+    const bool mid_needed =
+        !do_unroll || !const_trip ||
+        (trip_const > 0 &&
+         (trip_const / vl) * vl != (trip_const / step) * step);
     std::uint8_t vecend = 0;
-    if (const_trip) {
-      vecend = int_pool_.alloc();
-      asm_.li(vecend, lp.lower + (trip_const / vl) * vl);
-    } else {
-      // vecend = lower + (trip & -vl)
-      vecend = int_pool_.alloc();
-      const std::uint8_t trip = int_pool_.alloc();
-      asm_.sub(trip, b, v);
-      asm_.emit({.op = Op::ANDI, .rd = trip, .rs1 = trip, .imm = -vl});
-      asm_.add(vecend, v, trip);
-      int_pool_.release(trip);
+    if (mid_needed) {
+      if (const_trip) {
+        vecend = int_pool_.alloc();
+        asm_.li(vecend, lp.lower + (trip_const / vl) * vl);
+      } else {
+        // vecend = lower + (trip & -vl)
+        vecend = int_pool_.alloc();
+        const std::uint8_t trip = int_pool_.alloc();
+        asm_.sub(trip, b, v);
+        asm_.emit({.op = Op::ANDI, .rd = trip, .rs1 = trip, .imm = -vl});
+        asm_.add(vecend, v, trip);
+        int_pool_.release(trip);
+      }
     }
 
-    const bool indexed = (mode_ == CodegenMode::AutoVec);
+    const bool indexed =
+        (mode_ == CodegenMode::AutoVec) && !opt_.ptr_strength_reduction;
     if (indexed) {
       setup_rowbases(ic);
       ic.indexed_active = true;
@@ -1241,17 +1358,46 @@ class Lowerer {
     }
     inner_ = &ic;
 
-    const auto lvend = asm_.make_label();
-    const auto lvtop = asm_.make_label();
     const std::uint32_t range_begin = asm_.pc();
-    asm_.bge(v, vecend, lvend);
-    asm_.bind(lvtop);
-    for (const auto& n : lp.body) lower_vec_stmt(std::get<Stmt>(n));
-    if (!indexed) bump_pointers(ic, vl);
-    asm_.addi(v, v, vl);
-    asm_.blt(v, vecend, lvtop);
-    asm_.bind(lvend);
-    int_pool_.release(vecend);
+    if (do_unroll) {
+      const std::uint8_t uvend = int_pool_.alloc();
+      if (const_trip) {
+        asm_.li(uvend,
+                lp.lower + (trip_const > 0 ? (trip_const / step) * step : 0));
+      } else {
+        const std::uint8_t trip = int_pool_.alloc();
+        asm_.sub(trip, b, v);
+        asm_.emit({.op = Op::ANDI, .rd = trip, .rs1 = trip, .imm = -step});
+        asm_.add(uvend, v, trip);
+        int_pool_.release(trip);
+      }
+      const auto luend = asm_.make_label();
+      const auto lutop = asm_.make_label();
+      asm_.bge(v, uvend, luend);
+      asm_.bind(lutop);
+      for (int u = 0; u < U; ++u) {
+        unroll_off_ = u * vl;
+        for (const auto& n : lp.body) lower_vec_stmt(std::get<Stmt>(n));
+      }
+      unroll_off_ = 0;
+      if (!indexed) bump_pointers(ic, step);
+      asm_.addi(v, v, step);
+      asm_.blt(v, uvend, lutop);
+      asm_.bind(luend);
+      int_pool_.release(uvend);
+    }
+    if (mid_needed) {
+      const auto lvend = asm_.make_label();
+      const auto lvtop = asm_.make_label();
+      asm_.bge(v, vecend, lvend);
+      asm_.bind(lvtop);
+      for (const auto& n : lp.body) lower_vec_stmt(std::get<Stmt>(n));
+      if (!indexed) bump_pointers(ic, vl);
+      asm_.addi(v, v, vl);
+      asm_.blt(v, vecend, lvtop);
+      asm_.bind(lvend);
+      int_pool_.release(vecend);
+    }
 
     // Horizontal reductions for same-type accumulators.
     for (const auto& [varid, vacc] : vec_accs_) {
@@ -1304,10 +1450,29 @@ class Lowerer {
     loop_reg_.erase(lp.var);
   }
 
+  // ------------------------------------------------------------- provenance --
+  /// Record the array id of the load/store about to be emitted (text index =
+  /// current pc slot). Distinct arrays and the constant pool are disjoint
+  /// memory objects, which is what the dead-glue pass's alias rules consume.
+  void note_mem(int array) {
+    mem_notes_.emplace_back((asm_.pc() - text_base_) / 4, array);
+  }
+  [[nodiscard]] int const_region_id() const {
+    return static_cast<int>(k_.arrays.size());
+  }
+
   // ------------------------------------------------------------------ state --
   const Kernel& k_;
   CodegenMode mode_;
+  OptConfig opt_;
+  /// Element offset of the unrolled body currently being emitted (folded
+  /// into streaming load/store displacements by stream_addr).
+  int unroll_off_ = 0;
+  std::vector<std::pair<std::uint32_t, int>> mem_notes_;
   Assembler asm_;
+  /// The assembler's text base (its pc before anything is emitted), so
+  /// provenance indices stay correct under any base address.
+  std::uint32_t text_base_ = asm_.pc();
   Pool int_pool_;
   Pool fp_pool_;
   std::vector<std::uint8_t> base_reg_;  // per array
@@ -1322,8 +1487,10 @@ class Lowerer {
 }  // namespace
 
 LoweredKernel lower(const Kernel& kernel, CodegenMode mode,
-                    const std::vector<std::vector<double>>& array_init) {
-  Lowerer lw(kernel, mode);
+                    const std::vector<std::vector<double>>& array_init,
+                    const OptConfig& opt) {
+  validate(opt);
+  Lowerer lw(kernel, mode, opt);
   return lw.run(array_init);
 }
 

@@ -22,6 +22,7 @@
 
 #include "asmb/program.hpp"
 #include "ir/kernel.hpp"
+#include "ir/opt.hpp"
 
 namespace sfrv::ir {
 
@@ -41,15 +42,26 @@ struct LoweredKernel {
   /// Absolute address of each array's storage.
   std::unordered_map<std::string, std::uint32_t> array_addr;
   /// Text ranges [begin, end) of innermost-loop code (for ideal-speedup
-  /// attribution).
+  /// attribution). Sorted, non-overlapping, and 4-aligned relative to the
+  /// text base; unrolled bodies and their epilogue loops are tracked as one
+  /// range, and the dead-glue pass remaps them through its compaction.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> inner_ranges;
+  /// The optimization pipeline this kernel was lowered under (provenance).
+  OptConfig opt{};
+  /// Outcome of the dead-glue pass (zeroes when it did not run).
+  GlueStats glue{};
 };
 
 /// Lower `kernel` with the given mode. `array_init` provides initial contents
 /// per array id (values are quantized to the array element type); missing or
-/// empty entries are zero-initialized.
+/// empty entries are zero-initialized. `opt` selects the post-lowering loop
+/// optimizer pipeline (ir/opt.hpp); every level produces bit-identical
+/// outputs and fflags, only the glue instruction count and cycle totals
+/// change. Defaults to O0 so direct callers (lowering-shape tests) are
+/// environment-independent; the kernel runner layers SFRV_OPT on top.
 [[nodiscard]] LoweredKernel lower(
     const Kernel& kernel, CodegenMode mode,
-    const std::vector<std::vector<double>>& array_init);
+    const std::vector<std::vector<double>>& array_init,
+    const OptConfig& opt = {});
 
 }  // namespace sfrv::ir

@@ -1,15 +1,30 @@
 #include "kernels/runner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "softfloat/runtime.hpp"
 
 namespace sfrv::kernels {
 
 double RunResult::ideal_cycles(int vl) const {
+  if (vl < 1) {
+    throw std::invalid_argument("ideal_cycles: vl must be >= 1, got " +
+                                std::to_string(vl));
+  }
+  // Lowering normalizes its ranges (sorted, non-overlapping), but hand-built
+  // RunResults may not: merge overlaps so shared text is attributed once
+  // instead of double-counted.
+  auto ranges = lowered.inner_ranges;
+  std::sort(ranges.begin(), ranges.end());
   std::uint64_t inner = 0;
-  for (const auto& [b, e] : lowered.inner_ranges) {
-    inner += stats.cycles_in_range(text_base, b, e);
+  std::uint32_t covered_to = 0;
+  for (const auto& [b, e] : ranges) {
+    const std::uint32_t begin = std::max(b, covered_to);
+    if (begin >= e) continue;
+    inner += stats.cycles_in_range(text_base, begin, e);
+    covered_to = e;
   }
   const auto total = static_cast<double>(stats.cycles);
   return total - static_cast<double>(inner) +
@@ -28,9 +43,10 @@ std::vector<double> RunResult::concat_outputs(
 
 RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
                      sim::MemConfig mem, isa::IsaConfig cfg,
-                     sim::Engine engine, fp::MathBackend backend) {
+                     sim::Engine engine, fp::MathBackend backend,
+                     const ir::OptConfig& opt) {
   RunResult r;
-  r.lowered = ir::lower(spec.kernel, mode, spec.init);
+  r.lowered = ir::lower(spec.kernel, mode, spec.init, opt);
   sim::Core core(cfg, mem);
   core.set_engine(engine);
   core.set_backend(backend);
@@ -40,6 +56,7 @@ RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
   }
   r.stats = core.stats();
   r.text_base = r.lowered.program.text_base;
+  r.fflags = core.fflags();
   for (const auto& name : spec.output_arrays) {
     const auto& arr = spec.kernel.arrays[static_cast<std::size_t>(
         spec.kernel.array_index(name))];

@@ -24,6 +24,9 @@ struct RunResult {
   std::unordered_map<std::string, std::vector<double>> outputs;
   ir::LoweredKernel lowered;
   std::uint32_t text_base = 0;
+  /// Accrued FP exception flags at halt (the O0-vs-optimized differential
+  /// suite asserts these match bit-for-bit across opt levels).
+  std::uint8_t fflags = 0;
 
   [[nodiscard]] std::uint64_t cycles() const { return stats.cycles; }
 
@@ -38,15 +41,16 @@ struct RunResult {
 };
 
 /// Lower with `mode`, execute to completion, and read back every array in
-/// `spec.output_arrays`. The engine and math backend default to the
-/// process-wide selections (SFRV_ENGINE / SFRV_BACKEND, see
-/// sim::default_engine and fp::default_backend) so the whole kernel/eval
-/// stack can be exercised under any combination without threading flags by
-/// hand.
+/// `spec.output_arrays`. The engine, math backend, and optimization level
+/// default to the process-wide selections (SFRV_ENGINE / SFRV_BACKEND /
+/// SFRV_OPT, see sim::default_engine, fp::default_backend and
+/// ir::default_opt) so the whole kernel/eval stack can be exercised under
+/// any combination without threading flags by hand.
 [[nodiscard]] RunResult run_kernel(
     const KernelSpec& spec, ir::CodegenMode mode, sim::MemConfig mem = {},
     isa::IsaConfig cfg = isa::IsaConfig::full(),
     sim::Engine engine = sim::default_engine(),
-    fp::MathBackend backend = fp::default_backend());
+    fp::MathBackend backend = fp::default_backend(),
+    const ir::OptConfig& opt = ir::default_opt());
 
 }  // namespace sfrv::kernels

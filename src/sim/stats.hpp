@@ -29,14 +29,24 @@ struct Stats {
     pc_cycles.assign(n, 0);
   }
 
-  /// Total cycles spent in [begin, end) text addresses.
+  /// Total cycles spent in [begin, end) text addresses. Robust against
+  /// out-of-segment ranges: `begin` below `text_base` is clamped (the
+  /// unsigned subtraction used to wrap and attribute garbage slots), and a
+  /// `begin` that is misaligned relative to the 4-byte instruction grid is
+  /// aligned up (the fixed stride used to miss every attribution slot).
   [[nodiscard]] std::uint64_t cycles_in_range(std::uint32_t text_base,
                                               std::uint32_t begin,
                                               std::uint32_t end) const {
+    if (begin < text_base) begin = text_base;
+    if (const std::uint32_t mis = (begin - text_base) % 4; mis != 0) {
+      if (begin > UINT32_MAX - (4 - mis)) return 0;
+      begin += 4 - mis;
+    }
     std::uint64_t total = 0;
     for (std::uint32_t pc = begin; pc < end; pc += 4) {
       const auto idx = (pc - text_base) / 4;
-      if (idx < pc_cycles.size()) total += pc_cycles[idx];
+      if (idx >= pc_cycles.size()) break;
+      total += pc_cycles[idx];
     }
     return total;
   }

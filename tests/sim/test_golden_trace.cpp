@@ -63,10 +63,11 @@ class Digest {
 /// The conformance matrix: the smoke suite across the paper's type configs
 /// and all three code generators (the smoke campaign's exact shape).
 struct GoldenCell {
-  std::string name;  // bench/type_config/mode
+  std::string name;  // bench/type_config/mode[/opt-level]
   const eval::EvalBenchmark* bench;
   kernels::TypeConfig tc;
   ir::CodegenMode mode;
+  ir::OptConfig opt;  // pinned explicitly so SFRV_OPT cannot perturb digests
 };
 
 std::vector<GoldenCell> golden_matrix() {
@@ -78,8 +79,21 @@ std::vector<GoldenCell> golden_matrix() {
             ir::CodegenMode::ManualVec}) {
         cells.push_back({b.bench.name + "/" + tc.name + "/" +
                              std::string(ir::mode_name(mode)),
-                         &b, tc.tc, mode});
+                         &b, tc.tc, mode, ir::OptConfig::O0()});
       }
+    }
+  }
+  // One unrolled configuration (float16 across all benches and modes) pins
+  // the post-lowering optimizer's codegen: cycle counts, glue elimination,
+  // and output bit-identity all fold into these digests.
+  for (const auto& b : eval::eval_suite(eval::SuiteScale::Smoke)) {
+    for (const auto mode :
+         {ir::CodegenMode::Scalar, ir::CodegenMode::AutoVec,
+          ir::CodegenMode::ManualVec}) {
+      cells.push_back({b.bench.name + "/float16/" +
+                           std::string(ir::mode_name(mode)) + "/O2",
+                       &b, kernels::TypeConfig::uniform(ir::ScalarType::F16),
+                       mode, ir::OptConfig::O2()});
     }
   }
   return cells;
@@ -89,7 +103,8 @@ std::vector<GoldenCell> golden_matrix() {
 std::string run_digest(const GoldenCell& cell, sim::Engine engine) {
   const kernels::KernelSpec spec = cell.bench->bench.make(cell.tc);
   const kernels::RunResult r = kernels::run_kernel(
-      spec, cell.mode, {}, isa::IsaConfig::full(), engine);
+      spec, cell.mode, {}, isa::IsaConfig::full(), engine,
+      fp::default_backend(), cell.opt);
 
   Digest d;
   d.u64(r.stats.cycles);

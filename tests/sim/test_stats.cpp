@@ -1,0 +1,69 @@
+// Unit tests for Stats::cycles_in_range, which becomes load-bearing for
+// cycle attribution once the post-lowering optimizer rewrites inner_ranges:
+// the pre-fix version wrapped the unsigned (begin - text_base) subtraction
+// when begin < text_base and strode off-grid when begin was misaligned
+// relative to the text base.
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace sfrv::test {
+namespace {
+
+constexpr std::uint32_t kBase = 0x1000;
+
+sim::Stats make_stats() {
+  sim::Stats s;
+  s.pc_cycles = {1, 2, 4, 8, 16, 32};  // six text slots at kBase
+  return s;
+}
+
+TEST(Stats, CyclesInRangeCoversExactSlots) {
+  const auto s = make_stats();
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase, kBase + 24), 63u);
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 4, kBase + 12), 2u + 4u);
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 20, kBase + 24), 32u);
+}
+
+TEST(Stats, CyclesInRangeEmptyAndReversedRangesAreZero) {
+  const auto s = make_stats();
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 8, kBase + 8), 0u);
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 16, kBase + 8), 0u);
+}
+
+TEST(Stats, CyclesInRangeClampsBeginBelowTextBase) {
+  const auto s = make_stats();
+  // begin below the text base used to wrap the unsigned subtraction; the
+  // clamped range must attribute exactly the in-segment slots.
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase - 0x100, kBase + 8), 1u + 2u);
+  EXPECT_EQ(s.cycles_in_range(kBase, 0, kBase + 4), 1u);
+  // Entirely below the segment: nothing.
+  EXPECT_EQ(s.cycles_in_range(kBase, 0, kBase), 0u);
+}
+
+TEST(Stats, CyclesInRangeAlignsMisalignedBegin) {
+  const auto s = make_stats();
+  // A begin not 4-aligned relative to text_base starts at the next whole
+  // slot (partial slots are not attributed).
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 2, kBase + 12), 2u + 4u);
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 1, kBase + 4), 0u);
+  // Misaligned *and* below the base: clamp happens first, so the range is
+  // whole again.
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase - 2, kBase + 8), 1u + 2u);
+}
+
+TEST(Stats, CyclesInRangeStopsAtEndOfText) {
+  const auto s = make_stats();
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase, kBase + 0x1000), 63u);
+  EXPECT_EQ(s.cycles_in_range(kBase, kBase + 24, kBase + 0x1000), 0u);
+}
+
+TEST(Stats, CyclesInRangeNearAddressSpaceTopDoesNotWrap) {
+  const auto s = make_stats();
+  // Align-up of a begin near UINT32_MAX must not wrap around to low
+  // addresses and start attributing slots.
+  EXPECT_EQ(s.cycles_in_range(kBase, 0xffff'fffeu, 0xffff'ffffu), 0u);
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -10,7 +10,10 @@
 //
 // The JSON output is deterministic: identical across thread counts and
 // across runs, so it can be checked in (BENCH_eval.json) and diffed.
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -25,7 +28,7 @@ int usage(const char* argv0) {
       "usage: %s [--suite table3|smoke] [--out PREFIX] [-j N]\n"
       "          [--benchmarks a,b,...] [--mem l1|l2|l3]\n"
       "          [--engine predecoded|fused|reference] [--backend grs|fast]\n"
-      "          [--no-tuner]\n"
+      "          [--opt O0|O1|O2] [--no-tuner]\n"
       "\n"
       "  --suite       campaign to run (default: table3)\n"
       "  --out         output prefix; writes PREFIX.json and PREFIX.md\n"
@@ -38,6 +41,9 @@ int usage(const char* argv0) {
       "                wall-clock changes (default: $SFRV_ENGINE or predecoded)\n"
       "  --backend     softfloat math backend; bit- and fflags-identical, only\n"
       "                wall-clock changes (default: $SFRV_BACKEND or grs)\n"
+      "  --opt         post-lowering optimization level; outputs and QoR are\n"
+      "                bit-identical, cycle metrics improve\n"
+      "                (default: $SFRV_OPT or O0)\n"
       "  --no-tuner    skip the Fig. 6 precision-tuning case study\n",
       argv0);
   return 2;
@@ -47,6 +53,19 @@ bool write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary);
   out << contents;
   return static_cast<bool>(out);
+}
+
+/// Full-string integer parse: rejects partial parses like "2abc" (std::atoi
+/// silently accepted them) and out-of-range values.
+bool parse_int(const char* s, int& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  out = static_cast<int>(v);
+  return true;
 }
 
 std::vector<std::string> split_csv(const std::string& arg) {
@@ -73,6 +92,7 @@ int main(int argc, char** argv) {
   std::string mem_level = "l1";
   std::string engine;
   std::string backend;
+  std::string opt;
   int jobs = 1;
   bool tuner = true;
 
@@ -93,8 +113,7 @@ int main(int argc, char** argv) {
     } else if (arg == "-j" || arg == "--jobs") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
-      jobs = std::atoi(v);
-      if (jobs < 1) {
+      if (!parse_int(v, jobs) || jobs < 1) {
         std::fprintf(stderr, "invalid job count: %s\n", v);
         return 2;
       }
@@ -114,6 +133,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       backend = v;
+    } else if (arg == "--opt") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt = v;
     } else if (arg == "--no-tuner") {
       tuner = false;
     } else if (arg == "-h" || arg == "--help") {
@@ -152,6 +175,14 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (!opt.empty()) {
+    try {
+      spec.opt = ir::opt_from_name(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return usage(argv[0]);
+    }
+  }
   if (mem_level == "l1") {
     spec.mem.load_latency = sim::kMemL1.load_latency;
   } else if (mem_level == "l2") {
@@ -165,11 +196,12 @@ int main(int argc, char** argv) {
 
   try {
     const std::size_t n_cells = eval::expand_matrix(spec).size();
-    std::printf("sfrv-eval: suite %s, engine %s, backend %s, %zu cells, "
-                "%d job(s)%s\n",
+    std::printf("sfrv-eval: suite %s, engine %s, backend %s, opt %s, "
+                "%zu cells, %d job(s)%s\n",
                 spec.name.c_str(),
                 std::string(sim::engine_name(spec.engine)).c_str(),
-                std::string(fp::backend_name(spec.backend)).c_str(), n_cells,
+                std::string(fp::backend_name(spec.backend)).c_str(),
+                std::string(ir::opt_name(spec.opt)).c_str(), n_cells,
                 jobs, spec.runs_tuner() ? ", tuner study" : "");
     const eval::EvalReport report = eval::run_campaign(spec, jobs);
 
