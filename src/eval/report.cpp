@@ -145,6 +145,11 @@ Json to_json(const EvalReport& report) {
       {"modes", strings_to_json(report.modes)},
       {"cells", Json(std::move(cells))},
   };
+  // Host-dependent, opt-in: keeping it out of default reports preserves the
+  // byte-determinism contract (see EvalReport::wall_ms).
+  if (report.wall_ms >= 0) {
+    obj.emplace_back("wall_ms", Json(report.wall_ms));
+  }
   if (report.has_tuner) {
     JsonArray explored;
     explored.reserve(report.tuner.explored.size());
@@ -181,6 +186,9 @@ EvalReport report_from_json(const Json& doc) {
   r.modes = strings_from_json(doc.at("modes"));
   for (const auto& c : doc.at("cells").array()) {
     r.cells.push_back(cell_from_json(c));
+  }
+  if (const Json* wall = doc.find("wall_ms")) {
+    r.wall_ms = wall->as_double();
   }
   if (const Json* tuner = doc.find("tuner")) {
     r.has_tuner = true;

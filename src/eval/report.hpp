@@ -28,7 +28,11 @@ namespace sfrv::eval {
 ///     every cell was lowered under. Unlike engine/backend, cycle and
 ///     instruction metrics legitimately depend on it; QoR metrics (sqnr_db,
 ///     accuracy) must not (outputs are bit-identical across levels).
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v4";
+/// v5: adds "jit" to the recorded engines and an *optional* `wall_ms` field
+///     (campaign wall-clock milliseconds, host-dependent). `wall_ms` is
+///     serialized only when explicitly measured (`--wall-clock`), so default
+///     reports stay byte-deterministic across runs and thread counts.
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v5";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.
@@ -75,7 +79,8 @@ struct TunerStudy {
 struct EvalReport {
   std::string suite;   ///< campaign name ("table3", "smoke")
   /// Simulator engine the cells executed through ("predecoded", "fused",
-  /// "reference"). Recorded for provenance; every metric in the report must
+  /// "reference", "jit"). Recorded for provenance; every metric in the
+  /// report must
   /// be engine-independent (the conformance suites enforce it), so two
   /// reports that differ only here are the same measurement.
   std::string engine = "predecoded";
@@ -89,6 +94,10 @@ struct EvalReport {
   std::string opt = "O0";
   int mem_load_latency = 1;
   int mem_store_latency = 1;
+  /// Campaign wall-clock milliseconds. Host-dependent, so it is only
+  /// serialized when >= 0 (sfrv-eval --wall-clock); the default -1 keeps
+  /// reports byte-identical across machines, runs, and thread counts.
+  double wall_ms = -1;
   std::vector<std::string> benchmarks;    ///< suite order
   std::vector<std::string> type_configs;  ///< campaign order
   std::vector<std::string> modes;         ///< campaign order

@@ -58,13 +58,14 @@ std::string_view engine_name(Engine e) {
     case Engine::Predecoded: return "predecoded";
     case Engine::Reference: return "reference";
     case Engine::Fused: return "fused";
+    case Engine::Jit: return "jit";
   }
   return "predecoded";
 }
 
 Engine engine_from_name(std::string_view name) {
   for (const Engine e :
-       {Engine::Predecoded, Engine::Reference, Engine::Fused}) {
+       {Engine::Predecoded, Engine::Reference, Engine::Fused, Engine::Jit}) {
     if (name == engine_name(e)) return e;
   }
   throw std::runtime_error("unknown engine name: " + std::string(name));
@@ -80,7 +81,7 @@ Engine engine_from_env(const char* value) {
     // before any caller could catch or report it.
     std::fprintf(stderr,
                  "warning: ignoring invalid SFRV_ENGINE=%s "
-                 "(expected reference|predecoded|fused)\n",
+                 "(expected reference|predecoded|fused|jit)\n",
                  value);
     return Engine::Predecoded;
   }
@@ -99,7 +100,8 @@ Core::Core(isa::IsaConfig cfg, MemConfig mem_cfg, Timing timing)
 
 void Core::set_engine(Engine e) {
   engine_ = e;
-  if (e == Engine::Fused && !uops_.empty() && sblk_.ops().empty()) {
+  if ((e == Engine::Fused || e == Engine::Jit) && !uops_.empty() &&
+      sblk_.ops().empty()) {
     sblk_.build(uops_, timing_, mem_.config());
   }
 }
@@ -110,10 +112,13 @@ void Core::set_backend(fp::MathBackend b) {
   if (decoded_.empty()) return;
   // Re-bind the micro-op entry points from the newly selected table family.
   // The superblock stream copies micro-ops by value, so it must be rebuilt
-  // (or cleared for lazy rebuild) whenever the micro-ops are re-lowered.
+  // (or cleared for lazy rebuild) whenever the micro-ops are re-lowered —
+  // and every compiled trace holds stale bound pointers, so the JIT cache
+  // is invalidated wholesale.
   uops_ = decode_program(decoded_, cfg_, timing_, backend_);
   sblk_ = SuperblockProgram{};
-  if (engine_ == Engine::Fused) {
+  jit_.on_code_change(uops_.size());
+  if (engine_ == Engine::Fused || engine_ == Engine::Jit) {
     sblk_.build(uops_, timing_, mem_.config());
   }
 }
@@ -128,13 +133,16 @@ void Core::load_program(const asmb::Program& prog) {
   }
   decoded_ = prog.text;
   uops_ = decode_program(decoded_, cfg_, timing_, backend_);
-  // The fusion pass only pays off for the fused engine; the others skip it
-  // (set_engine and run_fused build on demand).
-  if (engine_ == Engine::Fused) {
+  // The fusion pass only pays off for the fused and jit engines (the jit
+  // interprets cold blocks through it); the others skip it (set_engine and
+  // run_fused/run_jit build on demand). New text also drops every compiled
+  // trace.
+  if (engine_ == Engine::Fused || engine_ == Engine::Jit) {
     sblk_.build(uops_, timing_, mem_.config());
   } else {
     sblk_ = SuperblockProgram{};
   }
+  jit_.on_code_change(uops_.size());
   text_base_ = prog.text_base;
   ctx_.pc = prog.entry();
   ctx_.x[2] = asmb::kDefaultStackTop;  // sp
@@ -148,6 +156,9 @@ Core::RunResult Core::run(std::uint64_t max_steps) {
   // way, but the per-step path keeps the trace hook in one place.
   if (engine_ == Engine::Fused && trace_ == nullptr) {
     return run_fused(max_steps);
+  }
+  if (engine_ == Engine::Jit && trace_ == nullptr) {
+    return run_jit(max_steps);
   }
   for (std::uint64_t n = 0; n < max_steps; ++n) {
     if (ctx_.halted) return RunResult::Halted;
@@ -171,8 +182,8 @@ void Core::step() {
     step_reference(idx);
     return;
   }
-  // Predecoded and Fused cores single-step identically: one micro-op. The
-  // fused fast path only exists inside run()/run_block().
+  // Predecoded, Fused, and Jit cores single-step identically: one micro-op.
+  // The fused/trace fast paths only exist inside run().
   step_predecoded(idx);
 }
 
@@ -229,7 +240,7 @@ Core::RunResult Core::run_fused(std::uint64_t max_steps) {
   return ctx_.halted ? RunResult::Halted : RunResult::MaxStepsReached;
 }
 
-std::uint64_t Core::run_block(std::uint64_t budget) {
+std::uint64_t Core::run_block(std::uint64_t budget, bool stop_at_block_end) {
   const std::uint32_t idx = fetch_index(ctx_.pc);
   const std::int32_t start = sblk_.entry(idx);
   if (start < 0) {
@@ -297,6 +308,9 @@ std::uint64_t Core::run_block(std::uint64_t budget) {
       cur = nullptr;
       if (fo.terminator) {
         if (ctx_.halted || retired >= budget) break;
+        // The JIT driver counts block entries, so it takes control back at
+        // every terminator instead of chaining to the next block here.
+        if (stop_at_block_end) break;
         const std::int32_t next = sblk_.entry(fetch_index(ctx_.pc));
         if (next < 0) break;  // mid-pair target: outer loop resynchronizes
         pos = static_cast<std::size_t>(next);
@@ -326,6 +340,55 @@ std::uint64_t Core::run_block(std::uint64_t budget) {
     return 1;
   }
   return retired;
+}
+
+// ---- trace-compilation engine (Engine::Jit) ---------------------------------
+
+Core::RunResult Core::run_jit(std::uint64_t max_steps) {
+  if (sblk_.ops().empty() && !uops_.empty()) {
+    sblk_.build(uops_, timing_, mem_.config());
+  }
+  std::uint64_t remaining = max_steps;
+  try {
+    while (remaining > 0) {
+      if (ctx_.halted) break;
+      const std::uint32_t idx = fetch_index(ctx_.pc);
+      jit::Trace* t = jit_.lookup(idx);
+      if (t == nullptr && jit_.note_entry(idx)) {
+        t = jit_.translate(idx, uops_, timing_, mem_.config(), text_base_,
+                           stats_);
+      }
+      if (t != nullptr) {
+        remaining -= exec_trace(*t, remaining);
+      } else {
+        // Cold (or never-compilable) block: interpret it through the fused
+        // path. Its slow-path flush assumes stats_ is current, so deferred
+        // trace accounting lands first.
+        jit_.note_interp();
+        jit_.materialize_all(stats_);
+        remaining -= run_block(remaining, /*stop_at_block_end=*/true);
+      }
+    }
+  } catch (...) {
+    jit_.materialize_all(stats_);
+    throw;
+  }
+  jit_.materialize_all(stats_);
+  return ctx_.halted ? RunResult::Halted : RunResult::MaxStepsReached;
+}
+
+std::uint64_t Core::exec_trace(jit::Trace& t, std::uint64_t budget) {
+  // Terminator slots publish the taken flag the way step_predecoded does
+  // (cleared, then set only by a taken branch).
+  ctx_.branch_taken = false;
+  if (budget >= t.n) {
+    const std::uint64_t runs =
+        jit::run_trace_full(t, ctx_, stats_, budget / t.n);
+    jit_.note_runs(t, runs);
+    return runs * t.n;
+  }
+  jit::run_trace_bounded(t, ctx_, stats_, budget);
+  return budget;
 }
 
 // ---- reference interpreter --------------------------------------------------

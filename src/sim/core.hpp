@@ -24,6 +24,11 @@
 //    cycle-identical to Predecoded; step() on a Fused core executes one
 //    plain predecoded micro-op (the same single-instruction semantics),
 //    and tracing falls back to per-step execution so traces stay equal.
+//  * Engine::Jit: threaded-code trace compilation (sim/jit.hpp) — hot
+//    straight-line runs are translated into specialized trace slots with
+//    constants, timing, and fast-math entries folded in at translation
+//    time; cold blocks interpret through the fused path until they cross
+//    the hotness threshold. Bit- and cycle-identical to Predecoded.
 //  * Engine::Reference: the original switch-tree interpreter, retained both
 //    as the oracle for the differential suite and as the baseline the
 //    dispatch bench measures against.
@@ -39,6 +44,7 @@
 #include "isa/isa.hpp"
 #include "sim/decode.hpp"
 #include "sim/exec.hpp"
+#include "sim/jit.hpp"
 #include "sim/memory.hpp"
 #include "sim/stats.hpp"
 #include "sim/superblock.hpp"
@@ -47,10 +53,11 @@
 namespace sfrv::sim {
 
 /// Execution engine selection (see Core's header comment).
-enum class Engine : std::uint8_t { Predecoded, Reference, Fused };
+enum class Engine : std::uint8_t { Predecoded, Reference, Fused, Jit };
 
-/// Stable lowercase engine names ("predecoded", "reference", "fused") used
-/// by the CLI, the eval report JSON, and the SFRV_ENGINE variable.
+/// Stable lowercase engine names ("predecoded", "reference", "fused",
+/// "jit") used by the CLI, the eval report JSON, and the SFRV_ENGINE
+/// variable.
 [[nodiscard]] std::string_view engine_name(Engine e);
 /// Parse an engine name; throws std::runtime_error on an unknown one.
 [[nodiscard]] Engine engine_from_name(std::string_view name);
@@ -61,7 +68,7 @@ enum class Engine : std::uint8_t { Predecoded, Reference, Fused };
 /// SFRV_BACKEND counterpart).
 [[nodiscard]] Engine engine_from_env(const char* value);
 /// Process-wide default engine: the SFRV_ENGINE environment variable
-/// (reference|predecoded|fused, read once) or Engine::Predecoded. Lets CI
+/// (reference|predecoded|fused|jit, read once) or Engine::Predecoded. Lets CI
 /// run the whole test suite and campaigns under each engine. An invalid
 /// value falls back to Predecoded with a stderr warning — never throws
 /// (it runs inside static initialization via default arguments).
@@ -83,7 +90,8 @@ struct CoreState {
   std::uint32_t text_base_ = 0;
   std::vector<isa::Inst> decoded_;   // predecoded text (no self-modifying code)
   std::vector<DecodedOp> uops_;      // micro-op cache (same indexing)
-  SuperblockProgram sblk_;           // fused-op lowering (Engine::Fused)
+  SuperblockProgram sblk_;           // fused-op lowering (Fused and Jit)
+  jit::JitProgram jit_;              // translation cache (Engine::Jit)
 
   std::ostream* trace_ = nullptr;
 };
@@ -118,9 +126,10 @@ class Core : private detail::CoreState {
   ~Core() = default;
 
   using Engine = sim::Engine;
-  /// Select the execution engine. Switching to Fused (re)builds the
-  /// superblock lowering for the loaded program; the other engines never
-  /// pay for it (load_program skips the fusion pass unless fused).
+  /// Select the execution engine. Switching to Fused or Jit (re)builds the
+  /// superblock lowering for the loaded program (the Jit engine interprets
+  /// cold blocks through it); the other engines never pay for it
+  /// (load_program skips the fusion pass unless needed).
   void set_engine(Engine e);
   [[nodiscard]] Engine engine() const { return engine_; }
 
@@ -182,12 +191,30 @@ class Core : private detail::CoreState {
   /// The superblock lowering of the loaded program (Engine::Fused).
   [[nodiscard]] const SuperblockProgram& superblocks() const { return sblk_; }
 
+  // ---- Engine::Jit knobs and telemetry (sim/jit.hpp) ----
+  /// Hotness threshold: a block interprets until it has been entered more
+  /// than `t` times, then compiles (0 compiles on first entry). Wall-clock
+  /// only; simulated results never depend on it.
+  void set_jit_threshold(std::uint32_t t) { jit_.set_threshold(t); }
+  [[nodiscard]] std::uint32_t jit_threshold() const {
+    return jit_.threshold();
+  }
+  /// Translation-cache capacity in traces (flush-all eviction when full).
+  void set_jit_cache_cap(std::uint32_t cap) { jit_.set_cache_cap(cap); }
+  /// Compiled traces currently cached.
+  [[nodiscard]] std::size_t jit_cache_size() const { return jit_.size(); }
+  [[nodiscard]] const jit::JitStats& jit_stats() const {
+    return jit_.stats();
+  }
+
   /// Stream instruction-level trace output (nullptr disables).
   void set_trace(std::ostream* os) { trace_ = os; }
 
  private:
   void rebind_context() {
     ctx_.mem = &mem_;
+    ctx_.mem_base = mem_.data();
+    ctx_.mem_size = mem_.size();
     ctx_.stats = &stats_;
   }
 
@@ -205,7 +232,16 @@ class Core : private detail::CoreState {
   /// Execute fused ops from the current pc until control leaves the known
   /// straight line, the core halts, or `budget` instructions retire.
   /// Returns the number of retired instructions (>= 1 unless budget == 0).
-  std::uint64_t run_block(std::uint64_t budget);
+  /// With `stop_at_block_end` the run also stops at a taken terminator
+  /// (even when the target is known), so the JIT driver regains control at
+  /// every block entry for hotness counting and cache lookup.
+  std::uint64_t run_block(std::uint64_t budget, bool stop_at_block_end = false);
+
+  // Trace-compilation engine (Engine::Jit, see sim/jit.hpp).
+  RunResult run_jit(std::uint64_t max_steps);
+  /// Execute one compiled trace (full when budget covers it, bounded
+  /// otherwise). Returns retired instructions.
+  std::uint64_t exec_trace(jit::Trace& t, std::uint64_t budget);
 
   // Reference interpreter (the retained pre-refactor execute path).
   void step_reference(std::uint32_t idx);

@@ -68,6 +68,15 @@ struct ExecContext {
   Memory* mem = nullptr;
   Stats* stats = nullptr;  ///< for the counter CSRs (cycle/instret)
 
+  // Cached Memory backing store (mem->data()/size(), rebound alongside
+  // `mem`). The jit trace bodies access memory through these instead of the
+  // Memory object: the base pointer lives in a register across the trace,
+  // where `mem->bytes_` would be re-loaded after every opaque call. The
+  // handlers keep using `mem` — both routes perform the identical bounds
+  // check and throw the identical exception.
+  std::uint8_t* mem_base = nullptr;
+  std::uint32_t mem_size = 0;
+
   void set_x(unsigned i, std::uint32_t v) {
     if ((i & 31) != 0) x[i & 31] = v;
   }

@@ -78,6 +78,15 @@ class Memory {
               static_cast<std::uint8_t*>(dst));
   }
 
+  // Raw backing store, for executors that cache the base pointer instead of
+  // chasing `mem->bytes_` on every access (the storage never reallocates:
+  // its size is fixed at construction). Callers taking this route must
+  // reproduce check()'s bounds test and exception exactly.
+  [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
  private:
   void check(std::uint32_t addr, std::uint32_t n) const {
     if (addr + n > bytes_.size() || addr + n < addr) {

@@ -270,21 +270,6 @@ FusedFn select_fn(const DecodedOp& a, const DecodedOp& b) {
   return &f_pair;
 }
 
-/// Build-time mirror of Core::account()'s cycle computation for the timing
-/// classes whose outcome is static. Branch is the only dynamic class (taken
-/// or not); callers must not request it here.
-std::uint16_t fixed_cycles(const DecodedOp& u, const Timing& timing,
-                           const MemConfig& mem) {
-  int cyc = u.base_cycles;
-  switch (u.tclass) {
-    case TimingClass::Load: cyc += mem.load_latency - 1; break;
-    case TimingClass::Store: cyc += mem.store_latency - 1; break;
-    case TimingClass::Jump: cyc += timing.jump_penalty; break;
-    default: break;
-  }
-  return static_cast<std::uint16_t>(cyc);
-}
-
 /// Slow-path-only micro-ops: branches (dynamic cycle outcome) and CSRs
 /// (read the live cycle/instret counters during execution, so every pending
 /// contribution must be flushed first).
@@ -301,6 +286,18 @@ bool needs_slow_accounting(const DecodedOp& u) {
 }
 
 }  // namespace
+
+std::uint16_t fixed_cycles(const DecodedOp& u, const Timing& timing,
+                           const MemConfig& mem) {
+  int cyc = u.base_cycles;
+  switch (u.tclass) {
+    case TimingClass::Load: cyc += mem.load_latency - 1; break;
+    case TimingClass::Store: cyc += mem.store_latency - 1; break;
+    case TimingClass::Jump: cyc += timing.jump_penalty; break;
+    default: break;
+  }
+  return static_cast<std::uint16_t>(cyc);
+}
 
 void SuperblockProgram::build(const std::vector<DecodedOp>& uops,
                               const Timing& timing, const MemConfig& mem) {

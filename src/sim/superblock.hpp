@@ -41,6 +41,16 @@ namespace sfrv::sim {
 
 struct FusedOp;
 
+/// Build-time mirror of Core::account()'s cycle computation for the timing
+/// classes whose outcome is static: loads, stores, and jumps have fixed
+/// latencies/penalties folded into one constant. Branch is the only dynamic
+/// class (taken or not) and falls through to the base cycles; the dynamic
+/// taken-penalty stays with the executor. Shared by the superblock builder
+/// and the JIT trace translator (sim/jit.cpp) so both engines book the exact
+/// cycles Core::account() would.
+std::uint16_t fixed_cycles(const DecodedOp& u, const Timing& timing,
+                           const MemConfig& mem);
+
 /// A fused handler: executes one or two micro-ops and advances pc, exactly
 /// as the underlying DecodedOp handlers would back-to-back.
 using FusedFn = void (*)(ExecContext&, const FusedOp&);

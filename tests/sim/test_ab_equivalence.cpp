@@ -1,21 +1,27 @@
-// Randomized three-way differential suite: the predecoded micro-op engine
-// AND the superblock-fused engine must match the retained reference
-// interpreter bit-for-bit on architectural state (x/f register files,
-// memory, fflags/frm) AND on the timing model (cycles, instruction/load/
-// store counts) across every extension configuration. Streams read the
-// cycle CSR mid-run, so a single mis-accounted cycle also shows up as an
-// architectural divergence.
+// Randomized four-way differential suite: the predecoded micro-op engine,
+// the superblock-fused engine, AND the jit trace-compilation engine must
+// match the retained reference interpreter bit-for-bit on architectural
+// state (x/f register files, memory, fflags/frm) AND on the timing model
+// (cycles, instruction/load/store counts) across every extension
+// configuration. Streams read the cycle CSR mid-run, so a single
+// mis-accounted cycle also shows up as an architectural divergence.
 //
 // Each random stream runs three ways:
-//  * free-run — every engine to completion at full speed (fused pairs and
-//    block-local dispatch fully exercised), final state + memory compared;
-//  * per-instruction lockstep — run(1) on all three engines, full state
-//    compared after every retired instruction (this also drives the fused
-//    engine's budget-split and mid-pair resync paths);
-//  * random-chunk lockstep — run(k), k in [1, 8], so fused pairs execute
-//    between observation points and state is compared at interior pcs.
+//  * free-run — every engine to completion at full speed (fused pairs,
+//    block-local dispatch, and compiled traces fully exercised), final
+//    state + memory compared;
+//  * per-instruction lockstep — run(1) on all engines, full state compared
+//    after every retired instruction (this also drives the fused engine's
+//    budget-split/mid-pair resync paths and the jit's bounded trace path);
+//  * random-chunk lockstep — run(k), k in [1, 8], so fused pairs and trace
+//    prefixes execute between observation points and state is compared at
+//    interior pcs.
 // The streams' jalr groups produce dynamic targets that land in the middle
-// of fused pairs (the +12 skip), covering the entry-map fallback.
+// of fused pairs (the +12 skip), covering the entry-map fallback and
+// mid-trace jalr entry. The jit runs twice with the hotness threshold
+// forced both ways: 0 (every block compiles on first entry) and nonzero
+// (early entries interpret cold through the fused path, later ones run
+// compiled — the hot/cold transition happens mid-stream).
 #include <gtest/gtest.h>
 
 #include <random>
@@ -200,7 +206,7 @@ void seed_state(sim::Core& core, std::uint64_t seed) {
 
 constexpr sim::Engine kEngines[] = {sim::Engine::Reference,
                                     sim::Engine::Predecoded,
-                                    sim::Engine::Fused};
+                                    sim::Engine::Fused, sim::Engine::Jit};
 
 /// Full architectural + timing state comparison between two cores.
 ::testing::AssertionResult state_eq(const sim::Core& a, const sim::Core& b) {
@@ -265,18 +271,31 @@ sim::Core make_core(const IsaConfig& cfg, const Stream& s, sim::Engine e,
                     std::uint64_t seed) {
   sim::Core core(cfg);
   core.set_engine(e);
+  if (e == sim::Engine::Jit) core.set_jit_threshold(0);  // always compiled
   core.load_program(s.prog);
   seed_state(core, seed);
   return core;
 }
 
-/// Lockstep all three engines in chunks of `chunk(rng)` instructions,
-/// comparing the full state at every chunk boundary.
+/// All differential cores for one stream: the kEngines set (jit at
+/// threshold 0, every block compiled on first entry) plus a second jit
+/// core with a nonzero threshold, so the hot/cold promotion happens
+/// mid-stream and cold entries interpret through the fused path.
+std::vector<sim::Core> make_cores(const IsaConfig& cfg, const Stream& s,
+                                  std::uint64_t seed) {
+  std::vector<sim::Core> cores;
+  for (const auto e : kEngines) cores.push_back(make_core(cfg, s, e, seed));
+  cores.push_back(make_core(cfg, s, sim::Engine::Jit, seed));
+  cores.back().set_jit_threshold(3);
+  return cores;
+}
+
+/// Lockstep every engine in chunks of `chunk(rng)` instructions, comparing
+/// the full state at every chunk boundary.
 template <typename ChunkFn>
 void lockstep(const IsaConfig& cfg, const Stream& s, std::uint64_t seed,
               ChunkFn chunk) {
-  std::vector<sim::Core> cores;
-  for (const auto e : kEngines) cores.push_back(make_core(cfg, s, e, seed));
+  std::vector<sim::Core> cores = make_cores(cfg, s, seed);
   std::mt19937_64 cr(seed ^ 0xC0DEC0DEC0DEull);
   for (std::uint64_t retired = 0; retired < 1'000'000;) {
     const std::uint64_t k = chunk(cr);
@@ -298,9 +317,9 @@ void lockstep(const IsaConfig& cfg, const Stream& s, std::uint64_t seed,
 std::uint64_t run_stream(const IsaConfig& cfg, std::uint64_t seed, int count) {
   const Stream s = make_stream(cfg, seed, count);
 
-  // Free-run: every engine at full speed (fused pairs + block dispatch).
-  std::vector<sim::Core> cores;
-  for (const auto e : kEngines) cores.push_back(make_core(cfg, s, e, seed));
+  // Free-run: every engine at full speed (fused pairs + block dispatch +
+  // compiled traces).
+  std::vector<sim::Core> cores = make_cores(cfg, s, seed);
   for (auto& c : cores) {
     EXPECT_EQ(c.run(1'000'000), sim::Core::RunResult::Halted)
         << sim::engine_name(c.engine()) << " seed=" << seed;
@@ -384,6 +403,7 @@ TEST(Superblock, FallthroughOffTextEndMatchesAllEngines) {
   for (const auto e : kEngines) {
     sim::Core c(isa::IsaConfig::full());
     c.set_engine(e);
+    if (e == sim::Engine::Jit) c.set_jit_threshold(0);  // trace, not interp
     c.load_program(prog);
     EXPECT_THROW(c.run(), sim::SimError) << sim::engine_name(e);
     cores.push_back(std::move(c));
@@ -409,6 +429,7 @@ TEST(Superblock, FaultInSecondHalfOfPairRetiresFirstHalf) {
   for (const auto e : kEngines) {
     sim::Core c(isa::IsaConfig::full());
     c.set_engine(e);
+    if (e == sim::Engine::Jit) c.set_jit_threshold(0);  // mid-trace fault
     c.load_program(prog);
     if (e == sim::Engine::Fused) {
       // The shape under test must actually fuse into an addi+lw pair.

@@ -46,8 +46,10 @@ TEST(EngineNames, EnvContractWarnsAndFallsBack) {
   EXPECT_EQ(sim::engine_from_env("reference"), Engine::Reference);
   EXPECT_EQ(sim::engine_from_env("predecoded"), Engine::Predecoded);
   EXPECT_EQ(sim::engine_from_env("fused"), Engine::Fused);
+  EXPECT_EQ(sim::engine_from_env("jit"), Engine::Jit);
   EXPECT_EQ(sim::engine_from_env("bogus"), Engine::Predecoded);
   EXPECT_EQ(sim::engine_from_env("Fused"), Engine::Predecoded);
+  EXPECT_EQ(sim::engine_from_env("JIT"), Engine::Predecoded);  // case-sensitive
 }
 
 /// FP-heavy program touching every fast-path family: f8/f16 packed SIMD
@@ -126,8 +128,8 @@ Digest run_pair(Engine e, MathBackend b) {
 TEST(BackendConformance, EveryEngineBackendPairIsBitIdentical) {
   const Digest baseline = run_pair(Engine::Reference, MathBackend::Grs);
   ASSERT_NE(baseline.fflags, 0);  // the workout must actually raise flags
-  for (const Engine e :
-       {Engine::Reference, Engine::Predecoded, Engine::Fused}) {
+  for (const Engine e : {Engine::Reference, Engine::Predecoded, Engine::Fused,
+                         Engine::Jit}) {
     for (const MathBackend b : {MathBackend::Grs, MathBackend::Fast}) {
       const Digest d = run_pair(e, b);
       EXPECT_EQ(d, baseline) << sim::engine_name(e) << "/"

@@ -1,0 +1,193 @@
+// Engine::Jit translation-cache unit tests: hotness-threshold promotion
+// (blocks interpret until entered more than `threshold` times), wholesale
+// invalidation on Core::set_backend (compiled traces hold bound softfloat
+// pointers), mid-block jalr entry (a dynamic target that is not a cached
+// trace start), and the cap/eviction path. Architectural identity across
+// all of it is the fuzzer's job (test_ab_equivalence.cpp); these tests pin
+// the cache *mechanics* plus spot-check results against Engine::Predecoded.
+#include <gtest/gtest.h>
+
+#include "asmb/assembler.hpp"
+#include "sim/core.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using isa::Op;
+using sim::Engine;
+namespace reg = asmb::reg;
+
+/// count-iteration counting loop; the loop head is (re-)entered via the
+/// taken back-edge `count - 1` times.
+asmb::Program counting_loop(int count) {
+  asmb::Assembler a;
+  a.li(reg::t0, count);
+  a.addi(reg::t1, reg::zero, 0);
+  const auto loop = a.here();
+  a.addi(reg::t1, reg::t1, 3);
+  a.addi(reg::t0, reg::t0, -1);
+  a.bne(reg::t0, reg::zero, loop);
+  a.ebreak();
+  return a.finish();
+}
+
+sim::Core make_jit_core(const asmb::Program& prog, std::uint32_t threshold) {
+  sim::Core core;
+  core.set_engine(Engine::Jit);
+  core.set_jit_threshold(threshold);
+  core.load_program(prog);
+  return core;
+}
+
+void expect_matches_predecoded(sim::Core& jit, const asmb::Program& prog) {
+  sim::Core pre;
+  pre.set_backend(jit.backend());
+  pre.load_program(prog);
+  ASSERT_EQ(pre.run(), sim::Core::RunResult::Halted);
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(jit.x(r), pre.x(r)) << "x" << r;
+    EXPECT_EQ(jit.f_bits(r), pre.f_bits(r)) << "f" << r;
+  }
+  EXPECT_EQ(jit.pc(), pre.pc());
+  EXPECT_EQ(jit.fflags(), pre.fflags());
+  EXPECT_EQ(jit.stats().cycles, pre.stats().cycles);
+  EXPECT_EQ(jit.stats().instructions, pre.stats().instructions);
+}
+
+TEST(JitCache, HotnessThresholdPromotion) {
+  // With threshold T the loop head compiles on its (T+1)-th entry. The head
+  // is entered count-1 times (taken back-edges), so count = T+2 is the
+  // first iteration count that compiles anything (the entry block runs
+  // once and never gets hot).
+  constexpr std::uint32_t kT = 3;
+  {
+    sim::Core cold = make_jit_core(counting_loop(kT + 1), kT);
+    ASSERT_EQ(cold.run(), sim::Core::RunResult::Halted);
+    EXPECT_EQ(cold.jit_stats().translations, 0u);
+    EXPECT_EQ(cold.jit_cache_size(), 0u);
+    EXPECT_GT(cold.jit_stats().interp_entries, 0u);
+    expect_matches_predecoded(cold, counting_loop(kT + 1));
+  }
+  {
+    // count = kT+3: the head's (kT+1)-th entry compiles, and the one after
+    // it is the first cache hit.
+    sim::Core hot = make_jit_core(counting_loop(kT + 3), kT);
+    ASSERT_EQ(hot.run(), sim::Core::RunResult::Halted);
+    EXPECT_EQ(hot.jit_stats().translations, 1u);
+    EXPECT_EQ(hot.jit_cache_size(), 1u);
+    EXPECT_GT(hot.jit_stats().hits, 0u);
+    expect_matches_predecoded(hot, counting_loop(kT + 3));
+  }
+  // Threshold 0 compiles every entered block on first entry.
+  {
+    sim::Core eager = make_jit_core(counting_loop(4), 0);
+    ASSERT_EQ(eager.run(), sim::Core::RunResult::Halted);
+    EXPECT_GE(eager.jit_stats().translations, 2u);  // entry block + loop head
+    EXPECT_EQ(eager.jit_stats().interp_entries, 0u);
+    expect_matches_predecoded(eager, counting_loop(4));
+  }
+}
+
+TEST(JitCache, SetBackendInvalidatesAndRecompiles) {
+  // FP ops bind softfloat table entries into the micro-ops, which compiled
+  // traces capture; switching the backend must drop every trace.
+  asmb::Assembler a;
+  a.li(reg::t0, 20);
+  a.li(reg::t1, 0x3c003c00);
+  a.emit({.op = Op::FMV_S_X, .rd = 1, .rs1 = reg::t1});
+  const auto loop = a.here();
+  a.fp_rrr(Op::VFADD_H, 2, 1, 1);
+  a.fp_rrr(Op::FMUL_S, 3, 1, 2);
+  a.addi(reg::t0, reg::t0, -1);
+  a.bne(reg::t0, reg::zero, loop);
+  a.ebreak();
+  const asmb::Program prog = a.finish();
+
+  sim::Core core = make_jit_core(prog, 0);
+  ASSERT_EQ(core.run(), sim::Core::RunResult::Halted);
+  ASSERT_GT(core.jit_cache_size(), 0u);
+
+  // Robust under SFRV_BACKEND=fast runs: always switch to the *other* one.
+  const fp::MathBackend other = core.backend() == fp::MathBackend::Grs
+                                    ? fp::MathBackend::Fast
+                                    : fp::MathBackend::Grs;
+  core.set_backend(other);
+  EXPECT_EQ(core.jit_cache_size(), 0u);
+  EXPECT_GE(core.jit_stats().invalidations, 1u);
+
+  // A rerun under the new backend recompiles and still matches predecoded.
+  core.load_program(prog);
+  core.clear_stats();
+  ASSERT_EQ(core.run(), sim::Core::RunResult::Halted);
+  EXPECT_GT(core.jit_cache_size(), 0u);
+  expect_matches_predecoded(core, prog);
+}
+
+TEST(JitCache, MidBlockJalrEntryCompilesSuffix) {
+  // The jalr lands 12 bytes past the auipc — on the *middle* of the trace
+  // compiled from the entry block. That index is not a cached trace start:
+  // the driver misses, counts an entry, and (threshold 0) compiles a suffix
+  // trace at the landing pc. Both paths must retire identically.
+  asmb::Assembler a;
+  a.emit({.op = Op::AUIPC, .rd = reg::t2, .imm = 0});
+  a.emit({.op = Op::JALR, .rd = reg::ra, .rs1 = reg::t2, .imm = 12});
+  a.addi(reg::s1, reg::zero, 111);  // skipped
+  a.addi(reg::s2, reg::zero, 222);  // jalr target: mid-trace index
+  a.addi(reg::s3, reg::zero, 333);
+  a.ebreak();
+  const asmb::Program prog = a.finish();
+
+  sim::Core core = make_jit_core(prog, 0);
+  ASSERT_EQ(core.run(), sim::Core::RunResult::Halted);
+  EXPECT_EQ(core.x(reg::s1), 0u);
+  EXPECT_EQ(core.x(reg::s2), 222u);
+  EXPECT_EQ(core.x(reg::s3), 333u);
+  // Entry trace + the suffix trace at the landing index.
+  EXPECT_EQ(core.jit_stats().translations, 2u);
+  expect_matches_predecoded(core, prog);
+}
+
+TEST(JitCache, CapEvictionKeepsResultsIdentical) {
+  // Four distinct trace starts (two loop entries, two loop heads — plus
+  // fall-through re-entries) against a 2-trace cap force the flush-all
+  // eviction path at least once; results must not change.
+  asmb::Assembler a;
+  a.li(reg::t0, 5);
+  const auto l1 = a.here();
+  a.addi(reg::t1, reg::t1, 1);
+  a.addi(reg::t0, reg::t0, -1);
+  a.bne(reg::t0, reg::zero, l1);
+  a.li(reg::t0, 5);
+  const auto l2 = a.here();
+  a.addi(reg::t2, reg::t2, 2);
+  a.addi(reg::t0, reg::t0, -1);
+  a.bne(reg::t0, reg::zero, l2);
+  a.ebreak();
+  const asmb::Program prog = a.finish();
+
+  sim::Core core = make_jit_core(prog, 0);
+  core.set_jit_cache_cap(2);
+  ASSERT_EQ(core.run(), sim::Core::RunResult::Halted);
+  EXPECT_GE(core.jit_stats().evictions, 1u);
+  EXPECT_LE(core.jit_cache_size(), 2u);
+  EXPECT_EQ(core.x(reg::t1), 5u);
+  EXPECT_EQ(core.x(reg::t2), 10u);
+  expect_matches_predecoded(core, prog);
+}
+
+TEST(JitCache, TelemetryAndKnobAccessors) {
+  sim::Core core = make_jit_core(counting_loop(50), 0);
+  EXPECT_EQ(core.jit_threshold(), 0u);
+  core.set_jit_cache_cap(0);  // clamps to 1
+  ASSERT_EQ(core.run(), sim::Core::RunResult::Halted);
+  const sim::jit::JitStats& st = core.jit_stats();
+  EXPECT_GT(st.lookups, 0u);
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_GT(st.hit_rate(), 0.0);
+  EXPECT_LE(st.hit_rate(), 1.0);
+  EXPECT_GT(st.slots, 0u);
+  EXPECT_LE(core.jit_cache_size(), 1u);
+}
+
+}  // namespace
+}  // namespace sfrv::test

@@ -11,6 +11,7 @@
 // The JSON output is deterministic: identical across thread counts and
 // across runs, so it can be checked in (BENCH_eval.json) and diffed.
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include <string>
 
 #include "eval/campaign.hpp"
+#include "sim/jit.hpp"
 
 namespace {
 
@@ -27,8 +29,9 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--suite table3|smoke] [--out PREFIX] [-j N]\n"
       "          [--benchmarks a,b,...] [--mem l1|l2|l3]\n"
-      "          [--engine predecoded|fused|reference] [--backend grs|fast]\n"
-      "          [--opt O0|O1|O2] [--no-tuner]\n"
+      "          [--engine predecoded|fused|reference|jit]\n"
+      "          [--backend grs|fast] [--opt O0|O1|O2]\n"
+      "          [--jit-threshold N] [--wall-clock] [--no-tuner]\n"
       "\n"
       "  --suite       campaign to run (default: table3)\n"
       "  --out         output prefix; writes PREFIX.json and PREFIX.md\n"
@@ -44,6 +47,12 @@ int usage(const char* argv0) {
       "  --opt         post-lowering optimization level; outputs and QoR are\n"
       "                bit-identical, cycle metrics improve\n"
       "                (default: $SFRV_OPT or O0)\n"
+      "  --jit-threshold  jit engine hotness threshold: blocks interpret until\n"
+      "                entered more than N times, then compile; 0 compiles on\n"
+      "                first entry. Wall-clock only (default: 8)\n"
+      "  --wall-clock  record campaign wall time as `wall_ms` in the JSON\n"
+      "                report (host-dependent; off by default so reports stay\n"
+      "                byte-deterministic)\n"
       "  --no-tuner    skip the Fig. 6 precision-tuning case study\n",
       argv0);
   return 2;
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
   std::string backend;
   std::string opt;
   int jobs = 1;
+  int jit_threshold = -1;  // -1: keep the process default
+  bool wall_clock = false;
   bool tuner = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -137,6 +148,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       opt = v;
+    } else if (arg == "--jit-threshold") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (!parse_int(v, jit_threshold) || jit_threshold < 0) {
+        std::fprintf(stderr, "invalid jit threshold: %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--wall-clock") {
+      wall_clock = true;
     } else if (arg == "--no-tuner") {
       tuner = false;
     } else if (arg == "-h" || arg == "--help") {
@@ -163,9 +183,13 @@ int main(int argc, char** argv) {
     try {
       spec.engine = sim::engine_from_name(engine);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
+      std::fprintf(stderr, "%s (expected predecoded|fused|reference|jit)\n",
+                   e.what());
       return usage(argv[0]);
     }
+  }
+  if (jit_threshold >= 0) {
+    sim::jit::set_default_threshold(static_cast<std::uint32_t>(jit_threshold));
   }
   if (!backend.empty()) {
     try {
@@ -203,7 +227,14 @@ int main(int argc, char** argv) {
                 std::string(fp::backend_name(spec.backend)).c_str(),
                 std::string(ir::opt_name(spec.opt)).c_str(), n_cells,
                 jobs, spec.runs_tuner() ? ", tuner study" : "");
-    const eval::EvalReport report = eval::run_campaign(spec, jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    eval::EvalReport report = eval::run_campaign(spec, jobs);
+    if (wall_clock) {
+      report.wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+    }
 
     const std::string json_path = out_prefix + ".json";
     const std::string md_path = out_prefix + ".md";
