@@ -40,6 +40,11 @@ double EnergyModel::unit_energy(isa::Op op) const {
     case isa::OpFmt::H:
     case isa::OpFmt::AH: per_lane = fp16_op; break;
     case isa::OpFmt::B: per_lane = fp8_op; break;
+    // Posit datapaths: arithmetic cost tracks the equally-wide IEEE unit
+    // (same significand widths; the regime shifter replaces subnormal
+    // handling, roughly energy-neutral at this granularity).
+    case isa::OpFmt::P8: per_lane = fp8_op; break;
+    case isa::OpFmt::P16: per_lane = fp16_op; break;
     case isa::OpFmt::None: per_lane = fp32_op; break;
   }
   double e = per_lane;
@@ -53,6 +58,11 @@ double EnergyModel::unit_energy(isa::Op op) const {
       break;
     case Cls::FpDotp:
     case Cls::FpMacEx:
+      e = e * fma_factor + expanding_extra;
+      break;
+    case Cls::FpDotpEx:
+      // Two chained wide FMAs per wide lane = one FMA per narrow lane, plus
+      // the widening converters.
       e = e * fma_factor + expanding_extra;
       break;
     case Cls::FpMulEx:

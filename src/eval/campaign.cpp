@@ -121,12 +121,16 @@ const std::vector<EvalBenchmark>& eval_suite(SuiteScale scale) {
 
 std::vector<TypeConfigSpec> default_type_configs() {
   using ir::ScalarType;
+  // Appended after the paper's five so pre-posit report rows keep their
+  // matrix-expansion positions.
   return {
       {"float", TypeConfig::uniform(ScalarType::F32)},
       {"float16", TypeConfig::uniform(ScalarType::F16)},
       {"float16alt", TypeConfig::uniform(ScalarType::F16Alt)},
       {"float8", TypeConfig::uniform(ScalarType::F8)},
       {"mixed", {ScalarType::F16, ScalarType::F32}},
+      {"posit8", TypeConfig::uniform(ScalarType::P8)},
+      {"posit16", TypeConfig::uniform(ScalarType::P16)},
   };
 }
 
@@ -296,8 +300,10 @@ TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
   const EvalBenchmark& svm = *it;
 
   using ir::ScalarType;
-  const std::vector<ScalarType> domain = {ScalarType::F8, ScalarType::F16Alt,
-                                          ScalarType::F16, ScalarType::F32};
+  // Narrowest first, posits after their equally-wide IEEE formats.
+  const std::vector<ScalarType> domain = {ScalarType::F8,  ScalarType::P8,
+                                          ScalarType::F16Alt, ScalarType::F16,
+                                          ScalarType::P16, ScalarType::F32};
 
   // Each configuration is simulated once; the tuner's qor/cost callbacks
   // both read the memoized outcome.
@@ -307,6 +313,11 @@ TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
   };
   std::map<std::pair<int, int>, Outcome> memo;
   auto evaluate = [&](const tuner::TypeVector& types) -> Outcome {
+    // Slot pairs the promotion lattice cannot order — the two 16-bit IEEE
+    // formats against each other, or posit/IEEE mixes outside float — have
+    // no defined source-level typing: record them as skipped (qor below any
+    // threshold, zero cost) instead of simulating.
+    if (!ir::comparable(types[0], types[1])) return {-1.0, 0.0};
     const auto key = std::make_pair(static_cast<int>(types[0]),
                                     static_cast<int>(types[1]));
     const auto found = memo.find(key);
@@ -333,10 +344,11 @@ TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
   problem.qor_threshold =
       evaluate({ScalarType::F32, ScalarType::F32}).qor;  // strict: float QoR
 
-  // Exhaustive over the 4x4 grid (16 simulated configs, memoized): the case
-  // study wants the *cheapest* feasible assignment, and greedy promotion
-  // legitimately stops at the first feasible one it reaches — which can be a
-  // scalar-fallback combination slower than the float baseline.
+  // Exhaustive over the 6x6 grid (lattice-ordered pairs simulated and
+  // memoized, unordered pairs recorded as skipped): the case study wants the
+  // *cheapest* feasible assignment, and greedy promotion legitimately stops
+  // at the first feasible one it reaches — which can be a scalar-fallback
+  // combination slower than the float baseline.
   const tuner::Result result = tuner::tune_exhaustive(problem);
 
   TunerStudy study;

@@ -55,7 +55,8 @@ struct CampaignSpec {
   std::vector<TypeConfigSpec> type_configs = default_type_configs();
   std::vector<ir::CodegenMode> modes = {ir::CodegenMode::Scalar,
                                         ir::CodegenMode::AutoVec,
-                                        ir::CodegenMode::ManualVec};
+                                        ir::CodegenMode::ManualVec,
+                                        ir::CodegenMode::ManualVecExs};
   sim::MemConfig mem{};
   /// Simulator engine every cell (and the tuner study) executes through.
   /// The report records it; results must not depend on it — CI runs the
@@ -104,10 +105,11 @@ struct CellSpec {
 [[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1);
 
 /// The Fig. 6 case study: precision tuning of the SVM slots ({data, acc}
-/// over all four scalar types, narrowest first) with QoR = simulated
+/// over all six scalar types, narrowest first) with QoR = simulated
 /// classification accuracy and cost = simulated cycles, under the strict
 /// constraint of matching the float configuration's accuracy. Exhaustive
-/// over the 16-config grid, every configuration simulated once.
+/// over the 36-config grid: lattice-ordered pairs are simulated once each
+/// (memoized), unordered pairs are recorded as skipped trials.
 [[nodiscard]] TunerStudy run_tuner_study(
     SuiteScale scale, const sim::MemConfig& mem,
     sim::Engine engine = sim::default_engine(),

@@ -144,6 +144,38 @@ std::string render_markdown(const EvalReport& r) {
     out += "\n";
   }
 
+  // ---- ExSdotp: packed widening accumulation -------------------------------
+  {
+    std::string rows;
+    for (const auto& b : r.benchmarks) {
+      for (const auto& tc : r.type_configs) {
+        const CellResult* mv = r.find_cell(b, tc, ir::CodegenMode::ManualVec);
+        const CellResult* ex =
+            r.find_cell(b, tc, ir::CodegenMode::ManualVecExs);
+        if (mv == nullptr || ex == nullptr) continue;
+        if (mv->cycles == ex->cycles) continue;  // no widening reduction hit
+        row(rows,
+            {b, tc, std::to_string(mv->cycles), std::to_string(ex->cycles),
+             fmt_ratio(static_cast<double>(mv->cycles),
+                       static_cast<double>(ex->cycles)),
+             fmt(ex->sqnr_db, 1)});
+      }
+    }
+    if (!rows.empty()) {
+      out +=
+          "## ExSdotp widening accumulation "
+          "(manual-vec vs. manual-vec-exsdotp)\n\n"
+          "Cells whose widening reductions map onto the ExSdotp unit: the "
+          "accumulator stays packed in the one-step-wider format (two "
+          "chained wide FMAs per wide lane) and folds once in the "
+          "epilogue.\n\n";
+      table_header(out, {"benchmark", "type config", "manual-vec cycles",
+                         "exsdotp cycles", "manual/exsdotp", "SQNR (dB)"});
+      out += rows;
+      out += "\n";
+    }
+  }
+
   // ---- Energy --------------------------------------------------------------
   out +=
       "## Energy (manual vectorization, relative to scalar float)\n\n"

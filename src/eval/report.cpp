@@ -101,7 +101,8 @@ std::vector<std::string> strings_from_json(const Json& j) {
 
 ir::ScalarType scalar_type_from_name(std::string_view name) {
   for (const auto t : {ir::ScalarType::F32, ir::ScalarType::F16,
-                       ir::ScalarType::F16Alt, ir::ScalarType::F8}) {
+                       ir::ScalarType::F16Alt, ir::ScalarType::F8,
+                       ir::ScalarType::P8, ir::ScalarType::P16}) {
     if (name == ir::type_name(t)) return t;
   }
   throw std::runtime_error("unknown scalar type name: " + std::string(name));
@@ -109,7 +110,8 @@ ir::ScalarType scalar_type_from_name(std::string_view name) {
 
 ir::CodegenMode mode_from_name(std::string_view name) {
   for (const auto m : {ir::CodegenMode::Scalar, ir::CodegenMode::AutoVec,
-                       ir::CodegenMode::ManualVec}) {
+                       ir::CodegenMode::ManualVec,
+                       ir::CodegenMode::ManualVecExs}) {
     if (name == ir::mode_name(m)) return m;
   }
   throw std::runtime_error("unknown codegen mode name: " + std::string(name));

@@ -32,7 +32,15 @@ namespace sfrv::eval {
 ///     (campaign wall-clock milliseconds, host-dependent). `wall_ms` is
 ///     serialized only when explicitly measured (`--wall-clock`), so default
 ///     reports stay byte-deterministic across runs and thread counts.
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v5";
+/// v6: posit and ExSdotp axes. Scalar types gain "posit8"/"posit16" (the
+///     default campaign appends both uniform TypeConfigs after "mixed"),
+///     modes gain "manual-vec-exsdotp" (ManualVec with packed one-step-wider
+///     ExSdotp accumulation), and the tuner domain widens to the six-type
+///     grid — slot pairs the promotion lattice cannot order (the two 16-bit
+///     IEEE formats against each other, posit/IEEE mixes outside float) are
+///     recorded as skipped trials with qor = -1 / cost = 0 instead of being
+///     simulated.
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v6";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.

@@ -438,7 +438,9 @@ class Lowerer {
       r = convert_to(r, t);
       asm_.fp_r4(scalar_ops(t).fmadd, acc_reg, l.reg, r.reg, acc_reg);
     } else if (acc_t == ScalarType::F32 && l.type == r.type &&
-               mode_ == CodegenMode::ManualVec) {
+               !is_posit(l.type) && is_manual_mode(mode_)) {
+      // No posit fmacex exists; posit sources take the convert + fmadd path
+      // below (exact widening, so the wide FMA still rounds once).
       asm_.fp_rrr(fmacex_op(l.type), acc_reg, l.reg, r.reg);
     } else {
       l = convert_to(l, acc_t);
@@ -848,12 +850,21 @@ class Lowerer {
       walk(*s.value, walk);
     }
     if (!ok || !t) return std::nullopt;
-    // Reduction accumulators must be the vector type or f32 (expanding).
+    // Reduction accumulators must be the vector type, f32 (expanding), or —
+    // under the ExSdotp generator only — the one-step-wider format, which
+    // additionally requires the exsdotp operand shape (a product of two
+    // streaming loads feeding the packed wide accumulator).
     for (const auto& n : lp.body) {
       const Stmt& s = std::get<Stmt>(n);
       if (s.kind == Stmt::Kind::AccumScalar) {
         const auto ut = k_.vars[static_cast<std::size_t>(s.dst_var)].type;
-        if (ut != *t && ut != ScalarType::F32) return std::nullopt;
+        if (ut == *t || ut == ScalarType::F32) continue;
+        const bool exs = mode_ == CodegenMode::ManualVecExs &&
+                         exsdotp_wide(*t) == ut &&
+                         s.value->kind == Expr::Kind::Mul &&
+                         s.value->lhs->kind == Expr::Kind::Load &&
+                         s.value->rhs->kind == Expr::Kind::Load;
+        if (!exs) return std::nullopt;
       }
     }
     // Shapes the vector lowering can actually emit. Every reduction value
@@ -1064,28 +1075,39 @@ class Lowerer {
       case ScalarType::F16: return Op::FMV_H_X;
       case ScalarType::F16Alt: return Op::FMV_AH_X;
       case ScalarType::F8: return Op::FMV_B_X;
+      case ScalarType::P8: return Op::FMV_P8_X;
+      case ScalarType::P16: return Op::FMV_P16_X;
       default: return Op::FMV_S_X;
     }
   }
 
   std::uint8_t horizontal_sum(std::uint8_t vacc) {
-    const int w = width_bits(vec_t_);
-    const int lanes = lanes32(vec_t_);
-    const auto ops = scalar_ops(vec_t_);
+    return horizontal_sum_typed(vacc, vec_t_, lanes32(vec_t_));
+  }
+
+  /// Lane-extraction sum of `lanes` packed elements of type `t` (also used
+  /// for the ExSdotp epilogue, where the packed type is the one-step-wider
+  /// format with half the element count).
+  std::uint8_t horizontal_sum_typed(std::uint8_t vacc, ScalarType t,
+                                    int lanes) {
+    const int w = width_bits(t);
+    const auto ops = scalar_ops(t);
     const Op fmv_to_x = Op::FMV_X_S;
-    const Op fmv_from_x = fmv_from_x_op(vec_t_);
-    const std::uint8_t t = int_pool_.alloc();
-    asm_.fp_rr(fmv_to_x, t, vacc);
+    const Op fmv_from_x = fmv_from_x_op(t);
+    const std::uint8_t x = int_pool_.alloc();
+    asm_.fp_rr(fmv_to_x, x, vacc);
     const std::uint8_t sum = fp_pool_.alloc();
-    const std::uint8_t lane = fp_pool_.alloc();
-    asm_.fp_rr(fmv_from_x, sum, t);
-    for (int l = 1; l < lanes; ++l) {
-      asm_.srli(t, t, w);
-      asm_.fp_rr(fmv_from_x, lane, t);
-      asm_.fp_rrr(ops.fadd, sum, sum, lane);
+    asm_.fp_rr(fmv_from_x, sum, x);
+    if (lanes > 1) {
+      const std::uint8_t lane = fp_pool_.alloc();
+      for (int l = 1; l < lanes; ++l) {
+        asm_.srli(x, x, w);
+        asm_.fp_rr(fmv_from_x, lane, x);
+        asm_.fp_rrr(ops.fadd, sum, sum, lane);
+      }
+      fp_pool_.release(lane);
     }
-    fp_pool_.release(lane);
-    int_pool_.release(t);
+    int_pool_.release(x);
     return sum;
   }
 
@@ -1168,10 +1190,23 @@ class Lowerer {
           }
           return;
         }
+        assert(s.value->kind == Expr::Kind::Mul);
+        if (mode_ == CodegenMode::ManualVecExs && exsdotp_wide(vec_t_) == ut) {
+          // ExSdotp reduction: the packed one-step-wider accumulator takes
+          // two chained wide FMAs per wide lane; it is folded into the home
+          // register by the wide horizontal sum in the loop epilogue.
+          const std::uint8_t vacc = wide_acc_for(s.dst_var);
+          VVal l = veval(*s.value->lhs, vec_t_);
+          VVal r = veval(*s.value->rhs, vec_t_);
+          assert(l.vec && r.vec);
+          asm_.fp_rrr(exsdotp_op(vec_t_), vacc, l.reg, r.reg);
+          free_vval(l);
+          free_vval(r);
+          return;
+        }
         // Expanding reduction (f32 accumulator, smallFloat products).
         assert(ut == ScalarType::F32);
-        assert(s.value->kind == Expr::Kind::Mul);
-        if (mode_ == CodegenMode::ManualVec) {
+        if (is_manual_mode(mode_)) {
           VVal l = veval(*s.value->lhs, vec_t_);
           VVal r = veval(*s.value->rhs, vec_t_);
           assert(l.vec && r.vec);
@@ -1199,6 +1234,15 @@ class Lowerer {
 
   // Vector accumulators for same-type reductions: var id -> packed register.
   std::vector<std::pair<int, std::uint8_t>> vec_accs_;
+  // ExSdotp accumulators: var id -> packed register of the one-step-wider
+  // format (lanes32(vec_t_)/2 wide lanes). ManualVecExs only.
+  std::vector<std::pair<int, std::uint8_t>> wide_accs_;
+  std::uint8_t wide_acc_for(int var) {
+    for (auto& [v, r] : wide_accs_) {
+      if (v == var) return r;
+    }
+    throw std::runtime_error("missing exsdotp accumulator");
+  }
   // Invariant scalar variables pre-converted to the element type for the
   // vector body: var id -> preheader register (see lower_vector_loop).
   std::vector<std::pair<int, std::uint8_t>> var_vec_regs_;
@@ -1310,6 +1354,21 @@ class Lowerer {
         vec_accs_.emplace_back(s.dst_var, r);
       }
     }
+    // ExSdotp accumulators: packed registers of the one-step-wider format.
+    // All-zero bits are packed +0 lanes in IEEE and packed zero in posits,
+    // so the same fmv.s.x x0 idiom initializes both.
+    wide_accs_.clear();
+    if (mode_ == CodegenMode::ManualVecExs) {
+      for (const auto& n : lp.body) {
+        const Stmt& s = std::get<Stmt>(n);
+        if (s.kind != Stmt::Kind::AccumScalar) continue;
+        const auto ut = k_.vars[static_cast<std::size_t>(s.dst_var)].type;
+        if (exsdotp_wide(t) != ut) continue;
+        const std::uint8_t r = fp_pool_.alloc();
+        asm_.fp_rr(Op::FMV_S_X, r, reg::zero);
+        wide_accs_.emplace_back(s.dst_var, r);
+      }
+    }
 
     // Trip-count split: vector part covers floor(trip / vl) * vl iterations.
     // With unrolling the split is three-way — an unrolled loop stepping
@@ -1408,6 +1467,18 @@ class Lowerer {
       fp_pool_.release(vacc);
     }
     vec_accs_.clear();
+    // Wide horizontal reductions for ExSdotp accumulators: the sum runs in
+    // the accumulator (one-step-wider) format, then folds into the home
+    // register with one wide fadd — no narrowing anywhere.
+    for (const auto& [varid, vacc] : wide_accs_) {
+      const ScalarType wt = *exsdotp_wide(t);
+      const std::uint8_t h = horizontal_sum_typed(vacc, wt, vl / 2);
+      const auto ureg = var_reg_[static_cast<std::size_t>(varid)];
+      asm_.fp_rrr(scalar_ops(wt).fadd, ureg, ureg, h);
+      fp_pool_.release(h);
+      fp_pool_.release(vacc);
+    }
+    wide_accs_.clear();
 
     // Scalar epilogue for the remainder.
     if (!exact) {

@@ -13,6 +13,13 @@
 //                  the trip count is statically divisible, and Xfaux
 //                  expanding operations (vfdotpex/fmacex) for widening
 //                  reductions (Fig. 5 right).
+//  * ManualVecExs- ManualVec plus the ExSdotp unit: widening reductions whose
+//                  accumulator is the one-step-wider format keep a *packed*
+//                  wide accumulator in the loop (vfexsdotp: two chained wide
+//                  FMAs per wide lane) and fold it with one horizontal sum in
+//                  the epilogue. Accumulation order differs from ManualVec,
+//                  so outputs are a distinct (pinned) measurement, not a
+//                  bit-compatible re-lowering.
 #pragma once
 
 #include <cstdint>
@@ -26,15 +33,23 @@
 
 namespace sfrv::ir {
 
-enum class CodegenMode { Scalar, AutoVec, ManualVec };
+enum class CodegenMode { Scalar, AutoVec, ManualVec, ManualVecExs };
 
 [[nodiscard]] constexpr std::string_view mode_name(CodegenMode m) {
   switch (m) {
     case CodegenMode::Scalar: return "scalar";
     case CodegenMode::AutoVec: return "auto-vec";
     case CodegenMode::ManualVec: return "manual-vec";
+    case CodegenMode::ManualVecExs: return "manual-vec-exsdotp";
   }
   return "?";
+}
+
+/// Manual (intrinsics-style) generators: pointer bumping, Xfaux/ExSdotp
+/// expanding operations. ManualVec and ManualVecExs differ only in how
+/// widening reductions accumulate.
+[[nodiscard]] constexpr bool is_manual_mode(CodegenMode m) {
+  return m == CodegenMode::ManualVec || m == CodegenMode::ManualVecExs;
 }
 
 struct LoweredKernel {

@@ -1,6 +1,7 @@
 // Scalar element types of the kernel IR and their ISA mappings.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "isa/isa.hpp"
@@ -8,8 +9,10 @@
 
 namespace sfrv::ir {
 
-/// The paper's C-level type system: float plus the three smallFloat keywords.
-enum class ScalarType : std::uint8_t { F32, F16, F16Alt, F8 };
+/// The paper's C-level type system: float plus the three smallFloat
+/// keywords, extended with the two posit counterparts (appended so existing
+/// enum values — serialized in reports — stay stable).
+enum class ScalarType : std::uint8_t { F32, F16, F16Alt, F8, P8, P16 };
 
 [[nodiscard]] constexpr fp::FpFormat fp_format(ScalarType t) {
   switch (t) {
@@ -17,8 +20,14 @@ enum class ScalarType : std::uint8_t { F32, F16, F16Alt, F8 };
     case ScalarType::F16: return fp::FpFormat::F16;
     case ScalarType::F16Alt: return fp::FpFormat::F16Alt;
     case ScalarType::F8: return fp::FpFormat::F8;
+    case ScalarType::P8: return fp::FpFormat::P8;
+    case ScalarType::P16: return fp::FpFormat::P16;
   }
   return fp::FpFormat::F32;
+}
+
+[[nodiscard]] constexpr bool is_posit(ScalarType t) {
+  return t == ScalarType::P8 || t == ScalarType::P16;
 }
 
 [[nodiscard]] constexpr int width_bits(ScalarType t) {
@@ -32,12 +41,19 @@ enum class ScalarType : std::uint8_t { F32, F16, F16Alt, F8 };
     case ScalarType::F16: return "float16";
     case ScalarType::F16Alt: return "float16alt";
     case ScalarType::F8: return "float8";
+    case ScalarType::P8: return "posit8";
+    case ScalarType::P16: return "posit16";
   }
   return "?";
 }
 
 /// True when `wide` can represent every value of `narrow` (defines the
 /// implicit-promotion lattice; the two 16-bit formats are unordered).
+/// Every posit8/posit16 value is exactly a binary32 value (fractions fit in
+/// 24 bits, exponents within ±56), so float still tops the lattice; posit16
+/// resizes posit8 exactly. IEEE narrows and posits are otherwise unordered —
+/// no posit holds IEEE infinities, no IEEE narrow holds the posit tapered
+/// tails — so mixing them in one expression requires going through float.
 [[nodiscard]] constexpr bool is_wider_or_equal(ScalarType wide, ScalarType narrow) {
   if (wide == narrow) return true;
   if (wide == ScalarType::F32) return true;
@@ -45,7 +61,13 @@ enum class ScalarType : std::uint8_t { F32, F16, F16Alt, F8 };
       narrow == ScalarType::F8) {
     return true;
   }
+  if (wide == ScalarType::P16 && narrow == ScalarType::P8) return true;
   return false;
+}
+
+/// True when `promote(a, b)` is defined (the lattice orders the pair).
+[[nodiscard]] constexpr bool comparable(ScalarType a, ScalarType b) {
+  return is_wider_or_equal(a, b) || is_wider_or_equal(b, a);
 }
 
 /// SIMD lanes for a type at FLEN=32 (the evaluation configuration).
@@ -79,6 +101,16 @@ struct ScalarOps {
       return {Op::FLB, Op::FSB, Op::FADD_B, Op::FSUB_B, Op::FMUL_B, Op::FDIV_B,
               Op::FMADD_B, Op::FMIN_B, Op::FMAX_B, Op::FSGNJ_B, Op::FCVT_B_W,
               Op::FCVT_W_B, Op::FLT_B, Op::FLE_B, Op::FEQ_B};
+    case ScalarType::P8:
+      return {Op::FLB, Op::FSB, Op::FADD_P8, Op::FSUB_P8, Op::FMUL_P8,
+              Op::FDIV_P8, Op::FMADD_P8, Op::FMIN_P8, Op::FMAX_P8,
+              Op::FSGNJ_P8, Op::FCVT_P8_W, Op::FCVT_W_P8, Op::FLT_P8,
+              Op::FLE_P8, Op::FEQ_P8};
+    case ScalarType::P16:
+      return {Op::FLH, Op::FSH, Op::FADD_P16, Op::FSUB_P16, Op::FMUL_P16,
+              Op::FDIV_P16, Op::FMADD_P16, Op::FMIN_P16, Op::FMAX_P16,
+              Op::FSGNJ_P16, Op::FCVT_P16_W, Op::FCVT_W_P16, Op::FLT_P16,
+              Op::FLE_P16, Op::FEQ_P16};
   }
   return scalar_ops(ScalarType::F32);
 }
@@ -88,7 +120,8 @@ struct VectorOps {
       vfdiv_r, vfmac_r, vfdotpex, vfcpka;
 };
 
-/// Vector opcodes; only valid for the three smallFloat types.
+/// Vector opcodes; only valid for the packing types (the three smallFloat
+/// keywords and the two posits — float has a single lane at FLEN=32).
 [[nodiscard]] constexpr VectorOps vector_ops(ScalarType t) {
   using isa::Op;
   switch (t) {
@@ -104,6 +137,16 @@ struct VectorOps {
       return {Op::VFADD_B, Op::VFSUB_B, Op::VFMUL_B, Op::VFDIV_B, Op::VFMAC_B,
               Op::VFADD_R_B, Op::VFSUB_R_B, Op::VFMUL_R_B, Op::VFDIV_R_B,
               Op::VFMAC_R_B, Op::VFDOTPEX_S_B, Op::VFCPKA_B_S};
+    case ScalarType::P8:
+      return {Op::VFADD_P8, Op::VFSUB_P8, Op::VFMUL_P8, Op::VFDIV_P8,
+              Op::VFMAC_P8, Op::VFADD_R_P8, Op::VFSUB_R_P8, Op::VFMUL_R_P8,
+              Op::VFDIV_R_P8, Op::VFMAC_R_P8, Op::VFDOTPEX_S_P8,
+              Op::VFCPKA_P8_S};
+    case ScalarType::P16:
+      return {Op::VFADD_P16, Op::VFSUB_P16, Op::VFMUL_P16, Op::VFDIV_P16,
+              Op::VFMAC_P16, Op::VFADD_R_P16, Op::VFSUB_R_P16, Op::VFMUL_R_P16,
+              Op::VFDIV_R_P16, Op::VFMAC_R_P16, Op::VFDOTPEX_S_P16,
+              Op::VFCPKA_P16_S};
     default:
       break;
   }
@@ -119,6 +162,8 @@ struct VectorOps {
         case ScalarType::F16: return Op::FCVT_S_H;
         case ScalarType::F16Alt: return Op::FCVT_S_AH;
         case ScalarType::F8: return Op::FCVT_S_B;
+        case ScalarType::P8: return Op::FCVT_S_P8;
+        case ScalarType::P16: return Op::FCVT_S_P16;
         default: break;
       }
       break;
@@ -127,6 +172,8 @@ struct VectorOps {
         case ScalarType::F32: return Op::FCVT_H_S;
         case ScalarType::F16Alt: return Op::FCVT_H_AH;
         case ScalarType::F8: return Op::FCVT_H_B;
+        case ScalarType::P8: return Op::FCVT_H_P8;
+        case ScalarType::P16: return Op::FCVT_H_P16;
         default: break;
       }
       break;
@@ -135,6 +182,8 @@ struct VectorOps {
         case ScalarType::F32: return Op::FCVT_AH_S;
         case ScalarType::F16: return Op::FCVT_AH_H;
         case ScalarType::F8: return Op::FCVT_AH_B;
+        case ScalarType::P8: return Op::FCVT_AH_P8;
+        case ScalarType::P16: return Op::FCVT_AH_P16;
         default: break;
       }
       break;
@@ -143,6 +192,28 @@ struct VectorOps {
         case ScalarType::F32: return Op::FCVT_B_S;
         case ScalarType::F16: return Op::FCVT_B_H;
         case ScalarType::F16Alt: return Op::FCVT_B_AH;
+        case ScalarType::P8: return Op::FCVT_B_P8;
+        case ScalarType::P16: return Op::FCVT_B_P16;
+        default: break;
+      }
+      break;
+    case ScalarType::P8:
+      switch (from) {
+        case ScalarType::F32: return Op::FCVT_P8_S;
+        case ScalarType::F16: return Op::FCVT_P8_H;
+        case ScalarType::F16Alt: return Op::FCVT_P8_AH;
+        case ScalarType::F8: return Op::FCVT_P8_B;
+        case ScalarType::P16: return Op::FCVT_P8_P16;
+        default: break;
+      }
+      break;
+    case ScalarType::P16:
+      switch (from) {
+        case ScalarType::F32: return Op::FCVT_P16_S;
+        case ScalarType::F16: return Op::FCVT_P16_H;
+        case ScalarType::F16Alt: return Op::FCVT_P16_AH;
+        case ScalarType::F8: return Op::FCVT_P16_B;
+        case ScalarType::P8: return Op::FCVT_P16_P8;
         default: break;
       }
       break;
@@ -150,7 +221,8 @@ struct VectorOps {
   return Op::FCVT_S_H;  // unreachable for valid pairs
 }
 
-/// Expanding multiply-accumulate opcode (Xfaux) for a smallFloat source type.
+/// Expanding multiply-accumulate opcode (Xfaux) for a smallFloat source
+/// type. No posit fmacex exists — callers must gate on !is_posit(from).
 [[nodiscard]] constexpr isa::Op fmacex_op(ScalarType from) {
   using isa::Op;
   switch (from) {
@@ -160,6 +232,34 @@ struct VectorOps {
     default: break;
   }
   return Op::FMACEX_S_H;
+}
+
+/// Accumulator type of the ExSdotp unit for an element type: the one-step-
+/// wider format the widening sum-of-dot-products accumulates in. nullopt for
+/// types with no exsdotp instruction (float, posit16, and binary16alt as an
+/// *element* — vfexsdotp.s.ah exists, reached via F16Alt -> F32 below).
+[[nodiscard]] constexpr std::optional<ScalarType> exsdotp_wide(ScalarType elem) {
+  switch (elem) {
+    case ScalarType::F8: return ScalarType::F16;
+    case ScalarType::F16: return ScalarType::F32;
+    case ScalarType::F16Alt: return ScalarType::F32;
+    case ScalarType::P8: return ScalarType::P16;
+    default: break;
+  }
+  return std::nullopt;
+}
+
+/// The vfexsdotp opcode for an element type (valid iff exsdotp_wide(elem)).
+[[nodiscard]] constexpr isa::Op exsdotp_op(ScalarType elem) {
+  using isa::Op;
+  switch (elem) {
+    case ScalarType::F8: return Op::VFEXSDOTP_H_B;
+    case ScalarType::F16: return Op::VFEXSDOTP_S_H;
+    case ScalarType::F16Alt: return Op::VFEXSDOTP_S_AH;
+    case ScalarType::P8: return Op::VFEXSDOTP_P16_P8;
+    default: break;
+  }
+  return Op::VFEXSDOTP_S_H;
 }
 
 }  // namespace sfrv::ir

@@ -68,6 +68,7 @@ std::string_view ext_description(Ext e) {
     case Ext::Xf8: return "smallFloat scalar binary8 minifloat";
     case Ext::Xfvec: return "packed-SIMD vectors of smallFloat elements";
     case Ext::Xfaux: return "auxiliary expanding ops (smallFloat in, binary32 out)";
+    case Ext::Xposit: return "posit8/posit16 scalar and packed-SIMD arithmetic";
   }
   return "?";
 }
@@ -79,6 +80,8 @@ std::string_view format_cell(OpFmt f) {
     case OpFmt::AH: return "binary16alt";
     case OpFmt::H: return "binary16";
     case OpFmt::B: return "binary8";
+    case OpFmt::P8: return "posit8";
+    case OpFmt::P16: return "posit16";
   }
   return "?";
 }
@@ -113,9 +116,9 @@ std::string render_isa_reference() {
       "## Extensions\n"
       "\n";
 
-  constexpr std::array<Ext, 9> kExts = {Ext::I,    Ext::M,      Ext::Zicsr,
-                                        Ext::F,    Ext::Xf16,   Ext::Xf16alt,
-                                        Ext::Xf8,  Ext::Xfvec,  Ext::Xfaux};
+  constexpr std::array<Ext, 10> kExts = {
+      Ext::I,   Ext::M,     Ext::Zicsr, Ext::F,     Ext::Xf16,
+      Ext::Xf16alt, Ext::Xf8, Ext::Xfvec, Ext::Xfaux, Ext::Xposit};
 
   std::array<std::vector<Op>, kExts.size()> by_ext;
   for (std::size_t i = 0; i < kNumOps; ++i) {

@@ -59,10 +59,12 @@ struct IsaConfig {
     return true;
   }
 
-  /// The paper's full configuration: RV32IMF + all smallFloat extensions.
+  /// The paper's full configuration: RV32IMF + all smallFloat extensions,
+  /// plus this implementation's posit counterpart.
   [[nodiscard]] static constexpr IsaConfig full(int flen_bits = 32) {
     return IsaConfig({Ext::I, Ext::M, Ext::Zicsr, Ext::F, Ext::Xf16,
-                      Ext::Xf16alt, Ext::Xf8, Ext::Xfvec, Ext::Xfaux},
+                      Ext::Xf16alt, Ext::Xf8, Ext::Xfvec, Ext::Xfaux,
+                      Ext::Xposit},
                      flen_bits);
   }
 

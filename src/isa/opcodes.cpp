@@ -82,6 +82,7 @@ std::string_view ext_name(Ext e) {
     case Ext::Xf8: return "Xf8";
     case Ext::Xfvec: return "Xfvec";
     case Ext::Xfaux: return "Xfaux";
+    case Ext::Xposit: return "Xposit";
   }
   return "?";
 }
@@ -117,6 +118,7 @@ std::string_view cls_name(Cls c) {
     case Cls::FpDotp: return "fp-dotp";
     case Cls::FpMulEx: return "fp-mulex";
     case Cls::FpMacEx: return "fp-macex";
+    case Cls::FpDotpEx: return "fp-dotpex";
   }
   return "?";
 }

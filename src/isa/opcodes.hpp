@@ -25,8 +25,12 @@
 
 namespace sfrv::isa {
 
-/// ISA extensions (paper Section III).
-enum class Ext : std::uint8_t { I, M, Zicsr, F, Xf16, Xf16alt, Xf8, Xfvec, Xfaux };
+/// ISA extensions (paper Section III). Xposit is this implementation's
+/// posit counterpart to the smallFloat family: posit8/posit16 scalar and
+/// packed-SIMD arithmetic in the otherwise-free custom-opcode majors.
+enum class Ext : std::uint8_t {
+  I, M, Zicsr, F, Xf16, Xf16alt, Xf8, Xfvec, Xfaux, Xposit,
+};
 
 /// Statistics / energy class of an instruction.
 enum class Cls : std::uint8_t {
@@ -39,11 +43,13 @@ enum class Cls : std::uint8_t {
   FpCpk,        // cast-and-pack (Xfvec)
   FpDotp,       // expanding dot product (Xfaux)
   FpMulEx, FpMacEx,  // expanding multiply / multiply-accumulate (Xfaux)
+  FpDotpEx,     // widening sum-of-dot-products (ExSdotp): packed accumulator
+                // in the one-step-wider format, two chained wide FMAs per lane
 };
 
 /// Operand FP format tag (None for integer instructions and FP loads/stores,
 /// which are format-agnostic width transfers).
-enum class OpFmt : std::uint8_t { None, S, AH, H, B };
+enum class OpFmt : std::uint8_t { None, S, AH, H, B, P8, P16 };
 
 [[nodiscard]] constexpr fp::FpFormat to_fp_format(OpFmt f) {
   switch (f) {
@@ -51,6 +57,8 @@ enum class OpFmt : std::uint8_t { None, S, AH, H, B };
     case OpFmt::AH: return fp::FpFormat::F16Alt;
     case OpFmt::H: return fp::FpFormat::F16;
     case OpFmt::B: return fp::FpFormat::F8;
+    case OpFmt::P8: return fp::FpFormat::P8;
+    case OpFmt::P16: return fp::FpFormat::P16;
     case OpFmt::None: break;
   }
   return fp::FpFormat::F32;
@@ -144,6 +152,72 @@ enum class Lay : std::uint8_t {
   X(VFDOTPEX_S_##F,   "vfdotpex.s." fs,   Ext::Xfaux, Cls::FpDotp, OpFmt::F, true, Lay::Vec, 0x33, 0, SFRV_VF7(0xc, VFMT2), -1) \
   X(VFDOTPEX_S_R_##F, "vfdotpex.s.r." fs, Ext::Xfaux, Cls::FpDotp, OpFmt::F, true, Lay::Vec, 0x33, 1, SFRV_VF7(0xc, VFMT2), -1)
 
+/// Posit scalar block (Xposit). Same row shape as SFRV_FP_SCALAR_OPS but in
+/// the custom-0/custom-1 opcode space: OP-FP-style rows at major 0x0b, the
+/// fused multiply-add family at majors 0x1b/0x3b/0x5b/0x7b. fmt2 selects the
+/// posit width (0 = posit8, 1 = posit16). Posit arithmetic ignores rm and
+/// raises no IEEE flags, but the rm field stays in the encoding so the
+/// decode/disasm layouts are shared; conversions to/from the integer side
+/// honour rm as usual.
+#define SFRV_FP_POSIT_SCALAR_OPS(X, F, fs, FMT2) \
+  X(FADD_##F,    "fadd." fs,    Ext::Xposit, Cls::FpAdd,        OpFmt::F, false, Lay::FpRrm,     0x0b, -1, ((0x00 << 2) | FMT2), -1) \
+  X(FSUB_##F,    "fsub." fs,    Ext::Xposit, Cls::FpAdd,        OpFmt::F, false, Lay::FpRrm,     0x0b, -1, ((0x01 << 2) | FMT2), -1) \
+  X(FMUL_##F,    "fmul." fs,    Ext::Xposit, Cls::FpMul,        OpFmt::F, false, Lay::FpRrm,     0x0b, -1, ((0x02 << 2) | FMT2), -1) \
+  X(FDIV_##F,    "fdiv." fs,    Ext::Xposit, Cls::FpDiv,        OpFmt::F, false, Lay::FpRrm,     0x0b, -1, ((0x03 << 2) | FMT2), -1) \
+  X(FSGNJ_##F,   "fsgnj." fs,   Ext::Xposit, Cls::FpSgnj,       OpFmt::F, false, Lay::FpR2,      0x0b,  0, ((0x04 << 2) | FMT2), -1) \
+  X(FSGNJN_##F,  "fsgnjn." fs,  Ext::Xposit, Cls::FpSgnj,       OpFmt::F, false, Lay::FpR2,      0x0b,  1, ((0x04 << 2) | FMT2), -1) \
+  X(FSGNJX_##F,  "fsgnjx." fs,  Ext::Xposit, Cls::FpSgnj,       OpFmt::F, false, Lay::FpR2,      0x0b,  2, ((0x04 << 2) | FMT2), -1) \
+  X(FMIN_##F,    "fmin." fs,    Ext::Xposit, Cls::FpMinMax,     OpFmt::F, false, Lay::FpR2,      0x0b,  0, ((0x05 << 2) | FMT2), -1) \
+  X(FMAX_##F,    "fmax." fs,    Ext::Xposit, Cls::FpMinMax,     OpFmt::F, false, Lay::FpR2,      0x0b,  1, ((0x05 << 2) | FMT2), -1) \
+  X(FSQRT_##F,   "fsqrt." fs,   Ext::Xposit, Cls::FpSqrt,       OpFmt::F, false, Lay::FpUnaryRm, 0x0b, -1, ((0x0b << 2) | FMT2),  0) \
+  X(FEQ_##F,     "feq." fs,     Ext::Xposit, Cls::FpCmp,        OpFmt::F, false, Lay::FpR2,      0x0b,  2, ((0x14 << 2) | FMT2), -1) \
+  X(FLT_##F,     "flt." fs,     Ext::Xposit, Cls::FpCmp,        OpFmt::F, false, Lay::FpR2,      0x0b,  1, ((0x14 << 2) | FMT2), -1) \
+  X(FLE_##F,     "fle." fs,     Ext::Xposit, Cls::FpCmp,        OpFmt::F, false, Lay::FpR2,      0x0b,  0, ((0x14 << 2) | FMT2), -1) \
+  X(FCVT_W_##F,  "fcvt.w." fs,  Ext::Xposit, Cls::FpCvtToInt,   OpFmt::F, false, Lay::FpUnaryRm, 0x0b, -1, ((0x18 << 2) | FMT2),  0) \
+  X(FCVT_WU_##F, "fcvt.wu." fs, Ext::Xposit, Cls::FpCvtToInt,   OpFmt::F, false, Lay::FpUnaryRm, 0x0b, -1, ((0x18 << 2) | FMT2),  1) \
+  X(FCVT_##F##_W,  "fcvt." fs ".w",  Ext::Xposit, Cls::FpCvtFromInt, OpFmt::F, false, Lay::FpUnaryRm, 0x0b, -1, ((0x1a << 2) | FMT2), 0) \
+  X(FCVT_##F##_WU, "fcvt." fs ".wu", Ext::Xposit, Cls::FpCvtFromInt, OpFmt::F, false, Lay::FpUnaryRm, 0x0b, -1, ((0x1a << 2) | FMT2), 1) \
+  X(FMV_X_##F,   "fmv.x." fs,   Ext::Xposit, Cls::FpMvToX,      OpFmt::F, false, Lay::FpUnary,   0x0b,  0, ((0x1c << 2) | FMT2),  0) \
+  X(FCLASS_##F,  "fclass." fs,  Ext::Xposit, Cls::FpClass,      OpFmt::F, false, Lay::FpUnary,   0x0b,  1, ((0x1c << 2) | FMT2),  0) \
+  X(FMV_##F##_X, "fmv." fs ".x", Ext::Xposit, Cls::FpMvFromX,   OpFmt::F, false, Lay::FpUnary,   0x0b,  0, ((0x1e << 2) | FMT2),  0) \
+  X(FMADD_##F,   "fmadd." fs,   Ext::Xposit, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x1b, -1, FMT2, -1) \
+  X(FMSUB_##F,   "fmsub." fs,   Ext::Xposit, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x3b, -1, FMT2, -1) \
+  X(FNMSUB_##F,  "fnmsub." fs,  Ext::Xposit, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x5b, -1, FMT2, -1) \
+  X(FNMADD_##F,  "fnmadd." fs,  Ext::Xposit, Cls::FpFma,        OpFmt::F, false, Lay::FpR4,      0x7b, -1, FMT2, -1)
+
+/// Posit vectorial block (Xposit): the SFRV_FP_VECTOR_OPS shape relocated to
+/// major 0x2b (custom-1) so vfmt2 can restart at 0 for posit8 / 1 for
+/// posit16. The cast-and-pack and expanding dot-product rows carry over:
+/// both source binary32 scalars and the binary32 accumulator are meaningful
+/// for posits via the runtime convert tables.
+#define SFRV_FP_POSIT_VECTOR_OPS(X, F, fs, VFMT2) \
+  X(VFADD_##F,    "vfadd." fs,    Ext::Xposit, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x0, VFMT2), -1) \
+  X(VFADD_R_##F,  "vfadd.r." fs,  Ext::Xposit, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x0, VFMT2), -1) \
+  X(VFSUB_##F,    "vfsub." fs,    Ext::Xposit, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x1, VFMT2), -1) \
+  X(VFSUB_R_##F,  "vfsub.r." fs,  Ext::Xposit, Cls::FpAdd,    OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x1, VFMT2), -1) \
+  X(VFMUL_##F,    "vfmul." fs,    Ext::Xposit, Cls::FpMul,    OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x2, VFMT2), -1) \
+  X(VFMUL_R_##F,  "vfmul.r." fs,  Ext::Xposit, Cls::FpMul,    OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x2, VFMT2), -1) \
+  X(VFDIV_##F,    "vfdiv." fs,    Ext::Xposit, Cls::FpDiv,    OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x3, VFMT2), -1) \
+  X(VFDIV_R_##F,  "vfdiv.r." fs,  Ext::Xposit, Cls::FpDiv,    OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x3, VFMT2), -1) \
+  X(VFMIN_##F,    "vfmin." fs,    Ext::Xposit, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x4, VFMT2), -1) \
+  X(VFMIN_R_##F,  "vfmin.r." fs,  Ext::Xposit, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x4, VFMT2), -1) \
+  X(VFMAX_##F,    "vfmax." fs,    Ext::Xposit, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x5, VFMT2), -1) \
+  X(VFMAX_R_##F,  "vfmax.r." fs,  Ext::Xposit, Cls::FpMinMax, OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x5, VFMT2), -1) \
+  X(VFSQRT_##F,   "vfsqrt." fs,   Ext::Xposit, Cls::FpSqrt,   OpFmt::F, true, Lay::VecUnary, 0x2b, 0, SFRV_VF7(0x6, VFMT2),  0) \
+  X(VFCVT_X_##F,  "vfcvt.x." fs,  Ext::Xposit, Cls::FpCvtToInt,   OpFmt::F, true, Lay::VecUnary, 0x2b, 0, SFRV_VF7(0x6, VFMT2), 1) \
+  X(VFCVT_##F##_X, "vfcvt." fs ".x", Ext::Xposit, Cls::FpCvtFromInt, OpFmt::F, true, Lay::VecUnary, 0x2b, 0, SFRV_VF7(0x6, VFMT2), 2) \
+  X(VFMAC_##F,    "vfmac." fs,    Ext::Xposit, Cls::FpFma,    OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x7, VFMT2), -1) \
+  X(VFMAC_R_##F,  "vfmac.r." fs,  Ext::Xposit, Cls::FpFma,    OpFmt::F, true, Lay::Vec,      0x2b, 1, SFRV_VF7(0x7, VFMT2), -1) \
+  X(VFSGNJ_##F,   "vfsgnj." fs,   Ext::Xposit, Cls::FpSgnj,   OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0x9, VFMT2), -1) \
+  X(VFSGNJN_##F,  "vfsgnjn." fs,  Ext::Xposit, Cls::FpSgnj,   OpFmt::F, true, Lay::Vec,      0x2b, 2, SFRV_VF7(0x9, VFMT2), -1) \
+  X(VFSGNJX_##F,  "vfsgnjx." fs,  Ext::Xposit, Cls::FpSgnj,   OpFmt::F, true, Lay::Vec,      0x2b, 4, SFRV_VF7(0x9, VFMT2), -1) \
+  X(VFEQ_##F,     "vfeq." fs,     Ext::Xposit, Cls::FpCmp,    OpFmt::F, true, Lay::Vec,      0x2b, 0, SFRV_VF7(0xa, VFMT2), -1) \
+  X(VFLT_##F,     "vflt." fs,     Ext::Xposit, Cls::FpCmp,    OpFmt::F, true, Lay::Vec,      0x2b, 2, SFRV_VF7(0xa, VFMT2), -1) \
+  X(VFLE_##F,     "vfle." fs,     Ext::Xposit, Cls::FpCmp,    OpFmt::F, true, Lay::Vec,      0x2b, 4, SFRV_VF7(0xa, VFMT2), -1) \
+  X(VFCPKA_##F##_S, "vfcpka." fs ".s", Ext::Xposit, Cls::FpCpk, OpFmt::F, true, Lay::Vec,    0x2b, 0, SFRV_VF7(0xb, VFMT2), -1) \
+  X(VFDOTPEX_S_##F,   "vfdotpex.s." fs,   Ext::Xposit, Cls::FpDotp, OpFmt::F, true, Lay::Vec, 0x2b, 0, SFRV_VF7(0xc, VFMT2), -1) \
+  X(VFDOTPEX_S_R_##F, "vfdotpex.s.r." fs, Ext::Xposit, Cls::FpDotp, OpFmt::F, true, Lay::Vec, 0x2b, 1, SFRV_VF7(0xc, VFMT2), -1)
+
 /// The full instruction table.
 /// Columns: NAME, mnemonic, extension, class, fmt, vector?, layout,
 ///          major opcode, funct3 (-1 = operand/unused), funct7 (-1 = none;
@@ -235,7 +309,46 @@ enum class Lay : std::uint8_t {
   /* same-width vector format conversions and the extra binary8 pack */ \
   X(VFCVT_H_AH, "vfcvt.h.ah", Ext::Xfvec, Cls::FpCvt, OpFmt::H,  true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, 0x0), 3) \
   X(VFCVT_AH_H, "vfcvt.ah.h", Ext::Xfvec, Cls::FpCvt, OpFmt::AH, true, Lay::VecUnary, 0x33, 0, SFRV_VF7(0x6, 0x1), 3) \
-  X(VFCPKB_B_S, "vfcpkb.b.s", Ext::Xfvec, Cls::FpCpk, OpFmt::B,  true, Lay::Vec,      0x33, 2, SFRV_VF7(0xb, 0x2), -1)
+  X(VFCPKB_B_S, "vfcpkb.b.s", Ext::Xfvec, Cls::FpCpk, OpFmt::B,  true, Lay::Vec,      0x33, 2, SFRV_VF7(0xb, 0x2), -1) \
+  /* ExSdotp (Xfaux): widening sum-of-dot-products. The destination holds a
+     full vector packed in the one-step-wider format; each wide lane
+     accumulates a two-element dot product of narrow lanes via chained wide
+     FMAs. funct3 bit 0 selects the .r (replicate b lane 0) variant. */ \
+  X(VFEXSDOTP_H_B,    "vfexsdotp.h.b",    Ext::Xfaux, Cls::FpDotpEx, OpFmt::B,  true, Lay::Vec, 0x33, 0, SFRV_VF7(0xd, 0x2), -1) \
+  X(VFEXSDOTP_R_H_B,  "vfexsdotp.r.h.b",  Ext::Xfaux, Cls::FpDotpEx, OpFmt::B,  true, Lay::Vec, 0x33, 1, SFRV_VF7(0xd, 0x2), -1) \
+  X(VFEXSDOTP_S_H,    "vfexsdotp.s.h",    Ext::Xfaux, Cls::FpDotpEx, OpFmt::H,  true, Lay::Vec, 0x33, 0, SFRV_VF7(0xd, 0x0), -1) \
+  X(VFEXSDOTP_R_S_H,  "vfexsdotp.r.s.h",  Ext::Xfaux, Cls::FpDotpEx, OpFmt::H,  true, Lay::Vec, 0x33, 1, SFRV_VF7(0xd, 0x0), -1) \
+  X(VFEXSDOTP_S_AH,   "vfexsdotp.s.ah",   Ext::Xfaux, Cls::FpDotpEx, OpFmt::AH, true, Lay::Vec, 0x33, 0, SFRV_VF7(0xd, 0x1), -1) \
+  X(VFEXSDOTP_R_S_AH, "vfexsdotp.r.s.ah", Ext::Xfaux, Cls::FpDotpEx, OpFmt::AH, true, Lay::Vec, 0x33, 1, SFRV_VF7(0xd, 0x1), -1) \
+  /* Posit blocks (Xposit): full scalar + vector shapes in custom space. */ \
+  SFRV_FP_POSIT_SCALAR_OPS(X, P8,  "p8",  0x0) \
+  SFRV_FP_POSIT_SCALAR_OPS(X, P16, "p16", 0x1) \
+  SFRV_FP_POSIT_VECTOR_OPS(X, P8,  "p8",  0x0) \
+  SFRV_FP_POSIT_VECTOR_OPS(X, P16, "p16", 0x1) \
+  X(VFEXSDOTP_P16_P8,   "vfexsdotp.p16.p8",   Ext::Xposit, Cls::FpDotpEx, OpFmt::P8, true, Lay::Vec, 0x2b, 0, SFRV_VF7(0xd, 0x0), -1) \
+  X(VFEXSDOTP_R_P16_P8, "vfexsdotp.r.p16.p8", Ext::Xposit, Cls::FpDotpEx, OpFmt::P8, true, Lay::Vec, 0x2b, 1, SFRV_VF7(0xd, 0x0), -1) \
+  /* posit <-> IEEE conversions. IEEE-destination rows extend the 0x53
+     FCVT group with rs2 subcodes 4 (posit8) and 5 (posit16); posit-
+     destination rows mirror the group at major 0x0b with the IEEE source
+     selected by rs2 subcode 0..3 and posit resize at subcodes 4/5. */ \
+  X(FCVT_S_P8,   "fcvt.s.p8",   Ext::Xposit, Cls::FpCvt, OpFmt::S,   false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x0), 4) \
+  X(FCVT_S_P16,  "fcvt.s.p16",  Ext::Xposit, Cls::FpCvt, OpFmt::S,   false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x0), 5) \
+  X(FCVT_AH_P8,  "fcvt.ah.p8",  Ext::Xposit, Cls::FpCvt, OpFmt::AH,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x1), 4) \
+  X(FCVT_AH_P16, "fcvt.ah.p16", Ext::Xposit, Cls::FpCvt, OpFmt::AH,  false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x1), 5) \
+  X(FCVT_H_P8,   "fcvt.h.p8",   Ext::Xposit, Cls::FpCvt, OpFmt::H,   false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x2), 4) \
+  X(FCVT_H_P16,  "fcvt.h.p16",  Ext::Xposit, Cls::FpCvt, OpFmt::H,   false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x2), 5) \
+  X(FCVT_B_P8,   "fcvt.b.p8",   Ext::Xposit, Cls::FpCvt, OpFmt::B,   false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x3), 4) \
+  X(FCVT_B_P16,  "fcvt.b.p16",  Ext::Xposit, Cls::FpCvt, OpFmt::B,   false, Lay::FpUnaryRm, 0x53, -1, ((0x08 << 2) | 0x3), 5) \
+  X(FCVT_P8_S,   "fcvt.p8.s",   Ext::Xposit, Cls::FpCvt, OpFmt::P8,  false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x0), 0) \
+  X(FCVT_P8_AH,  "fcvt.p8.ah",  Ext::Xposit, Cls::FpCvt, OpFmt::P8,  false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x0), 1) \
+  X(FCVT_P8_H,   "fcvt.p8.h",   Ext::Xposit, Cls::FpCvt, OpFmt::P8,  false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x0), 2) \
+  X(FCVT_P8_B,   "fcvt.p8.b",   Ext::Xposit, Cls::FpCvt, OpFmt::P8,  false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x0), 3) \
+  X(FCVT_P8_P16, "fcvt.p8.p16", Ext::Xposit, Cls::FpCvt, OpFmt::P8,  false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x0), 5) \
+  X(FCVT_P16_S,  "fcvt.p16.s",  Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 0) \
+  X(FCVT_P16_AH, "fcvt.p16.ah", Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 1) \
+  X(FCVT_P16_H,  "fcvt.p16.h",  Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 2) \
+  X(FCVT_P16_B,  "fcvt.p16.b",  Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 3) \
+  X(FCVT_P16_P8, "fcvt.p16.p8", Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 4)
 
 // clang-format on
 

@@ -686,12 +686,15 @@ void Core::csr_write(std::int32_t addr, std::uint32_t v) {
 
 // ---- scalar FP --------------------------------------------------------------
 
-// Case label helper covering all four scalar formats of an op family.
+// Case label helper covering all four IEEE scalar formats of an op family
+// plus the two posit widths (the rt_* dispatch handles the posit semantics).
 #define SFRV_CASE4(NAME) \
   case Op::NAME##_S:     \
   case Op::NAME##_AH:    \
   case Op::NAME##_H:     \
-  case Op::NAME##_B:
+  case Op::NAME##_B:     \
+  case Op::NAME##_P8:    \
+  case Op::NAME##_P16:
 
 void Core::exec_fp_scalar(const Inst& i) {
   const FpFormat fmt = isa::to_fp_format(isa::op_format(i.op));
@@ -756,6 +759,8 @@ void Core::exec_fp_scalar(const Inst& i) {
     case Op::FCVT_AH_W:
     case Op::FCVT_H_W:
     case Op::FCVT_B_W:
+    case Op::FCVT_P8_W:
+    case Op::FCVT_P16_W:
       write_fp(i.rd, w,
                fp::rt_from_int32(fmt, static_cast<std::int32_t>(ctx_.x[i.rs1]),
                                  rm, fl));
@@ -764,6 +769,8 @@ void Core::exec_fp_scalar(const Inst& i) {
     case Op::FCVT_AH_WU:
     case Op::FCVT_H_WU:
     case Op::FCVT_B_WU:
+    case Op::FCVT_P8_WU:
+    case Op::FCVT_P16_WU:
       write_fp(i.rd, w, fp::rt_from_uint32(fmt, ctx_.x[i.rs1], rm, fl));
       break;
 
@@ -778,6 +785,8 @@ void Core::exec_fp_scalar(const Inst& i) {
     case Op::FMV_AH_X:
     case Op::FMV_H_X:
     case Op::FMV_B_X:
+    case Op::FMV_P8_X:
+    case Op::FMV_P16_X:
       write_fp(i.rd, w, ctx_.x[i.rs1] & width_mask(w));
       break;
 
@@ -867,6 +876,80 @@ void Core::exec_fp_scalar(const Inst& i) {
                                        read_fp(i.rs1, 16), rm, fl));
       break;
 
+    // posit <-> IEEE conversions (and posit resize).
+    case Op::FCVT_S_P8:
+      write_fp(i.rd, 32, fp::rt_convert(FpFormat::F32, FpFormat::P8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_S_P16:
+      write_fp(i.rd, 32, fp::rt_convert(FpFormat::F32, FpFormat::P16,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_AH_P8:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16Alt, FpFormat::P8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_AH_P16:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16Alt, FpFormat::P16,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_H_P8:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16, FpFormat::P8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_H_P16:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::F16, FpFormat::P16,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_B_P8:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::F8, FpFormat::P8,
+                                       read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_B_P16:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::F8, FpFormat::P16,
+                                       read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_P8_S:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::P8, FpFormat::F32,
+                                       read_fp(i.rs1, 32), rm, fl));
+      break;
+    case Op::FCVT_P8_AH:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::P8, FpFormat::F16Alt,
+                                       read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_P8_H:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::P8, FpFormat::F16,
+                                       read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_P8_B:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::P8, FpFormat::F8,
+                                       read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_P8_P16:
+      write_fp(i.rd, 8, fp::rt_convert(FpFormat::P8, FpFormat::P16,
+                                       read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_P16_S:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::P16, FpFormat::F32,
+                                        read_fp(i.rs1, 32), rm, fl));
+      break;
+    case Op::FCVT_P16_AH:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::P16, FpFormat::F16Alt,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_P16_H:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::P16, FpFormat::F16,
+                                        read_fp(i.rs1, 16), rm, fl));
+      break;
+    case Op::FCVT_P16_B:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::P16, FpFormat::F8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+    case Op::FCVT_P16_P8:
+      write_fp(i.rd, 16, fp::rt_convert(FpFormat::P16, FpFormat::P8,
+                                        read_fp(i.rs1, 8), rm, fl));
+      break;
+
     default:
       throw SimError("unhandled scalar FP op", ctx_.pc);
   }
@@ -878,7 +961,9 @@ void Core::exec_fp_scalar(const Inst& i) {
 #define SFRV_VCASE3(NAME) \
   case Op::NAME##_H:      \
   case Op::NAME##_AH:     \
-  case Op::NAME##_B:
+  case Op::NAME##_B:      \
+  case Op::NAME##_P8:     \
+  case Op::NAME##_P16:
 
 void Core::exec_fp_vector(const Inst& i) {
   const FpFormat fmt = isa::to_fp_format(isa::op_format(i.op));
@@ -993,7 +1078,9 @@ void Core::exec_fp_vector(const Inst& i) {
     }
     case Op::VFCVT_H_X:
     case Op::VFCVT_AH_X:
-    case Op::VFCVT_B_X: {
+    case Op::VFCVT_B_X:
+    case Op::VFCVT_P8_X:
+    case Op::VFCVT_P16_X: {
       std::uint64_t out = 0;
       for (int l = 0; l < lanes; ++l)
         out = set_lane(out, l, w,
@@ -1024,7 +1111,9 @@ void Core::exec_fp_vector(const Inst& i) {
     // (paper Table I / Section III-B). vfcpka fills lanes 0-1, vfcpkb 2-3.
     case Op::VFCPKA_H_S:
     case Op::VFCPKA_AH_S:
-    case Op::VFCPKA_B_S: {
+    case Op::VFCPKA_B_S:
+    case Op::VFCPKA_P8_S:
+    case Op::VFCPKA_P16_S: {
       const std::uint64_t s1 = read_fp(i.rs1, 32);
       const std::uint64_t s2 = read_fp(i.rs2, 32);
       vd = set_lane(vd, 0, w, fp::rt_convert(fmt, FpFormat::F32, s1, rm, fl));
@@ -1061,6 +1150,49 @@ void Core::exec_fp_vector(const Inst& i) {
         acc = fp::rt_fma(FpFormat::F32, wa, wb, acc, rm, fl);
       }
       write_fp(i.rd, 32, acc);
+      break;
+    }
+
+    // Widening sum-of-dot-products (ExSdotp): rd is a full vector packed in
+    // the one-step-wider format; wide lane wl accumulates narrow lanes 2*wl
+    // and 2*wl+1 of rs1*rs2 with two chained fused steps in the wide format,
+    // each operand widened exactly first (narrow lane order).
+    case Op::VFEXSDOTP_H_B:
+    case Op::VFEXSDOTP_S_H:
+    case Op::VFEXSDOTP_S_AH:
+    case Op::VFEXSDOTP_P16_P8:
+    case Op::VFEXSDOTP_R_H_B:
+    case Op::VFEXSDOTP_R_S_H:
+    case Op::VFEXSDOTP_R_S_AH:
+    case Op::VFEXSDOTP_R_P16_P8: {
+      const bool rep =
+          i.op == Op::VFEXSDOTP_R_H_B || i.op == Op::VFEXSDOTP_R_S_H ||
+          i.op == Op::VFEXSDOTP_R_S_AH || i.op == Op::VFEXSDOTP_R_P16_P8;
+      const FpFormat wide = fmt == FpFormat::F8   ? FpFormat::F16
+                            : fmt == FpFormat::P8 ? FpFormat::P16
+                                                  : FpFormat::F32;
+      const int ww = 2 * w;
+      std::uint64_t wb0 = 0;
+      if (rep) {
+        wb0 = fp::rt_convert(wide, fmt, get_lane(vb, 0, w), RoundingMode::RNE,
+                             fl);
+      }
+      std::uint64_t out = 0;
+      for (int wl = 0; wl < lanes / 2; ++wl) {
+        std::uint64_t accl = get_lane(vd, wl, ww);
+        for (int k = 0; k < 2; ++k) {
+          const int l = 2 * wl + k;
+          const std::uint64_t wa = fp::rt_convert(
+              wide, fmt, get_lane(va, l, w), RoundingMode::RNE, fl);
+          const std::uint64_t wbl =
+              rep ? wb0
+                  : fp::rt_convert(wide, fmt, get_lane(vb, l, w),
+                                   RoundingMode::RNE, fl);
+          accl = fp::rt_fma(wide, wa, wbl, accl, rm, fl);
+        }
+        out = set_lane(out, wl, ww, accl);
+      }
+      ctx_.f[i.rd] = mask_flen(out);
       break;
     }
 

@@ -485,6 +485,19 @@ void h_vec_dotp(ExecContext& c, const DecodedOp& u) {
   c.pc += 4;
 }
 
+/// Widening sum-of-dot-products: unlike h_vec_dotp's single binary32
+/// accumulator, the destination is a full vector packed in the one-step-wider
+/// format, so the whole register is read and written.
+void h_vec_exsdotp(ExecContext& c, const DecodedOp& u) {
+  Flags fl;
+  const U64 acc = c.f[u.rd];
+  c.f[u.rd] = u.fp1.vdotp(c.f[u.rs1], c.f[u.rs2], acc, u.lanes, u.replicate,
+                          c.frm_mode(), fl) &
+              c.flen_mask;
+  c.fflags |= fl.bits;
+  c.pc += 4;
+}
+
 // ---- fault handlers ---------------------------------------------------------
 
 void h_unsupported(ExecContext& c, const DecodedOp& u) {
@@ -499,18 +512,24 @@ void h_unhandled(ExecContext& c, const DecodedOp&) {
 
 // ---- binding ----------------------------------------------------------------
 
-// Case label helpers covering a scalar op family's four formats and a vector
-// op family's three packed formats (as in the reference interpreter).
+// Case label helpers covering a scalar op family's four IEEE formats plus
+// the two posit widths, and a vector op family's three packed IEEE formats
+// plus the two posit widths (as in the reference interpreter). The posit
+// rows bind the same handlers: rt_ops/rt_vec_ops dispatch on u.fmt.
 #define SFRV_CASE4(NAME) \
   case Op::NAME##_S:     \
   case Op::NAME##_AH:    \
   case Op::NAME##_H:     \
-  case Op::NAME##_B:
+  case Op::NAME##_B:     \
+  case Op::NAME##_P8:    \
+  case Op::NAME##_P16:
 
 #define SFRV_VCASE3(NAME) \
   case Op::NAME##_H:      \
   case Op::NAME##_AH:     \
-  case Op::NAME##_B:
+  case Op::NAME##_B:      \
+  case Op::NAME##_P8:     \
+  case Op::NAME##_P16:
 
 void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
                   fp::MathBackend backend) {
@@ -621,6 +640,8 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::FCVT_AH_W:
     case Op::FCVT_H_W:
     case Op::FCVT_B_W:
+    case Op::FCVT_P8_W:
+    case Op::FCVT_P16_W:
       u.fn = &h_fp_cvt_from_w;
       u.fp1.from_i32 = so.from_int32;
       break;
@@ -628,6 +649,8 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::FCVT_AH_WU:
     case Op::FCVT_H_WU:
     case Op::FCVT_B_WU:
+    case Op::FCVT_P8_WU:
+    case Op::FCVT_P16_WU:
       u.fn = &h_fp_cvt_from_wu;
       u.fp1.from_u32 = so.from_uint32;
       break;
@@ -635,6 +658,8 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::FMV_AH_X:
     case Op::FMV_H_X:
     case Op::FMV_B_X:
+    case Op::FMV_P8_X:
+    case Op::FMV_P16_X:
       u.fn = &h_fmv_f;
       break;
 
@@ -691,6 +716,25 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::FCVT_B_AH: cvt(FpFormat::F8, FpFormat::F16Alt); break;
     case Op::FCVT_B_H: cvt(FpFormat::F8, FpFormat::F16); break;
 
+    case Op::FCVT_S_P8: cvt(FpFormat::F32, FpFormat::P8); break;
+    case Op::FCVT_S_P16: cvt(FpFormat::F32, FpFormat::P16); break;
+    case Op::FCVT_AH_P8: cvt(FpFormat::F16Alt, FpFormat::P8); break;
+    case Op::FCVT_AH_P16: cvt(FpFormat::F16Alt, FpFormat::P16); break;
+    case Op::FCVT_H_P8: cvt(FpFormat::F16, FpFormat::P8); break;
+    case Op::FCVT_H_P16: cvt(FpFormat::F16, FpFormat::P16); break;
+    case Op::FCVT_B_P8: cvt(FpFormat::F8, FpFormat::P8); break;
+    case Op::FCVT_B_P16: cvt(FpFormat::F8, FpFormat::P16); break;
+    case Op::FCVT_P8_S: cvt(FpFormat::P8, FpFormat::F32); break;
+    case Op::FCVT_P8_AH: cvt(FpFormat::P8, FpFormat::F16Alt); break;
+    case Op::FCVT_P8_H: cvt(FpFormat::P8, FpFormat::F16); break;
+    case Op::FCVT_P8_B: cvt(FpFormat::P8, FpFormat::F8); break;
+    case Op::FCVT_P8_P16: cvt(FpFormat::P8, FpFormat::P16); break;
+    case Op::FCVT_P16_S: cvt(FpFormat::P16, FpFormat::F32); break;
+    case Op::FCVT_P16_AH: cvt(FpFormat::P16, FpFormat::F16Alt); break;
+    case Op::FCVT_P16_H: cvt(FpFormat::P16, FpFormat::F16); break;
+    case Op::FCVT_P16_B: cvt(FpFormat::P16, FpFormat::F8); break;
+    case Op::FCVT_P16_P8: cvt(FpFormat::P16, FpFormat::P8); break;
+
     SFRV_VCASE3(VFADD) u.fn = &h_vec_bin; u.fp1.vbin = vo.add; break;
     SFRV_VCASE3(VFSUB) u.fn = &h_vec_bin; u.fp1.vbin = vo.sub; break;
     SFRV_VCASE3(VFMUL) u.fn = &h_vec_bin; u.fp1.vbin = vo.mul; break;
@@ -746,6 +790,8 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::VFCVT_H_X:
     case Op::VFCVT_AH_X:
     case Op::VFCVT_B_X:
+    case Op::VFCVT_P8_X:
+    case Op::VFCVT_P16_X:
       u.fn = &h_vec_un;
       u.fp1.vun = vo.from_int;
       break;
@@ -762,6 +808,8 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::VFCPKA_H_S:
     case Op::VFCPKA_AH_S:
     case Op::VFCPKA_B_S:
+    case Op::VFCPKA_P8_S:
+    case Op::VFCPKA_P16_S:
       u.fn = &h_vec_cpk;
       u.imm = 0;
       u.fp1.cvt = fp::rt_convert_fn(u.fmt, FpFormat::F32, backend);
@@ -778,6 +826,22 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     u.fp1.vdotp = vo.dotp;
     u.replicate = true;
     break;
+
+    case Op::VFEXSDOTP_H_B:
+    case Op::VFEXSDOTP_S_H:
+    case Op::VFEXSDOTP_S_AH:
+    case Op::VFEXSDOTP_P16_P8:
+      u.fn = &h_vec_exsdotp;
+      u.fp1.vdotp = vo.exsdotp;
+      break;
+    case Op::VFEXSDOTP_R_H_B:
+    case Op::VFEXSDOTP_R_S_H:
+    case Op::VFEXSDOTP_R_S_AH:
+    case Op::VFEXSDOTP_R_P16_P8:
+      u.fn = &h_vec_exsdotp;
+      u.fp1.vdotp = vo.exsdotp;
+      u.replicate = true;
+      break;
 
     default:
       u.fn = &h_unhandled;
@@ -824,6 +888,10 @@ DecodedOp decode_op(const Inst& inst, const isa::IsaConfig& cfg,
     u.hkind = HandlerKind::VecBin;
   } else if (u.fn == &h_vec_mac) {
     u.hkind = HandlerKind::VecMac;
+  } else if (u.fn == &h_vec_dotp) {
+    u.hkind = HandlerKind::VecDotp;
+  } else if (u.fn == &h_vec_exsdotp) {
+    u.hkind = HandlerKind::VecExsdotp;
   }
   return u;
 }

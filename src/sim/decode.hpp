@@ -53,7 +53,9 @@ template <isa::Op B>
 /// pairs of these shapes get fully specialized fused handlers instead of
 /// the generic two-call chain. Purely an optimization hint — semantics live
 /// in `fn` and the bound table entries.
-enum class HandlerKind : std::uint8_t { Other, VecBin, VecMac, FpBin };
+enum class HandlerKind : std::uint8_t {
+  Other, VecBin, VecMac, FpBin, VecDotp, VecExsdotp,
+};
 
 struct DecodedOp {
   /// Bound softfloat entry point; the active member is fixed by `fn`.

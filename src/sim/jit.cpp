@@ -280,6 +280,31 @@ inline void jm_st32(const ExecContext& c, U32 a, U32 v) {
     c.fflags |= fl.bits;                                           \
   } while (0)
 
+// Expanding dot product with a binary32 scalar accumulator (h_vec_dotp
+// inlined).
+#define SFRV_JB_VECDOTP()                                            \
+  do {                                                               \
+    fp::Flags fl;                                                    \
+    const U64 acc = c.read_fp(s->u.rd, 32);                          \
+    c.write_fp(s->u.rd, 32,                                          \
+               s->u.fp1.vdotp(c.f[s->u.rs1], c.f[s->u.rs2], acc,     \
+                              s->u.lanes, s->u.replicate,            \
+                              c.frm_mode(), fl));                    \
+    c.fflags |= fl.bits;                                             \
+  } while (0)
+
+// Widening sum-of-dot-products: full-register packed wide accumulator
+// (h_vec_exsdotp inlined).
+#define SFRV_JB_VECEXSDOTP()                                         \
+  do {                                                               \
+    fp::Flags fl;                                                    \
+    const U64 r = s->u.fp1.vdotp(c.f[s->u.rs1], c.f[s->u.rs2],       \
+                                 c.f[s->u.rd], s->u.lanes,           \
+                                 s->u.replicate, c.frm_mode(), fl);  \
+    c.f[s->u.rd] = r & c.flen_mask;                                  \
+    c.fflags |= fl.bits;                                             \
+  } while (0)
+
 // Fast-backend scalar binary32 op, direct-called (h_fp_bin semantics).
 #define SFRV_JB_FASTS(FN)                              \
   do {                                                 \
@@ -372,6 +397,8 @@ inline void jm_st32(const ExecContext& c, U32 a, U32 v) {
   B(FpBin, SFRV_JB_FPBIN())                                                  \
   B(VecBin, SFRV_JB_VECBIN())                                                \
   B(VecMac, SFRV_JB_VECMAC())                                                \
+  B(VecDotp, SFRV_JB_VECDOTP())                                              \
+  B(VecExsdotp, SFRV_JB_VECEXSDOTP())                                        \
   B(FastAddS, SFRV_JB_FASTS(fast_add_s))                                     \
   B(FastSubS, SFRV_JB_FASTS(fast_sub_s))                                     \
   B(FastMulS, SFRV_JB_FASTS(fast_mul_s))                                     \
@@ -791,6 +818,8 @@ Lowered lower_slot(const DecodedOp& u, std::uint32_t pc, const Timing& timing,
     case HandlerKind::FpBin: s.top = TOp::FpBin; break;
     case HandlerKind::VecBin: s.top = TOp::VecBin; break;
     case HandlerKind::VecMac: s.top = TOp::VecMac; break;
+    case HandlerKind::VecDotp: s.top = TOp::VecDotp; break;
+    case HandlerKind::VecExsdotp: s.top = TOp::VecExsdotp; break;
     default: s.top = TOp::CallUop; break;
   }
   fast_specialize(s);

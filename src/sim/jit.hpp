@@ -86,7 +86,7 @@ namespace sfrv::sim::jit {
   X(Mul) X(Mulh) X(Mulhsu) X(Mulhu) X(Div) X(Divu) X(Rem) X(Remu)         \
   X(Lb) X(Lh) X(Lw) X(Lbu) X(Lhu) X(Sb) X(Sh) X(Sw)                       \
   X(Flw) X(Flh) X(Flb) X(Fsw) X(Fsh) X(Fsb)                               \
-  X(CallUop) X(FpBin) X(VecBin) X(VecMac)                                 \
+  X(CallUop) X(FpBin) X(VecBin) X(VecMac) X(VecDotp) X(VecExsdotp)        \
   X(FastAddS) X(FastSubS) X(FastMulS)                                     \
   X(FastVAddH) X(FastVSubH) X(FastVMulH) X(FastVMacH)                     \
   X(FastVAddAH) X(FastVSubAH) X(FastVMulAH) X(FastVMacAH)                 \

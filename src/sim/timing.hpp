@@ -22,6 +22,10 @@ struct Timing {
       case fp::FpFormat::F16Alt: return 9;
       case fp::FpFormat::F32: return 15;
       case fp::FpFormat::F64: return 29;
+      // Posit dividers iterate over the same significand widths as the
+      // equally-wide IEEE formats (regime decode is combinational).
+      case fp::FpFormat::P8: return 5;
+      case fp::FpFormat::P16: return 9;
     }
     return 15;
   }

@@ -40,6 +40,7 @@
 #include "softfloat/compare.hpp"
 #include "softfloat/convert.hpp"
 #include "softfloat/host.hpp"
+#include "softfloat/posit.hpp"
 #include "softfloat/runtime.hpp"
 
 namespace sfrv::fp {
@@ -594,6 +595,108 @@ std::uint64_t fast_widen_to_f32(std::uint64_t a, RoundingMode rm, Flags& fl) {
   return std::bit_cast<std::uint32_t>(static_cast<float>(widen<From>(a)));
 }
 
+/// ExSdotp fast entry: the exact widening runs through the Grs converter
+/// (identical flags, including NV for signaling-NaN lanes), and each wide
+/// accumulation step is the guarded-exact host fma -- which delegates its own
+/// special/wide-span cases to Grs internally, so no wholesale fallback is
+/// needed and the lane order matches the Grs entry step for step.
+template <class F, class Wide>
+std::uint64_t v_fast_exsdotp(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t acc, int lanes, bool rep,
+                             RoundingMode rm, Flags& fl) {
+  constexpr int w = F::width;
+  std::uint64_t out = 0;
+  std::uint64_t wb0 = 0;
+  if (rep) {
+    wb0 = convert<Wide>(as<F>(b & lane_mask<F>()), RoundingMode::RNE, fl).bits;
+  }
+  for (int wl = 0; wl < lanes / 2; ++wl) {
+    std::uint64_t accl = (acc >> (wl * Wide::width)) & lane_mask<Wide>();
+    for (int i = 0; i < 2; ++i) {
+      const int l = 2 * wl + i;
+      const std::uint64_t wa =
+          convert<Wide>(as<F>((a >> (l * w)) & lane_mask<F>()),
+                        RoundingMode::RNE, fl)
+              .bits;
+      const std::uint64_t wb =
+          rep ? wb0
+              : convert<Wide>(as<F>((b >> (l * w)) & lane_mask<F>()),
+                              RoundingMode::RNE, fl)
+                    .bits;
+      accl = fast_fma<Wide>(wa, wb, accl, rm, fl);
+    }
+    out |= accl << (wl * Wide::width);
+  }
+  return out;
+}
+
+// ---- posit8 exhaustive LUTs -------------------------------------------------
+// Posit arithmetic has one rounding attitude and raises no flags, so a single
+// 256x256 result plane per operation covers the entire operand space (the
+// binary8 plane generator's layout, minus the per-rm and flags dimensions).
+// Generated from the integer-exact posit core, so correct by construction;
+// the exhaustive posit8 suite re-checks every entry against the oracle.
+
+template <auto OpFn>
+const std::uint8_t* p8_bin_lut() {
+  static const std::unique_ptr<const std::uint8_t[]> lut = [] {
+    auto t = std::make_unique<std::uint8_t[]>(256 * 256);
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        t[(a << 8) | b] = static_cast<std::uint8_t>(OpFn(a, b));
+      }
+    }
+    return t;
+  }();
+  return lut.get();
+}
+
+template <auto OpFn>
+std::uint64_t p8_bin(std::uint64_t a, std::uint64_t b, RoundingMode, Flags&) {
+  return p8_bin_lut<OpFn>()[((a & 0xff) << 8) | (b & 0xff)];
+}
+
+template <auto CmpFn>
+bool p8_cmp(std::uint64_t a, std::uint64_t b, Flags&) {
+  return p8_bin_lut<CmpFn>()[((a & 0xff) << 8) | (b & 0xff)] != 0;
+}
+
+std::uint64_t p8_sqrt(std::uint64_t a, RoundingMode, Flags&) {
+  static const std::array<std::uint8_t, 256> lut = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i)
+      t[i] = static_cast<std::uint8_t>(posit_sqrt<Posit8>(i));
+    return t;
+  }();
+  return lut[a & 0xff];
+}
+
+template <auto OpFn>
+std::uint64_t v_p8_bin(std::uint64_t a, std::uint64_t b, int lanes, bool rep,
+                       RoundingMode, Flags&) {
+  const std::uint8_t* t = p8_bin_lut<OpFn>();
+  std::uint64_t out = 0;
+  const unsigned b0 = static_cast<unsigned>(b & 0xff);
+  for (int l = 0; l < lanes; ++l) {
+    const unsigned al = static_cast<unsigned>((a >> (8 * l)) & 0xff);
+    const unsigned bl = rep ? b0 : static_cast<unsigned>((b >> (8 * l)) & 0xff);
+    out |= static_cast<std::uint64_t>(t[(al << 8) | bl]) << (8 * l);
+  }
+  return out;
+}
+
+template <auto CmpFn>
+std::uint32_t v_p8_cmp(std::uint64_t a, std::uint64_t b, int lanes, Flags&) {
+  const std::uint8_t* t = p8_bin_lut<CmpFn>();
+  std::uint32_t mask = 0;
+  for (int l = 0; l < lanes; ++l) {
+    const unsigned al = static_cast<unsigned>((a >> (8 * l)) & 0xff);
+    const unsigned bl = static_cast<unsigned>((b >> (8 * l)) & 0xff);
+    if (t[(al << 8) | bl] != 0) mask |= 1u << l;
+  }
+  return mask;
+}
+
 // ---- table assembly ---------------------------------------------------------
 
 RtOps make_f8_fast_ops() {
@@ -641,6 +744,7 @@ RtVecOps make_f8_fast_vec_ops() {
   o.flt = &v_f8_cmp<&f8_flt>;
   o.fle = &v_f8_cmp<&f8_fle>;
   o.dotp = &v_fast_dotp<Binary8>;
+  o.exsdotp = &v_fast_exsdotp<Binary8, Binary16>;
   return o;
 }
 
@@ -654,6 +758,36 @@ RtVecOps make_host_fast_vec_ops(FpFormat tag) {
   o.mac = &v_fast_mac<F>;
   o.sqrt = &v_fast_sqrt<F>;
   o.dotp = &v_fast_dotp<F>;
+  o.exsdotp = &v_fast_exsdotp<F, Binary32>;  // both 16-bit formats widen to f32
+  return o;
+}
+
+RtOps make_p8_fast_ops() {
+  RtOps o = rt_ops(FpFormat::P8);  // fma/sgnj*/classify/int-converts: Grs
+  o.add = &p8_bin<&posit_add<Posit8>>;
+  o.sub = &p8_bin<&posit_sub<Posit8>>;
+  o.mul = &p8_bin<&posit_mul<Posit8>>;
+  o.div = &p8_bin<&posit_div<Posit8>>;
+  o.min = &p8_bin<&posit_min<Posit8>>;
+  o.max = &p8_bin<&posit_max<Posit8>>;
+  o.sqrt = &p8_sqrt;
+  o.feq = &p8_cmp<&posit_eq<Posit8>>;
+  o.flt = &p8_cmp<&posit_lt<Posit8>>;
+  o.fle = &p8_cmp<&posit_le<Posit8>>;
+  return o;
+}
+
+RtVecOps make_p8_fast_vec_ops() {
+  RtVecOps o = rt_vec_ops(FpFormat::P8);
+  o.add = &v_p8_bin<&posit_add<Posit8>>;
+  o.sub = &v_p8_bin<&posit_sub<Posit8>>;
+  o.mul = &v_p8_bin<&posit_mul<Posit8>>;
+  o.div = &v_p8_bin<&posit_div<Posit8>>;
+  o.min = &v_p8_bin<&posit_min<Posit8>>;
+  o.max = &v_p8_bin<&posit_max<Posit8>>;
+  o.feq = &v_p8_cmp<&posit_eq<Posit8>>;
+  o.flt = &v_p8_cmp<&posit_lt<Posit8>>;
+  o.fle = &v_p8_cmp<&posit_le<Posit8>>;
   return o;
 }
 
@@ -662,31 +796,43 @@ RtVecOps make_host_fast_vec_ops(FpFormat tag) {
 namespace detail {
 
 const RtOps& fast_ops(FpFormat f) {
-  static const RtOps kFastOps[5] = {
+  static const RtOps kFastOps[] = {
       make_f8_fast_ops(),
       make_host_fast_ops<Binary16>(FpFormat::F16),
       make_host_fast_ops<Binary16Alt>(FpFormat::F16Alt),
       make_host_fast_ops<Binary32>(FpFormat::F32),
       rt_ops(FpFormat::F64),  // binary64 IS the host width: Grs throughout
+      make_p8_fast_ops(),
+      // posit16: the integer-exact core is already branch-light and a 2^32
+      // operand space cannot be tabled; Grs entries serve both backends.
+      rt_ops(FpFormat::P16),
   };
-  if (fidx(f) >= 5) invalid_format_tag();
+  static_assert(std::size(kFastOps) == kNumFormats,
+                "fast_ops needs one row per FpFormat tag");
+  if (fidx(f) >= std::size(kFastOps)) invalid_format_tag();
   return kFastOps[fidx(f)];
 }
 
 const RtVecOps& fast_vec_ops(FpFormat f) {
-  static const RtVecOps kFastVecOps[5] = {
+  static const RtVecOps kFastVecOps[] = {
       make_f8_fast_vec_ops(),
       make_host_fast_vec_ops<Binary16>(FpFormat::F16),
       make_host_fast_vec_ops<Binary16Alt>(FpFormat::F16Alt),
       rt_vec_ops(FpFormat::F32),  // no packed ISA ops exist for f32/f64
       rt_vec_ops(FpFormat::F64),
+      make_p8_fast_vec_ops(),
+      rt_vec_ops(FpFormat::P16),  // see fast_ops: Grs serves posit16
   };
-  if (fidx(f) >= 5) invalid_format_tag();
+  static_assert(std::size(kFastVecOps) == kNumFormats,
+                "fast_vec_ops needs one row per FpFormat tag");
+  if (fidx(f) >= std::size(kFastVecOps)) invalid_format_tag();
   return kFastVecOps[fidx(f)];
 }
 
 RtCvtFn fast_convert_fn(FpFormat to, FpFormat from) {
-  if (fidx(to) >= 5 || fidx(from) >= 5) invalid_format_tag();
+  if (fidx(to) >= static_cast<std::size_t>(kNumFormats) ||
+      fidx(from) >= static_cast<std::size_t>(kNumFormats))
+    invalid_format_tag();
   // f8-source pairs and the 16-bit -> f8 narrowings are exhaustive tables;
   // the 16-bit widenings to f32 are exact host casts. Everything else --
   // including f32 -> f8, whose 2^32 source space cannot be tabled -- stays

@@ -69,8 +69,19 @@ struct Binary64 : FormatTraits<64, 11, 52, std::uint64_t> {
 };
 
 /// Runtime tag for the supported formats; used by the ISA layer and the
-/// simulator to dispatch into the templated arithmetic.
-enum class FpFormat : std::uint8_t { F8, F16, F16Alt, F32, F64 };
+/// simulator to dispatch into the templated arithmetic. The IEEE formats
+/// keep their original values (0..4) so predecoded tables, golden digests
+/// and serialized reports stay stable; the posit formats (posit.hpp --
+/// tapered precision, es = 2, NaR) are appended after them.
+enum class FpFormat : std::uint8_t { F8, F16, F16Alt, F32, F64, P8, P16 };
+
+/// Number of FpFormat tags. Every per-format runtime table derives its
+/// dimension from this constant (see runtime.cpp / fastpath.cpp) so adding
+/// a format is a compile error until each table gains a row, rather than a
+/// silent out-of-bounds index.
+inline constexpr int kNumFormats = 7;
+static_assert(kNumFormats == static_cast<int>(FpFormat::P16) + 1,
+              "kNumFormats must cover every FpFormat tag");
 
 constexpr std::string_view format_name(FpFormat f) {
   switch (f) {
@@ -79,22 +90,35 @@ constexpr std::string_view format_name(FpFormat f) {
     case FpFormat::F16Alt: return Binary16Alt::name;
     case FpFormat::F32: return Binary32::name;
     case FpFormat::F64: return Binary64::name;
+    case FpFormat::P8: return "posit8";
+    case FpFormat::P16: return "posit16";
   }
   detail::invalid_format_tag();
 }
 
 constexpr int format_width(FpFormat f) {
   switch (f) {
-    case FpFormat::F8: return 8;
+    case FpFormat::F8:
+    case FpFormat::P8: return 8;
     case FpFormat::F16:
-    case FpFormat::F16Alt: return 16;
+    case FpFormat::F16Alt:
+    case FpFormat::P16: return 16;
     case FpFormat::F32: return 32;
     case FpFormat::F64: return 64;
   }
   detail::invalid_format_tag();
 }
 
-/// Invoke `fn.template operator()<F>()` with the trait type for a runtime tag.
+/// True for the posit tags, whose bit patterns are NOT FormatTraits floats
+/// (no dispatch_format; posit.hpp provides their arithmetic).
+constexpr bool is_posit_format(FpFormat f) {
+  return f == FpFormat::P8 || f == FpFormat::P16;
+}
+
+/// Invoke `fn.template operator()<F>()` with the trait type for a runtime
+/// tag. IEEE formats only: posit tags have no FormatTraits instantiation and
+/// take the invalid-tag path -- callers that can see posits must branch on
+/// is_posit_format() first.
 template <typename Fn>
 constexpr decltype(auto) dispatch_format(FpFormat f, Fn&& fn) {
   switch (f) {
@@ -103,6 +127,8 @@ constexpr decltype(auto) dispatch_format(FpFormat f, Fn&& fn) {
     case FpFormat::F16Alt: return fn.template operator()<Binary16Alt>();
     case FpFormat::F32: return fn.template operator()<Binary32>();
     case FpFormat::F64: return fn.template operator()<Binary64>();
+    case FpFormat::P8:
+    case FpFormat::P16: break;
   }
   detail::invalid_format_tag();
 }

@@ -5,11 +5,13 @@
 #include <iterator>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "softfloat/arith.hpp"
 #include "softfloat/compare.hpp"
 #include "softfloat/convert.hpp"
 #include "softfloat/host.hpp"
+#include "softfloat/posit.hpp"
 
 namespace sfrv::fp {
 
@@ -125,22 +127,138 @@ constexpr RtOps make_ops() {
   };
 }
 
-constexpr RtOps kOps[] = {
-    make_ops<Binary8>(), make_ops<Binary16>(), make_ops<Binary16Alt>(),
-    make_ops<Binary32>(), make_ops<Binary64>(),
-};
+// ---- posit scalar table entries --------------------------------------------
+// Adapters giving the posit core (posit.hpp) the common Rt* signatures. Posit
+// arithmetic has one rounding attitude (RNE on the pattern) and raises no
+// arithmetic flags, so the RoundingMode argument is ignored throughout.
 
+template <class P, auto OpFn>
+std::uint64_t p_bin(std::uint64_t a, std::uint64_t b, RoundingMode, Flags&) {
+  return OpFn(a, b);
+}
+
+template <class P>
+std::uint64_t p_fma(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    RoundingMode, Flags&) {
+  return posit_fma<P>(a, b, c);
+}
+
+template <class P>
+std::uint64_t p_sqrt(std::uint64_t a, RoundingMode, Flags&) {
+  return posit_sqrt<P>(a);
+}
+
+template <class P, auto CmpFn>
+bool p_cmp(std::uint64_t a, std::uint64_t b, Flags&) {
+  return CmpFn(a, b);
+}
+
+template <class P>
+std::int32_t p_to_int32(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return posit_to_int32<P>(a, rm, fl);
+}
+
+template <class P>
+std::uint32_t p_to_uint32(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return posit_to_uint32<P>(a, rm, fl);
+}
+
+template <class P>
+std::uint64_t p_from_int32(std::int32_t v, RoundingMode, Flags&) {
+  return posit_from_int32<P>(v);
+}
+
+template <class P>
+std::uint64_t p_from_uint32(std::uint32_t v, RoundingMode, Flags&) {
+  return posit_from_uint32<P>(v);
+}
+
+// Conversion entries for the mixed rows of the convert table.
+template <class To, class PFrom>
+std::uint64_t p_to_ieee(std::uint64_t a, RoundingMode rm, Flags& fl) {
+  return posit_to_ieee<To, PFrom>(a, rm, fl).bits;
+}
+template <class PTo, class From>
+std::uint64_t p_from_ieee(std::uint64_t a, RoundingMode, Flags&) {
+  return posit_from_ieee<PTo, From>(as<From>(a));
+}
+template <class PTo, class PFrom>
+std::uint64_t p_resize(std::uint64_t a, RoundingMode, Flags&) {
+  return posit_resize<PTo, PFrom>(a);
+}
+
+template <class P>
+constexpr RtOps make_posit_ops() {
+  return RtOps{
+      .add = &p_bin<P, &posit_add<P>>,
+      .sub = &p_bin<P, &posit_sub<P>>,
+      .mul = &p_bin<P, &posit_mul<P>>,
+      .div = &p_bin<P, &posit_div<P>>,
+      .min = &p_bin<P, &posit_min<P>>,
+      .max = &p_bin<P, &posit_max<P>>,
+      .sgnj = &p_bin<P, &posit_sgnj<P>>,
+      .sgnjn = &p_bin<P, &posit_sgnjn<P>>,
+      .sgnjx = &p_bin<P, &posit_sgnjx<P>>,
+      .fma = &p_fma<P>,
+      .sqrt = &p_sqrt<P>,
+      .feq = &p_cmp<P, &posit_eq<P>>,
+      .flt = &p_cmp<P, &posit_lt<P>>,
+      .fle = &p_cmp<P, &posit_le<P>>,
+      .classify = &posit_classify<P>,
+      .to_int32 = &p_to_int32<P>,
+      .to_uint32 = &p_to_uint32<P>,
+      .from_int32 = &p_from_int32<P>,
+      .from_uint32 = &p_from_uint32<P>,
+  };
+}
+
+constexpr RtOps kOps[] = {
+    make_ops<Binary8>(),    make_ops<Binary16>(),     make_ops<Binary16Alt>(),
+    make_ops<Binary32>(),   make_ops<Binary64>(),     make_posit_ops<Posit8>(),
+    make_posit_ops<Posit16>(),
+};
+static_assert(std::size(kOps) == kNumFormats,
+              "kOps needs one row per FpFormat tag");
+
+// The convert table covers the full format cross product: IEEE<->IEEE via
+// the templated converter, posit<->IEEE via the posit round-pack / exact
+// double widening, posit<->posit via resize. Diagonal posit entries are the
+// (exact) identity resize, mirroring the IEEE diagonal's exact self-convert.
 #define SFRV_CVT_ROW(To)                                                   \
   {&s_convert<To, Binary8>, &s_convert<To, Binary16>,                      \
    &s_convert<To, Binary16Alt>, &s_convert<To, Binary32>,                  \
-   &s_convert<To, Binary64>}
+   &s_convert<To, Binary64>, &p_to_ieee<To, Posit8>,                       \
+   &p_to_ieee<To, Posit16>}
 
-constexpr RtCvtFn kCvt[5][5] = {
-    SFRV_CVT_ROW(Binary8),  SFRV_CVT_ROW(Binary16), SFRV_CVT_ROW(Binary16Alt),
-    SFRV_CVT_ROW(Binary32), SFRV_CVT_ROW(Binary64),
+#define SFRV_CVT_POSIT_ROW(To)                                             \
+  {&p_from_ieee<To, Binary8>, &p_from_ieee<To, Binary16>,                  \
+   &p_from_ieee<To, Binary16Alt>, &p_from_ieee<To, Binary32>,              \
+   &p_from_ieee<To, Binary64>, &p_resize<To, Posit8>,                      \
+   &p_resize<To, Posit16>}
+
+constexpr RtCvtFn kCvt[kNumFormats][kNumFormats] = {
+    SFRV_CVT_ROW(Binary8),        SFRV_CVT_ROW(Binary16),
+    SFRV_CVT_ROW(Binary16Alt),    SFRV_CVT_ROW(Binary32),
+    SFRV_CVT_ROW(Binary64),       SFRV_CVT_POSIT_ROW(Posit8),
+    SFRV_CVT_POSIT_ROW(Posit16),
 };
 
+// The dimensions above derive from kNumFormats, but aggregate init would
+// value-initialize (to nullptr) any rows or entries a new format forgot to
+// add. Refuse to compile with holes in the matrix.
+constexpr bool all_cvt_entries_bound() {
+  for (const auto& row : kCvt) {
+    for (const auto fn : row) {
+      if (fn == nullptr) return false;
+    }
+  }
+  return true;
+}
+static_assert(all_cvt_entries_bound(),
+              "kCvt must bind every (to, from) format pair");
+
 #undef SFRV_CVT_ROW
+#undef SFRV_CVT_POSIT_ROW
 
 // ---- packed-SIMD table entries ---------------------------------------------
 // The lane loop lives inside each instantiation, so the element arithmetic is
@@ -259,9 +377,172 @@ std::uint64_t v_dotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc32,
   return acc.bits;
 }
 
+/// ExSdotp: wide lane l of the packed accumulator takes two sequential
+/// chained FMAs in the next-wider format, in narrow-lane order. The widening
+/// conversion is exact for every supported (narrow, wide) pair, so the only
+/// roundings are the two wide FMAs -- exactly the MiniFloat-NN datapath.
+template <class F, class Wide>
+std::uint64_t v_exsdotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc,
+                        int lanes, bool rep, RoundingMode rm, Flags& fl) {
+  static_assert(Wide::width == 2 * F::width);
+  std::uint64_t out = 0;
+  Float<Wide> wb0{};
+  if (rep) wb0 = convert<Wide>(lane<F>(b, 0), RoundingMode::RNE, fl);
+  for (int wl = 0; wl < lanes / 2; ++wl) {
+    Float<Wide> accl = lane<Wide>(acc, wl);
+    for (int i = 0; i < 2; ++i) {
+      const int l = 2 * wl + i;
+      const Float<Wide> wa = convert<Wide>(lane<F>(a, l), RoundingMode::RNE, fl);
+      const Float<Wide> wb =
+          rep ? wb0 : convert<Wide>(lane<F>(b, l), RoundingMode::RNE, fl);
+      accl = fma(wa, wb, accl, rm, fl);
+    }
+    out |= static_cast<std::uint64_t>(accl.bits) << (wl * Wide::width);
+  }
+  return out;
+}
+
+/// Trap entry for formats with no in-register wider neighbour (binary64,
+/// posit16): no ISA opcode binds these, so a call is a decoder bug.
+std::uint64_t v_exsdotp_invalid(std::uint64_t, std::uint64_t, std::uint64_t,
+                                int, bool, RoundingMode, Flags&) {
+  detail::invalid_format_tag();
+}
+
+// ---- posit packed-SIMD entries ---------------------------------------------
+// Same lane-loop structure over raw posit patterns.
+
+template <class P>
+std::uint64_t plane(std::uint64_t v, int l) {
+  return (v >> (l * P::width)) & P::mask;
+}
+
+template <class P, auto OpFn>
+std::uint64_t vp_bin(std::uint64_t a, std::uint64_t b, int lanes, bool rep,
+                     RoundingMode, Flags&) {
+  std::uint64_t out = 0;
+  const std::uint64_t b0 = plane<P>(b, 0);
+  for (int l = 0; l < lanes; ++l) {
+    const std::uint64_t bl = rep ? b0 : plane<P>(b, l);
+    out |= OpFn(plane<P>(a, l), bl) << (l * P::width);
+  }
+  return out;
+}
+
+template <class P>
+std::uint64_t vp_mac(std::uint64_t a, std::uint64_t b, std::uint64_t d,
+                     int lanes, bool rep, RoundingMode, Flags&) {
+  std::uint64_t out = 0;
+  const std::uint64_t b0 = plane<P>(b, 0);
+  for (int l = 0; l < lanes; ++l) {
+    const std::uint64_t bl = rep ? b0 : plane<P>(b, l);
+    out |= posit_fma<P>(plane<P>(a, l), bl, plane<P>(d, l)) << (l * P::width);
+  }
+  return out;
+}
+
+template <class P>
+std::uint64_t vp_sqrt(std::uint64_t a, int lanes, RoundingMode, Flags&) {
+  std::uint64_t out = 0;
+  for (int l = 0; l < lanes; ++l) {
+    out |= posit_sqrt<P>(plane<P>(a, l)) << (l * P::width);
+  }
+  return out;
+}
+
+/// Lanewise posit -> saturating signed integer of the lane width (NaR maps
+/// to the most negative lane value with NV, mirroring the scalar contract).
+template <class P>
+std::uint64_t vp_to_int(std::uint64_t a, int lanes, RoundingMode rm, Flags& fl) {
+  constexpr int w = P::width;
+  std::uint64_t out = 0;
+  for (int l = 0; l < lanes; ++l) {
+    std::int64_t r = posit_to_int32<P>(plane<P>(a, l), rm, fl);
+    constexpr std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+    constexpr std::int64_t lo = -hi - 1;
+    if (r > hi) {
+      r = hi;
+      fl.raise(Flags::NV);
+    } else if (r < lo) {
+      r = lo;
+      fl.raise(Flags::NV);
+    }
+    out |= (static_cast<std::uint64_t>(r) & P::mask) << (l * w);
+  }
+  return out;
+}
+
+template <class P>
+std::uint64_t vp_from_int(std::uint64_t a, int lanes, RoundingMode, Flags&) {
+  constexpr int w = P::width;
+  std::uint64_t out = 0;
+  for (int l = 0; l < lanes; ++l) {
+    std::int64_t v = static_cast<std::int64_t>((a >> (l * w)) & P::mask);
+    if ((v & (std::int64_t{1} << (w - 1))) != 0) v -= std::int64_t{1} << w;
+    out |= posit_from_int32<P>(static_cast<std::int32_t>(v)) << (l * w);
+  }
+  return out;
+}
+
+template <class P, auto CmpFn>
+std::uint32_t vp_cmp(std::uint64_t a, std::uint64_t b, int lanes, Flags&) {
+  std::uint32_t mask = 0;
+  for (int l = 0; l < lanes; ++l) {
+    if (CmpFn(plane<P>(a, l), plane<P>(b, l))) mask |= 1u << l;
+  }
+  return mask;
+}
+
+/// Expanding dot product into a scalar binary32 accumulator: posit lanes
+/// widen exactly to binary32 (<= 13 significand bits, |scale| <= 56), then
+/// the usual fused binary32 chain. NaR widens to NaN, poisoning the sum.
+template <class P>
+std::uint64_t vp_dotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc32,
+                      int lanes, bool rep, RoundingMode rm, Flags& fl) {
+  F32 acc = as<Binary32>(acc32);
+  F32 wb0{};
+  if (rep) wb0 = posit_to_ieee<Binary32, P>(plane<P>(b, 0), RoundingMode::RNE, fl);
+  for (int l = 0; l < lanes; ++l) {
+    const F32 wa = posit_to_ieee<Binary32, P>(plane<P>(a, l), RoundingMode::RNE, fl);
+    const F32 wb =
+        rep ? wb0 : posit_to_ieee<Binary32, P>(plane<P>(b, l), RoundingMode::RNE, fl);
+    acc = fma(wa, wb, acc, rm, fl);
+  }
+  return acc.bits;
+}
+
+/// Posit ExSdotp: posit8 pairs into packed posit16 accumulator lanes; the
+/// widening resize is exact and each wide FMA rounds once in posit16.
+template <class P, class PWide>
+std::uint64_t vp_exsdotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc,
+                         int lanes, bool rep, RoundingMode, Flags&) {
+  static_assert(PWide::width == 2 * P::width);
+  std::uint64_t out = 0;
+  const std::uint64_t wb0 = posit_resize<PWide, P>(plane<P>(b, 0));
+  for (int wl = 0; wl < lanes / 2; ++wl) {
+    std::uint64_t accl = plane<PWide>(acc, wl);
+    for (int i = 0; i < 2; ++i) {
+      const int l = 2 * wl + i;
+      const std::uint64_t wa = posit_resize<PWide, P>(plane<P>(a, l));
+      const std::uint64_t wb = rep ? wb0 : posit_resize<PWide, P>(plane<P>(b, l));
+      accl = posit_fma<PWide>(wa, wb, accl);
+    }
+    out |= accl << (wl * PWide::width);
+  }
+  return out;
+}
+
 template <class F>
 constexpr RtVecOps make_vec_ops() {
-  return RtVecOps{
+  // The one-step-wider neighbour for the exsdotp entry; binary64 has none.
+  using Wide = std::conditional_t<
+      std::is_same_v<F, Binary8>, Binary16,
+      std::conditional_t<std::is_same_v<F, Binary16> ||
+                             std::is_same_v<F, Binary16Alt>,
+                         Binary32,
+                         std::conditional_t<std::is_same_v<F, Binary32>,
+                                            Binary64, void>>>;
+  RtVecOps ops{
       .add = &v_bin<F, &add<F>>,
       .sub = &v_bin<F, &sub<F>>,
       .mul = &v_bin<F, &mul<F>>,
@@ -279,14 +560,50 @@ constexpr RtVecOps make_vec_ops() {
       .flt = &v_cmp<F, &flt<F>>,
       .fle = &v_cmp<F, &fle<F>>,
       .dotp = &v_dotp<F>,
+      .exsdotp = &v_exsdotp_invalid,
   };
+  if constexpr (!std::is_same_v<Wide, void>) {
+    ops.exsdotp = &v_exsdotp<F, Wide>;
+  }
+  return ops;
+}
+
+template <class P>
+constexpr RtVecOps make_posit_vec_ops() {
+  RtVecOps ops{
+      .add = &vp_bin<P, &posit_add<P>>,
+      .sub = &vp_bin<P, &posit_sub<P>>,
+      .mul = &vp_bin<P, &posit_mul<P>>,
+      .div = &vp_bin<P, &posit_div<P>>,
+      .min = &vp_bin<P, &posit_min<P>>,
+      .max = &vp_bin<P, &posit_max<P>>,
+      .sgnj = &vp_bin<P, &posit_sgnj<P>>,
+      .sgnjn = &vp_bin<P, &posit_sgnjn<P>>,
+      .sgnjx = &vp_bin<P, &posit_sgnjx<P>>,
+      .mac = &vp_mac<P>,
+      .sqrt = &vp_sqrt<P>,
+      .to_int = &vp_to_int<P>,
+      .from_int = &vp_from_int<P>,
+      .feq = &vp_cmp<P, &posit_eq<P>>,
+      .flt = &vp_cmp<P, &posit_lt<P>>,
+      .fle = &vp_cmp<P, &posit_le<P>>,
+      .dotp = &vp_dotp<P>,
+      .exsdotp = &v_exsdotp_invalid,
+  };
+  if constexpr (std::is_same_v<P, Posit8>) {
+    ops.exsdotp = &vp_exsdotp<Posit8, Posit16>;
+  }
+  return ops;
 }
 
 constexpr RtVecOps kVecOps[] = {
-    make_vec_ops<Binary8>(), make_vec_ops<Binary16>(),
-    make_vec_ops<Binary16Alt>(), make_vec_ops<Binary32>(),
-    make_vec_ops<Binary64>(),
+    make_vec_ops<Binary8>(),          make_vec_ops<Binary16>(),
+    make_vec_ops<Binary16Alt>(),      make_vec_ops<Binary32>(),
+    make_vec_ops<Binary64>(),         make_posit_vec_ops<Posit8>(),
+    make_posit_vec_ops<Posit16>(),
 };
+static_assert(std::size(kVecOps) == kNumFormats,
+              "kVecOps needs one row per FpFormat tag");
 
 }  // namespace
 
@@ -338,7 +655,10 @@ const RtVecOps& rt_vec_ops(FpFormat f) {
 }
 
 RtCvtFn rt_convert_fn(FpFormat to, FpFormat from) {
-  if (fidx(to) >= 5 || fidx(from) >= 5) detail::invalid_format_tag();
+  // Dimensions derive from kNumFormats (static_asserts above); the bounds
+  // check must track them so a new format can't silently index out of range.
+  if (fidx(to) >= std::size(kCvt) || fidx(from) >= std::size(kCvt[0]))
+    detail::invalid_format_tag();
   return kCvt[fidx(to)][fidx(from)];
 }
 
@@ -450,11 +770,24 @@ std::uint64_t rt_from_uint32(FpFormat f, std::uint32_t v, RoundingMode rm,
 }
 
 double rt_to_double(FpFormat f, std::uint64_t a) {
+  if (f == FpFormat::P8) return posit_to_double<Posit8>(a);
+  if (f == FpFormat::P16) return posit_to_double<Posit16>(a);
   return dispatch_format(
       f, [&]<class F>() -> double { return to_double(as<F>(a)); });
 }
 
 std::uint64_t rt_from_double(FpFormat f, double v, RoundingMode rm, Flags& fl) {
+  // Posit rounding needs an exact input; a host double IS exact, so decompose
+  // it through binary64 and round once into the posit (rm is ignored by the
+  // posit convention, flags are untouched).
+  if (is_posit_format(f)) {
+    const Float<Binary64> w = from_host(v);
+    const std::uint64_t bits =
+        (f == FpFormat::P8) ? posit_from_ieee<Posit8, Binary64>(w)
+                            : posit_from_ieee<Posit16, Binary64>(w);
+    (void)rm;
+    return bits;
+  }
   return dispatch_format(f, [&]<class F>() -> std::uint64_t {
     return from_double<F>(v, rm, fl).bits;
   });

@@ -136,6 +136,16 @@ struct RtVecOps {
   RtVecUnFn from_int;  ///< lanewise signed int of lane width -> FP
   RtVecCmpFn feq, flt, fle;
   RtVecDotpFn dotp;
+  /// ExSdotp (MiniFloat-NN-style): widening sum-of-dot-products into the
+  /// next-wider format. `acc` is a FULL packed register of lanes/2 wide
+  /// elements (unlike `dotp`, whose accumulator is one scalar binary32);
+  /// wide lane l performs two sequential wide-format FMAs in lane order:
+  ///   acc[l] = fma(widen(a[2l]),   widen(b[2l]),   acc[l])
+  ///   acc[l] = fma(widen(a[2l+1]), widen(b[2l+1]), acc[l])
+  /// The widening step (f8->f16, f16->f32, f16alt->f32, posit8->posit16) is
+  /// exact; `lanes` counts NARROW elements. Bound only for formats with an
+  /// in-register wider neighbour.
+  RtVecDotpFn exsdotp;
 };
 
 /// The packed-lane table for a format tag (meaningful for the sub-32-bit

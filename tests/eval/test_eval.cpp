@@ -101,11 +101,13 @@ TEST(ExpandMatrix, BenchmarkFilterAndUnknownName) {
 }
 
 TEST(ExpandMatrix, CoversAcceptanceMatrix) {
-  // The acceptance criterion: all 6 benchmarks x 3 modes x >= 4 type configs.
+  // The acceptance criterion: all 6 benchmarks x 4 modes (scalar, auto-vec,
+  // manual-vec, manual-vec-exsdotp) x >= 7 type configs (the paper's five
+  // plus posit8/posit16).
   const CampaignSpec spec = CampaignSpec::table3();
   EXPECT_EQ(eval_suite(spec.scale).size(), 6u);
-  EXPECT_EQ(spec.modes.size(), 3u);
-  EXPECT_GE(spec.type_configs.size(), 4u);
+  EXPECT_EQ(spec.modes.size(), 4u);
+  EXPECT_GE(spec.type_configs.size(), 7u);
 }
 
 // ---- campaign determinism and round-trip -----------------------------------
@@ -213,8 +215,8 @@ TEST(TunerStudy, EvaluatesGridAndFindsFeasible) {
   const TunerStudy study = run_tuner_study(SuiteScale::Smoke, {});
   EXPECT_EQ(study.benchmark, "svm");
   EXPECT_EQ(study.objective, "cycles");
-  // Exhaustive over {data, acc} x 4 types.
-  EXPECT_EQ(study.explored.size(), 16u);
+  // Exhaustive over {data, acc} x 6 types (IEEE + posits).
+  EXPECT_EQ(study.explored.size(), 36u);
   ASSERT_TRUE(study.found);
   EXPECT_TRUE(study.best.feasible);
   EXPECT_GE(study.best.qor, study.qor_threshold);
@@ -222,6 +224,24 @@ TEST(TunerStudy, EvaluatesGridAndFindsFeasible) {
   for (const auto& t : study.explored) {
     if (t.feasible) EXPECT_LE(study.best.cost, t.cost);
   }
+  // Slot pairs the promotion lattice cannot order are recorded as skipped
+  // trials — infeasible, qor = -1, cost = 0 — not simulated.
+  std::size_t skipped = 0;
+  for (const auto& t : study.explored) {
+    if (ir::comparable(t.data, t.acc)) {
+      EXPECT_GE(t.qor, 0.0) << ir::type_name(t.data) << "/"
+                            << ir::type_name(t.acc);
+      EXPECT_GT(t.cost, 0.0);
+    } else {
+      ++skipped;
+      EXPECT_FALSE(t.feasible);
+      EXPECT_EQ(t.qor, -1.0);
+      EXPECT_EQ(t.cost, 0.0);
+    }
+  }
+  // 7 unordered pairs ({f16, f16alt} plus 2 posits x 3 narrow IEEE types),
+  // each in both slot orders.
+  EXPECT_EQ(skipped, 14u);
 }
 
 TEST(ReportCodec, UnknownSchemaAndNamesRejected) {

@@ -176,6 +176,74 @@ TEST(LoweringMixed, ManualMatchesScalarBitForBit) {
   EXPECT_EQ(scal.outputs.at("scores"), man.outputs.at("scores"));
 }
 
+TEST(LoweringExs, WideningConfigsUseTheExSdotpUnit) {
+  // The ExSdotp generator's signature shape: a (data, one-step-wider acc)
+  // reduction lowers to the packed widening dot product — one vfexsdotp per
+  // vector chunk, no per-lane conversion instructions, and none of the
+  // 32-bit-accumulator vfdotpex ops.
+  const auto& f = svm_fixture();
+  struct Pair {
+    ScalarType data, acc;
+    isa::Op op;
+  };
+  const Pair pairs[] = {
+      {ScalarType::F16, ScalarType::F32, isa::Op::VFEXSDOTP_S_H},
+      {ScalarType::F16Alt, ScalarType::F32, isa::Op::VFEXSDOTP_S_AH},
+      {ScalarType::F8, ScalarType::F16, isa::Op::VFEXSDOTP_H_B},
+      {ScalarType::P8, ScalarType::P16, isa::Op::VFEXSDOTP_P16_P8},
+  };
+  for (const auto& p : pairs) {
+    const auto spec = make_svm({p.data, p.acc}, f.model, f.test);
+    const auto exs = run_kernel(spec, CodegenMode::ManualVecExs);
+    EXPECT_GT(exs.stats.count(p.op), 0u)
+        << ir::type_name(p.data) << "/" << ir::type_name(p.acc);
+    EXPECT_EQ(exs.stats.count(isa::Op::VFDOTPEX_S_H) +
+                  exs.stats.count(isa::Op::VFDOTPEX_S_AH) +
+                  exs.stats.count(isa::Op::VFDOTPEX_S_B),
+              0u)
+        << ir::type_name(p.data) << ": exsdotp replaces the dotpex family";
+    EXPECT_EQ(exs.stats.count(isa::Op::FCVT_S_H), 0u)
+        << ir::type_name(p.data) << ": no per-lane conversions";
+    // And the reduction is computed correctly (association differs from
+    // scalar, so hold to golden proximity like the other reduction modes).
+    const double s_scal =
+        sqnr_db(golden_concat(spec), run_outputs(spec, CodegenMode::Scalar));
+    const double s_exs = sqnr_db(golden_concat(spec), run_outputs(spec, CodegenMode::ManualVecExs));
+    EXPECT_GT(s_exs, s_scal - 4.0)
+        << ir::type_name(p.data) << "/" << ir::type_name(p.acc);
+  }
+}
+
+TEST(LoweringExs, UniformConfigsLowerIdenticallyToManualVec) {
+  // Without a one-step-wider accumulator there is nothing for the ExSdotp
+  // unit to do: the generator must produce the same code as ManualVec —
+  // same instruction and cycle counts, bit-identical outputs.
+  for (const ScalarType t :
+       {ScalarType::F16, ScalarType::F8, ScalarType::P8}) {
+    const auto spec = make_gemm(TypeConfig::uniform(t));
+    const auto man = run_kernel(spec, CodegenMode::ManualVec);
+    const auto exs = run_kernel(spec, CodegenMode::ManualVecExs);
+    EXPECT_EQ(man.stats.instructions, exs.stats.instructions)
+        << ir::type_name(t);
+    EXPECT_EQ(man.cycles(), exs.cycles()) << ir::type_name(t);
+    EXPECT_EQ(man.outputs.at("C"), exs.outputs.at("C")) << ir::type_name(t);
+    EXPECT_EQ(exs.stats.count(ir::exsdotp_op(t)), 0u) << ir::type_name(t);
+  }
+}
+
+TEST(LoweringExs, ExpandingF32AccumulatorStillUsesDotpex) {
+  // data + F32 accumulator where F32 is NOT one step wider (f8 data): the
+  // ExSdotp generator has no opcode for the two-step widening and must keep
+  // the ManualVec expanding dot product.
+  const auto& f = svm_fixture();
+  const auto spec = make_svm({ScalarType::F8, ScalarType::F32}, f.model, f.test);
+  const auto exs = run_kernel(spec, CodegenMode::ManualVecExs);
+  EXPECT_GT(exs.stats.count(isa::Op::VFDOTPEX_S_B), 0u);
+  EXPECT_EQ(exs.stats.count(isa::Op::VFEXSDOTP_H_B), 0u);
+  const auto man = run_kernel(spec, CodegenMode::ManualVec);
+  EXPECT_EQ(man.outputs.at("scores"), exs.outputs.at("scores"));
+}
+
 TEST(LoweringIdeal, IdealCyclesBracketMeasured) {
   const auto spec = make_gemm(TypeConfig::uniform(ScalarType::F16));
   const auto scal = run_kernel(spec, CodegenMode::Scalar);

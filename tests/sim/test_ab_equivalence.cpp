@@ -358,6 +358,30 @@ TEST(AbEquivalence, IntegerOnlyConfig) {
   run_config(IsaConfig({isa::Ext::I, isa::Ext::M, isa::Ext::Zicsr}, 32));
 }
 
+TEST(AbEquivalence, PositOnlyConfig) {
+  // Without the IEEE smallFloat extensions the stream pool concentrates on
+  // the posit scalar/vector ops and vfexsdotp.p16.p8, giving them the same
+  // four-way engine fuzz density the IEEE formats get from full().
+  run_config(IsaConfig(
+      {isa::Ext::I, isa::Ext::M, isa::Ext::Zicsr, isa::Ext::F,
+       isa::Ext::Xposit},
+      32));
+}
+
+TEST(AbEquivalence, FuzzPoolCoversPositAndExSdotp) {
+  // The stream generator draws from every op full() supports: pin that the
+  // PR 7 additions are actually in that pool, so the differential coverage
+  // above cannot silently regress to the pre-posit op set.
+  const IsaConfig cfg = IsaConfig::full();
+  for (const Op op :
+       {Op::FADD_P8, Op::FMADD_P16, Op::FSQRT_P8, Op::FCVT_P8_P16,
+        Op::VFADD_P8, Op::VFMAC_P8, Op::VFDOTPEX_S_P8,
+        Op::VFEXSDOTP_H_B, Op::VFEXSDOTP_R_H_B, Op::VFEXSDOTP_S_H,
+        Op::VFEXSDOTP_S_AH, Op::VFEXSDOTP_P16_P8, Op::VFEXSDOTP_R_P16_P8}) {
+    EXPECT_TRUE(cfg.supports(op)) << isa::mnemonic(op);
+  }
+}
+
 // Deterministic guard: the canonical loop shapes must actually fuse (the
 // randomized suite would still pass if the builder degenerated to all
 // singles), and the fused run must stay cycle-identical across a taken

@@ -60,8 +60,9 @@ class Digest {
   std::uint64_t h_ = 0xcbf29ce484222325ull;
 };
 
-/// The conformance matrix: the smoke suite across the paper's type configs
-/// and all three code generators (the smoke campaign's exact shape).
+/// The conformance matrix: the smoke suite across the campaign's type
+/// configs (the paper's five plus posit8/posit16) and the scalar/auto-vec/
+/// manual-vec generators, plus pinned O2 and ExSdotp-widening blocks.
 struct GoldenCell {
   std::string name;  // bench/type_config/mode[/opt-level]
   const eval::EvalBenchmark* bench;
@@ -94,6 +95,25 @@ std::vector<GoldenCell> golden_matrix() {
                            std::string(ir::mode_name(mode)) + "/O2",
                        &b, kernels::TypeConfig::uniform(ir::ScalarType::F16),
                        mode, ir::OptConfig::O2()});
+    }
+  }
+  // ExSdotp rows: every benchmark under the manual-vec-exsdotp generator at
+  // the four widening (data, acc) pairs the ExSdotp unit serves, one per
+  // vfexsdotp opcode. Uniform configs lower identically to manual-vec, so
+  // only the widening pairs add signal.
+  const std::pair<const char*, kernels::TypeConfig> widening[] = {
+      {"mixed8", {ir::ScalarType::F8, ir::ScalarType::F16}},
+      {"mixed", {ir::ScalarType::F16, ir::ScalarType::F32}},
+      {"mixed16alt", {ir::ScalarType::F16Alt, ir::ScalarType::F32}},
+      {"posit-mixed", {ir::ScalarType::P8, ir::ScalarType::P16}},
+  };
+  for (const auto& b : eval::eval_suite(eval::SuiteScale::Smoke)) {
+    for (const auto& [name, tc] : widening) {
+      cells.push_back({b.bench.name + "/" + std::string(name) + "/" +
+                           std::string(ir::mode_name(
+                               ir::CodegenMode::ManualVecExs)),
+                       &b, tc, ir::CodegenMode::ManualVecExs,
+                       ir::OptConfig::O0()});
     }
   }
   return cells;

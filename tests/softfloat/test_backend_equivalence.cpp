@@ -521,5 +521,223 @@ TEST(HostFastVsGrs, VecMacAndDotpMatch) {
   }
 }
 
+// ---- posit8: exhaustive LUT vs integer-exact core --------------------------
+
+TEST(Posit8LutVsGrs, EveryBinaryTableEntryEveryMode) {
+  // Posit arithmetic ignores the rounding mode, but the table contract is
+  // still checked under every mode: a fast entry that accidentally consulted
+  // rm would diverge here.
+  for (const RoundingMode rm : kAllRoundingModes) {
+    for (const auto& op : kF8BinOps) {
+      const fp::RtBinFn g = grs(FpFormat::P8).*(op.entry);
+      const fp::RtBinFn f = fast(FpFormat::P8).*(op.entry);
+      for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = 0; b < 256; ++b) {
+          check_bin(g, f, a, b, rm, op.name);
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(Posit8LutVsGrs, SqrtCompareAndClassifyTables) {
+  for (unsigned a = 0; a < 256; ++a) {
+    Flags fg, ff;
+    ASSERT_EQ(grs(FpFormat::P8).sqrt(a, RoundingMode::RNE, fg),
+              fast(FpFormat::P8).sqrt(a, RoundingMode::RNE, ff))
+        << "sqrt a=0x" << std::hex << a;
+    ASSERT_EQ(fg.bits, ff.bits) << "sqrt flags a=0x" << std::hex << a;
+    ASSERT_EQ(grs(FpFormat::P8).classify(a), fast(FpFormat::P8).classify(a))
+        << "classify a=0x" << std::hex << a;
+    for (unsigned b = 0; b < 256; ++b) {
+      for (const auto entry : {&RtOps::feq, &RtOps::flt, &RtOps::fle}) {
+        Flags cg, cf;
+        ASSERT_EQ((grs(FpFormat::P8).*entry)(a, b, cg),
+                  (fast(FpFormat::P8).*entry)(a, b, cf))
+            << "cmp a=0x" << std::hex << a << " b=0x" << b;
+        ASSERT_EQ(cg.bits, cf.bits)
+            << "cmp flags a=0x" << std::hex << a << " b=0x" << b;
+      }
+    }
+  }
+}
+
+TEST(Posit8LutVsGrs, PackedLaneEntries) {
+  // Same moving-pattern sweep as the binary8 packed test: lane 0 pair space
+  // exhaustive, upper lanes varying, all lane counts and replicate settings.
+  const RtVecOps& vg = fp::rt_vec_ops(FpFormat::P8, MathBackend::Grs);
+  const RtVecOps& vf = fp::rt_vec_ops(FpFormat::P8, MathBackend::Fast);
+  for (const auto entry : {&RtVecOps::add, &RtVecOps::sub, &RtVecOps::mul,
+                           &RtVecOps::div, &RtVecOps::min, &RtVecOps::max}) {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        const std::uint64_t va = a | (std::uint64_t{b} << 8) |
+                                 (std::uint64_t{a ^ 0x80} << 16) |
+                                 (std::uint64_t{0x7f} << 24);
+        const std::uint64_t vb = b | (std::uint64_t{a} << 8) |
+                                 (std::uint64_t{b ^ 0x55} << 16) |
+                                 (std::uint64_t{a} << 24);
+        const int lanes = 1 + static_cast<int>((a + b) % 4);
+        const bool rep = ((a ^ b) & 1) != 0;
+        Flags fg, ff;
+        ASSERT_EQ((vg.*entry)(va, vb, lanes, rep, RoundingMode::RNE, fg),
+                  (vf.*entry)(va, vb, lanes, rep, RoundingMode::RNE, ff))
+            << "vec a=0x" << std::hex << va << " b=0x" << vb;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "vec flags a=0x" << std::hex << va << " b=0x" << vb;
+      }
+    }
+  }
+  for (const auto entry : {&RtVecOps::feq, &RtVecOps::flt, &RtVecOps::fle}) {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        const std::uint64_t va = a | (std::uint64_t{b} << 8);
+        const std::uint64_t vb = b | (std::uint64_t{a} << 8);
+        Flags fg, ff;
+        ASSERT_EQ((vg.*entry)(va, vb, 2, fg), (vf.*entry)(va, vb, 2, ff))
+            << "vcmp a=0x" << std::hex << va << " b=0x" << vb;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "vcmp flags a=0x" << std::hex << va << " b=0x" << vb;
+      }
+    }
+  }
+}
+
+TEST(Posit8LutVsGrs, NeverRaisesFlags) {
+  // Posit arithmetic is flag-free by construction; both backends must honor
+  // that for every table entry the LUTs accelerate.
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      for (const auto& op : kF8BinOps) {
+        Flags fl;
+        (void)(fast(FpFormat::P8).*(op.entry))(a, b, RoundingMode::RNE, fl);
+        ASSERT_EQ(fl.bits, 0u)
+            << op.name << " a=0x" << std::hex << a << " b=0x" << b;
+      }
+    }
+  }
+}
+
+TEST(Backend, Posit16AndUnprovenPositEntriesShareTheGrsImplementation) {
+  // posit16's fast table is the Grs table entry-for-entry (a 2^32 LUT is not
+  // worth baking), and posit8's non-LUT entries keep their Grs pointers.
+  EXPECT_EQ(fast(FpFormat::P16).add, grs(FpFormat::P16).add);
+  EXPECT_EQ(fast(FpFormat::P16).fma, grs(FpFormat::P16).fma);
+  EXPECT_EQ(fast(FpFormat::P16).sqrt, grs(FpFormat::P16).sqrt);
+  EXPECT_EQ(fast(FpFormat::P16).to_int32, grs(FpFormat::P16).to_int32);
+  EXPECT_EQ(fast(FpFormat::P8).fma, grs(FpFormat::P8).fma);
+  EXPECT_EQ(fast(FpFormat::P8).sgnj, grs(FpFormat::P8).sgnj);
+  EXPECT_EQ(fast(FpFormat::P8).from_int32, grs(FpFormat::P8).from_int32);
+  // And the LUT entries really are rebound.
+  EXPECT_NE(fast(FpFormat::P8).add, grs(FpFormat::P8).add);
+  EXPECT_NE(fast(FpFormat::P8).sqrt, grs(FpFormat::P8).sqrt);
+}
+
+TEST(Posit8LutVsGrs, ConvertTables) {
+  // Every posit8 convert row/column present in the 7x7 table, both backends.
+  for (const FpFormat other :
+       {FpFormat::F8, FpFormat::F16, FpFormat::F16Alt, FpFormat::F32,
+        FpFormat::F64, FpFormat::P16}) {
+    for (const RoundingMode rm : kAllRoundingModes) {
+      for (unsigned a = 0; a < 256; ++a) {
+        Flags fg, ff;
+        ASSERT_EQ(fp::rt_convert_fn(other, FpFormat::P8, MathBackend::Grs)(
+                      a, rm, fg),
+                  fp::rt_convert_fn(other, FpFormat::P8, MathBackend::Fast)(
+                      a, rm, ff))
+            << "p8->" << fp::format_name(other) << " a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << "p8->" << fp::format_name(other) << " flags a=0x" << std::hex
+            << a;
+      }
+      const unsigned src_width = other == FpFormat::F8 ? 8u : 16u;
+      const unsigned limit =
+          other == FpFormat::F32 || other == FpFormat::F64
+              ? 0u  // fuzzed below instead
+              : (1u << src_width);
+      for (unsigned a = 0; a < limit; ++a) {
+        Flags fg, ff;
+        ASSERT_EQ(fp::rt_convert_fn(FpFormat::P8, other, MathBackend::Grs)(
+                      a, rm, fg),
+                  fp::rt_convert_fn(FpFormat::P8, other, MathBackend::Fast)(
+                      a, rm, ff))
+            << fp::format_name(other) << "->p8 a=0x" << std::hex << a;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << fp::format_name(other) << "->p8 flags a=0x" << std::hex << a;
+      }
+    }
+  }
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t a32 = rng()() & 0xffffffffu;
+    const std::uint64_t a64 = rng()();
+    Flags fg, ff;
+    ASSERT_EQ(
+        fp::rt_convert_fn(FpFormat::P8, FpFormat::F32, MathBackend::Grs)(
+            a32, RoundingMode::RNE, fg),
+        fp::rt_convert_fn(FpFormat::P8, FpFormat::F32, MathBackend::Fast)(
+            a32, RoundingMode::RNE, ff))
+        << "f32->p8 a=0x" << std::hex << a32;
+    ASSERT_EQ(
+        fp::rt_convert_fn(FpFormat::P8, FpFormat::F64, MathBackend::Grs)(
+            a64, RoundingMode::RNE, fg),
+        fp::rt_convert_fn(FpFormat::P8, FpFormat::F64, MathBackend::Fast)(
+            a64, RoundingMode::RNE, ff))
+        << "f64->p8 a=0x" << std::hex << a64;
+  }
+}
+
+// ---- exsdotp: widening dot-product entries ---------------------------------
+
+TEST(HostFastVsGrs, ExSdotpEntriesMatch) {
+  // The fast backend rebinds exsdotp for binary8 (widen to f16) and both
+  // 16-bit formats (widen to f32); posit8 keeps the Grs entry. Fuzz all
+  // four with full 32-bit packed registers, wide accumulators, every lane
+  // count, both replicate settings, every rounding mode.
+  for (const FpFormat tag :
+       {FpFormat::F8, FpFormat::F16, FpFormat::F16Alt, FpFormat::P8}) {
+    const RtVecOps& vg = fp::rt_vec_ops(tag, MathBackend::Grs);
+    const RtVecOps& vf = fp::rt_vec_ops(tag, MathBackend::Fast);
+    const int max_lanes = tag == FpFormat::F8 || tag == FpFormat::P8 ? 4 : 2;
+    for (const RoundingMode rm : kAllRoundingModes) {
+      for (int i = 0; i < 30'000; ++i) {
+        const std::uint64_t a = rng()() & 0xffffffffu;
+        const std::uint64_t b = rng()() & 0xffffffffu;
+        const std::uint64_t acc = rng()() & 0xffffffffu;
+        const int lanes = 2 * (1 + static_cast<int>(rng()() % (max_lanes / 2)));
+        const bool rep = (rng()() & 1) != 0;
+        Flags fg, ff;
+        ASSERT_EQ(vg.exsdotp(a, b, acc, lanes, rep, rm, fg),
+                  vf.exsdotp(a, b, acc, lanes, rep, rm, ff))
+            << fp::format_name(tag) << " exsdotp a=0x" << std::hex << a
+            << " b=0x" << b << " acc=0x" << acc << " lanes=" << lanes
+            << " rep=" << rep;
+        ASSERT_EQ(fg.bits, ff.bits)
+            << fp::format_name(tag) << " exsdotp flags a=0x" << std::hex << a
+            << " b=0x" << b << " acc=0x" << acc;
+      }
+    }
+  }
+}
+
+TEST(Backend, ExSdotpUnsupportedFormatsShareTheTrapEntry) {
+  // binary64 and posit16 have no one-step-wider neighbour: both backends
+  // must keep the same (trapping) entry, so a decoder bug shows up as a
+  // loud failure instead of a silent backend divergence.
+  EXPECT_EQ(fast(FpFormat::F64).add, grs(FpFormat::F64).add);  // sanity
+  EXPECT_EQ(fp::rt_vec_ops(FpFormat::F64, MathBackend::Fast).exsdotp,
+            fp::rt_vec_ops(FpFormat::F64, MathBackend::Grs).exsdotp);
+  EXPECT_EQ(fp::rt_vec_ops(FpFormat::P16, MathBackend::Fast).exsdotp,
+            fp::rt_vec_ops(FpFormat::P16, MathBackend::Grs).exsdotp);
+  // posit8's exsdotp is served by the Grs implementation under both names.
+  EXPECT_EQ(fp::rt_vec_ops(FpFormat::P8, MathBackend::Fast).exsdotp,
+            fp::rt_vec_ops(FpFormat::P8, MathBackend::Grs).exsdotp);
+  // The rebound fast entries really are distinct implementations.
+  EXPECT_NE(fp::rt_vec_ops(FpFormat::F8, MathBackend::Fast).exsdotp,
+            fp::rt_vec_ops(FpFormat::F8, MathBackend::Grs).exsdotp);
+  EXPECT_NE(fp::rt_vec_ops(FpFormat::F16, MathBackend::Fast).exsdotp,
+            fp::rt_vec_ops(FpFormat::F16, MathBackend::Grs).exsdotp);
+}
+
 }  // namespace
 }  // namespace sfrv::test

@@ -1,0 +1,166 @@
+// The full 7x7 scalar convert matrix. rt_convert_fn used to be backed by a
+// table hardcoded at 5x5, so adding formats past the original five silently
+// indexed out of the table; this suite pins the fixed contract: every
+// (to, from) pair over ALL formats resolves to a callable entry under both
+// backends, diagonal entries are identities, exact values survive every
+// route, and NaN/NaR map across the IEEE/posit boundary as documented.
+#include <gtest/gtest.h>
+
+#include "softfloat/posit.hpp"
+#include "softfloat/softfloat.hpp"
+#include "test_util.hpp"
+
+namespace sfrv::test {
+namespace {
+
+using fp::FpFormat;
+using fp::MathBackend;
+
+constexpr FpFormat kAllFormats[] = {
+    FpFormat::F8,  FpFormat::F16, FpFormat::F16Alt, FpFormat::F32,
+    FpFormat::F64, FpFormat::P8,  FpFormat::P16,
+};
+
+std::uint64_t width_mask(FpFormat f) {
+  const unsigned w = fp::format_width(f);
+  return w == 64 ? ~0ull : (1ull << w) - 1;
+}
+
+TEST(ConvertMatrix, EveryPairResolvesUnderBothBackends) {
+  static_assert(std::size(kAllFormats) == fp::kNumFormats,
+                "update kAllFormats when adding a format");
+  for (const FpFormat to : kAllFormats) {
+    for (const FpFormat from : kAllFormats) {
+      for (const MathBackend b : {MathBackend::Grs, MathBackend::Fast}) {
+        const auto fn = fp::rt_convert_fn(to, from, b);
+        ASSERT_NE(fn, nullptr)
+            << fp::format_name(from) << "->" << fp::format_name(to) << " ("
+            << fp::backend_name(b) << ")";
+        // The entry must be genuinely callable, not just non-null: a table
+        // sized below kNumFormats x kNumFormats would hand back garbage
+        // neighbouring pointers here.
+        Flags fl;
+        const std::uint64_t one =
+            fp::rt_convert(from, FpFormat::F64, fp::from_host(1.0).bits,
+                           RoundingMode::RNE, fl);
+        Flags fl2;
+        const std::uint64_t out = fn(one, RoundingMode::RNE, fl2);
+        EXPECT_EQ(fp::rt_to_double(to, out), 1.0)
+            << fp::format_name(from) << "->" << fp::format_name(to) << " ("
+            << fp::backend_name(b) << ")";
+        EXPECT_EQ(fl2.bits, 0u) << "converting 1.0 must be exact";
+      }
+    }
+  }
+}
+
+TEST(ConvertMatrix, DiagonalIsIdentityOnEveryPattern) {
+  // Self-conversion preserves bits for every non-NaN pattern. IEEE
+  // diagonals canonicalize NaNs (sNaN additionally raises NV), so they must
+  // still produce a quiet NaN; posits have no NaN payloads at all, so the
+  // posit diagonal (a resize to the same width) is a bit-for-bit identity
+  // including NaR.
+  std::mt19937_64 gen(97);
+  for (const FpFormat f : kAllFormats) {
+    const auto fn = fp::rt_convert_fn(f, f);
+    const bool posit = f == FpFormat::P8 || f == FpFormat::P16;
+    const unsigned w = fp::format_width(f);
+    const int trials = w <= 16 ? (1 << w) : 200'000;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t a =
+          (w <= 16 ? static_cast<std::uint64_t>(t) : gen()) & width_mask(f);
+      Flags fl;
+      const std::uint64_t out = fn(a, RoundingMode::RNE, fl);
+      const auto cls = fp::rt_classify(f, a);
+      if (!posit &&
+          (cls == static_cast<std::uint16_t>(fp::FpClass::SignalingNan) ||
+           cls == static_cast<std::uint16_t>(fp::FpClass::QuietNan))) {
+        ASSERT_EQ(fp::rt_classify(f, out),
+                  static_cast<std::uint16_t>(fp::FpClass::QuietNan))
+            << fp::format_name(f) << " a=0x" << std::hex << a;
+        continue;
+      }
+      ASSERT_EQ(out, a) << fp::format_name(f) << " a=0x" << std::hex << a;
+      ASSERT_EQ(fl.bits, 0u)
+          << fp::format_name(f) << " flags a=0x" << std::hex << a;
+    }
+  }
+}
+
+TEST(ConvertMatrix, SharedExactValuesSurviveEveryRoute) {
+  // Values exactly representable in EVERY format (including posit8 and the
+  // 2-fraction-bit binary8): any (from -> to) conversion of them must be
+  // exact, flag-free, and rounding-mode independent.
+  const double values[] = {0.0, 1.0, -1.0, 2.0, -2.0, 0.5, -0.5, 4.0, -4.0};
+  for (const double v : values) {
+    for (const FpFormat from : kAllFormats) {
+      Flags fl;
+      const std::uint64_t src = fp::rt_convert(
+          from, FpFormat::F64, fp::from_host(v).bits, RoundingMode::RNE, fl);
+      ASSERT_EQ(fl.bits, 0u);
+      for (const FpFormat to : kAllFormats) {
+        for (const RoundingMode rm : kAllRoundingModes) {
+          Flags fc;
+          const std::uint64_t dst = fp::rt_convert(to, from, src, rm, fc);
+          ASSERT_EQ(fp::rt_to_double(to, dst), v)
+              << fp::format_name(from) << "->" << fp::format_name(to)
+              << " v=" << v << " rm=" << fp::rounding_mode_name(rm);
+          ASSERT_EQ(fc.bits, 0u)
+              << fp::format_name(from) << "->" << fp::format_name(to)
+              << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(ConvertMatrix, NanAndNarMapAcrossTheFamilyBoundary) {
+  for (const FpFormat from : kAllFormats) {
+    const bool from_posit = from == FpFormat::P8 || from == FpFormat::P16;
+    Flags fl;
+    // The source format's "no value" pattern.
+    const std::uint64_t nan_src =
+        from_posit
+            ? (from == FpFormat::P8 ? std::uint64_t{fp::Posit8::nar_bits}
+                                    : std::uint64_t{fp::Posit16::nar_bits})
+            : fp::rt_convert(
+                  from, FpFormat::F64,
+                  Float<fp::Binary64>::quiet_nan().bits, RoundingMode::RNE,
+                  fl);
+    for (const FpFormat to : kAllFormats) {
+      const bool to_posit = to == FpFormat::P8 || to == FpFormat::P16;
+      Flags fc;
+      const std::uint64_t dst =
+          fp::rt_convert(to, from, nan_src, RoundingMode::RNE, fc);
+      if (to_posit) {
+        const std::uint64_t nar = to == FpFormat::P8
+                                      ? std::uint64_t{fp::Posit8::nar_bits}
+                                      : std::uint64_t{fp::Posit16::nar_bits};
+        EXPECT_EQ(dst, nar) << fp::format_name(from) << "->"
+                            << fp::format_name(to) << " must yield NaR";
+      } else {
+        EXPECT_EQ(fp::rt_classify(to, dst),
+                  static_cast<std::uint16_t>(fp::FpClass::QuietNan))
+            << fp::format_name(from) << "->" << fp::format_name(to);
+      }
+    }
+    // And infinities collapse into NaR when entering posit space.
+    if (!from_posit) {
+      Flags fi;
+      const std::uint64_t inf = fp::rt_convert(
+          from, FpFormat::F64, Float<fp::Binary64>::inf(false).bits,
+          RoundingMode::RNE, fi);
+      Flags fc;
+      EXPECT_EQ(fp::rt_convert(FpFormat::P8, from, inf, RoundingMode::RNE, fc),
+                std::uint64_t{fp::Posit8::nar_bits})
+          << fp::format_name(from) << " +inf -> p8";
+      EXPECT_EQ(
+          fp::rt_convert(FpFormat::P16, from, inf, RoundingMode::RNE, fc),
+          std::uint64_t{fp::Posit16::nar_bits})
+          << fp::format_name(from) << " +inf -> p16";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfrv::test
