@@ -31,7 +31,7 @@ void run_figure3() {
     for (int ti = 0; ti < 2; ++ti) {
       for (int li = 0; li < 3; ++li) {
         sim::MemConfig mem;
-        mem.load_latency = levels[li].load_latency;
+        mem.set_level(levels[li]);
         const auto base = run(b, TypeConfig::uniform(ir::ScalarType::F32),
                               ir::CodegenMode::Scalar, mem);
         const auto man = run(b, TypeConfig::uniform(types[ti]),

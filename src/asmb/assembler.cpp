@@ -187,6 +187,24 @@ void Assembler::fsb(std::uint8_t frs2, std::int32_t off, std::uint8_t base) {
   emit({.op = Op::FSB, .rs1 = base, .rs2 = frs2, .imm = off});
 }
 
+void Assembler::setvl(std::uint8_t rd, std::uint8_t rs1, int ew_log2_bytes,
+                      int cap) {
+  const std::int32_t imm = (ew_log2_bytes & 7) | ((cap & 63) << 3);
+  emit({.op = Op::SETVL, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+void Assembler::vflh(std::uint8_t frd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::VFLH, .rd = frd, .rs1 = base, .imm = off});
+}
+void Assembler::vflb(std::uint8_t frd, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::VFLB, .rd = frd, .rs1 = base, .imm = off});
+}
+void Assembler::vfsh(std::uint8_t frs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::VFSH, .rs1 = base, .rs2 = frs2, .imm = off});
+}
+void Assembler::vfsb(std::uint8_t frs2, std::int32_t off, std::uint8_t base) {
+  emit({.op = Op::VFSB, .rs1 = base, .rs2 = frs2, .imm = off});
+}
+
 void Assembler::fp_rrr(Op op, std::uint8_t rd, std::uint8_t rs1,
                        std::uint8_t rs2, std::uint8_t rm) {
   Inst i{.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2};

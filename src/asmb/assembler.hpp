@@ -100,6 +100,20 @@ class Assembler {
   void flb(std::uint8_t frd, std::int32_t off, std::uint8_t base);
   void fsb(std::uint8_t frs2, std::int32_t off, std::uint8_t base);
 
+  // ---- dynamic vector length ----------------------------------------------
+  /// setvl rd, rs1, ew, cap: grant rd = vl = min(AVL in rs1, VLMAX for
+  /// 2^ew-byte elements, cap when nonzero) and latch it in the vl CSR.
+  /// `ew_log2_bytes` is 0 for byte (float8) and 1 for halfword (float16)
+  /// elements; `cap` lets strip-mined loops request short chunks (0 = none).
+  void setvl(std::uint8_t rd, std::uint8_t rs1, int ew_log2_bytes,
+             int cap = 0);
+  // VL-governed vector loads/stores: min(vl, lanes) packed elements,
+  // consecutive in memory; load tails are undisturbed.
+  void vflh(std::uint8_t frd, std::int32_t off, std::uint8_t base);
+  void vflb(std::uint8_t frd, std::int32_t off, std::uint8_t base);
+  void vfsh(std::uint8_t frs2, std::int32_t off, std::uint8_t base);
+  void vfsb(std::uint8_t frs2, std::int32_t off, std::uint8_t base);
+
   // ---- generic FP emission (any scalar/vector op from the table) ----------
   void fp_rrr(isa::Op op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
               std::uint8_t rm = isa::kRmDyn);

@@ -91,8 +91,8 @@ EnergyBreakdown EnergyModel::breakdown(const sim::Stats& stats,
     if (n == 0) continue;
     b.unit += static_cast<double>(n) * unit_energy(static_cast<isa::Op>(i));
   }
-  b.memory = mem_energy(mem.load_latency) *
-             static_cast<double>(stats.load_count + stats.store_count);
+  b.memory = mem_energy(mem.level) * static_cast<double>(stats.load_count) +
+             store_energy(mem) * static_cast<double>(stats.store_count);
   return b;
 }
 

@@ -60,11 +60,26 @@ struct EnergyModel {
   /// Energy of one instance of `op` (excluding base/leakage/memory).
   [[nodiscard]] double unit_energy(isa::Op op) const;
 
-  /// Memory energy per access for a configured load latency.
-  [[nodiscard]] double mem_energy(int latency) const {
-    if (latency <= 1) return mem_l1;
-    if (latency <= 10) return mem_l2;
-    return mem_l3;
+  /// Memory energy per access at an explicit hierarchy level. Keyed off
+  /// MemConfig::level, never the latency: a custom load latency must not
+  /// shift the energy bucket (the old `int latency` overload silently
+  /// billed any latency in (1, 10] at L2, and billed stores at the load
+  /// level even when they retire through the 1-cycle store buffer).
+  [[nodiscard]] double mem_energy(sim::MemLevelId level) const {
+    switch (level) {
+      case sim::MemLevelId::L1: return mem_l1;
+      case sim::MemLevelId::L2: return mem_l2;
+      case sim::MemLevelId::L3: return mem_l3;
+    }
+    __builtin_unreachable();
+  }
+
+  /// Per-store energy: a posted store (store_latency == 1) drains through
+  /// the store buffer into the nearest level and pays the L1 write energy
+  /// regardless of where loads are configured to hit; only an explicitly
+  /// slow store path pays the full level energy.
+  [[nodiscard]] double store_energy(const sim::MemConfig& mem) const {
+    return mem.store_latency <= 1 ? mem_l1 : mem_energy(mem.level);
   }
 
   /// Total energy [pJ] for a finished run (= breakdown().total()).

@@ -97,6 +97,21 @@ std::vector<EvalBenchmark> make_smoke_suite() {
                              return kernels::make_fdtd2d(tc, 2, 8, 8);
                            }},
                  nullptr});
+  out.push_back({Benchmark{"conv2d",
+                           [](TypeConfig tc) {
+                             return kernels::make_conv2d(tc, 6, 6, 3);
+                           }},
+                 nullptr});
+  out.push_back({Benchmark{"fully_connected",
+                           [](TypeConfig tc) {
+                             return kernels::make_fully_connected(tc, 6, 10);
+                           }},
+                 nullptr});
+  out.push_back({Benchmark{"nn_train",
+                           [](TypeConfig tc) {
+                             return kernels::make_nn_train(tc, 5, 6);
+                           }},
+                 nullptr});
   return out;
 }
 
@@ -148,6 +163,26 @@ CampaignSpec CampaignSpec::smoke() {
   return spec;
 }
 
+CampaignSpec CampaignSpec::nn(SuiteScale scale) {
+  using ir::ScalarType;
+  CampaignSpec spec;
+  spec.name = "nn";
+  spec.scale = scale;
+  spec.benchmarks = {"conv2d", "fully_connected", "nn_train"};
+  // Uniform float16 is the baseline; "minifloat-nn" is the paper's training
+  // shape (f8 weights/activations, f16 packed ExSdotp accumulator). Both run
+  // under the ExSdotp generator — uniform f16 has no wider packed format at
+  // FLEN=32 and falls back to same-type MACs, which is the fair baseline.
+  spec.type_configs = {
+      {"float16", TypeConfig::uniform(ScalarType::F16)},
+      {"minifloat-nn", {ScalarType::F8, ScalarType::F16}},
+  };
+  spec.modes = {ir::CodegenMode::ManualVecExs};
+  spec.vls = {0, 1, 2, 4};
+  spec.tuner_study = false;
+  return spec;
+}
+
 bool CampaignSpec::runs_tuner() const {
   return tuner_study &&
          (benchmarks.empty() ||
@@ -173,11 +208,13 @@ std::vector<CellSpec> expand_matrix(const CampaignSpec& spec) {
   }
   std::vector<CellSpec> cells;
   cells.reserve(selected.size() * spec.type_configs.size() *
-                spec.modes.size());
+                spec.modes.size() * spec.vls.size());
   for (const EvalBenchmark* b : selected) {
     for (const auto& tc : spec.type_configs) {
       for (const auto mode : spec.modes) {
-        cells.push_back({b, tc, mode});
+        for (const int vl : spec.vls) {
+          cells.push_back({b, tc, mode, vl});
+        }
       }
     }
   }
@@ -188,9 +225,13 @@ CellResult run_cell(const CellSpec& cell, const sim::MemConfig& mem,
                     sim::Engine engine, fp::MathBackend backend,
                     const ir::OptConfig& opt) {
   const KernelSpec spec = cell.benchmark->bench.make(cell.type_config.tc);
+  // The cell's VL-sweep point overrides the campaign-level vl_cap: each
+  // point is a distinct lowering of the same kernel.
+  ir::OptConfig cell_opt = opt;
+  cell_opt.vl_cap = cell.vl;
   const RunResult r = kernels::run_kernel(spec, cell.mode, mem,
                                           isa::IsaConfig::full(), engine,
-                                          backend, opt);
+                                          backend, cell_opt);
 
   CellResult c;
   c.benchmark = cell.benchmark->bench.name;
@@ -198,6 +239,7 @@ CellResult run_cell(const CellSpec& cell, const sim::MemConfig& mem,
   c.data = cell.type_config.tc.data;
   c.acc = cell.type_config.tc.acc;
   c.mode = cell.mode;
+  c.vl = cell.vl;
   c.cycles = r.stats.cycles;
   c.instructions = r.stats.instructions;
   c.loads = r.stats.load_count;
@@ -278,6 +320,7 @@ EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
   for (const auto m : spec.modes) {
     report.modes.emplace_back(ir::mode_name(m));
   }
+  report.vls = spec.vls;
   report.cells = std::move(results);
   if (spec.runs_tuner()) {
     report.has_tuner = true;

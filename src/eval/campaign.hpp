@@ -70,6 +70,11 @@ struct CampaignSpec {
   /// lowered under. Cycle metrics depend on it; QoR metrics must not (CI
   /// diffs the QoR rows of the smoke report across levels).
   ir::OptConfig opt = ir::default_opt();
+  /// VL-sweep axis (innermost after mode). Each point overrides
+  /// `opt.vl_cap` for its cells; 0 keeps the legacy fixed-lane lowering.
+  /// Cells at the same VL point must be bit-identical across engines,
+  /// backends and thread counts; different points legitimately differ.
+  std::vector<int> vls = {0};
   /// Append the tuner-driven mixed-precision case study (Fig. 6).
   bool tuner_study = true;
 
@@ -77,6 +82,10 @@ struct CampaignSpec {
   [[nodiscard]] static CampaignSpec table3();
   /// Reduced problem sizes for CI; same matrix shape.
   [[nodiscard]] static CampaignSpec smoke();
+  /// The NN inference/training tier: conv2d / fully_connected / nn_train
+  /// under ExSdotp codegen, uniform float16 vs. the f8×f16 MiniFloat-NN
+  /// training shape, swept over a VL axis {0, 1, 2, 4}.
+  [[nodiscard]] static CampaignSpec nn(SuiteScale scale = SuiteScale::Full);
 
   /// Whether this campaign will run the tuner case study: it rides on the
   /// SVM, so a benchmark filter that excludes "svm" also skips the study.
@@ -88,10 +97,11 @@ struct CellSpec {
   const EvalBenchmark* benchmark = nullptr;
   TypeConfigSpec type_config;
   ir::CodegenMode mode = ir::CodegenMode::Scalar;
+  int vl = 0;  ///< strip-mining `setvl` cap; 0 = legacy fixed-lane lowering
 };
 
-/// Expand the campaign matrix, benchmark-major then type config then mode.
-/// Throws on a benchmark name not present in the suite.
+/// Expand the campaign matrix, benchmark-major then type config then mode
+/// then VL. Throws on a benchmark name not present in the suite.
 [[nodiscard]] std::vector<CellSpec> expand_matrix(const CampaignSpec& spec);
 
 /// Execute one cell: lower, simulate, and measure.

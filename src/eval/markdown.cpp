@@ -22,9 +22,13 @@ std::string fmt_ratio(double num, double den) {
   return fmt(num / den, 2) + "×";
 }
 
+/// First point of the VL-sweep axis: the fixed tables below are rendered at
+/// this VL; the sweep section (when the axis has more points) shows the rest.
+int first_vl(const EvalReport& r) { return r.vls.empty() ? 0 : r.vls.front(); }
+
 const CellResult* scalar_float_cell(const EvalReport& r,
                                     const std::string& benchmark) {
-  return r.find_cell(benchmark, "float", ir::CodegenMode::Scalar);
+  return r.find_cell(benchmark, "float", ir::CodegenMode::Scalar, first_vl(r));
 }
 
 void table_header(std::string& out, const std::vector<std::string>& cols) {
@@ -50,8 +54,12 @@ std::string render_markdown(const EvalReport& r) {
          "`, backend `" + r.backend + "`, opt `" + r.opt + "`. " +
          std::to_string(r.benchmarks.size()) + " benchmarks × " +
          std::to_string(r.type_configs.size()) + " type configs × " +
-         std::to_string(r.modes.size()) + " codegen modes = " +
-         std::to_string(r.cells.size()) + " cells. Memory: load latency " +
+         std::to_string(r.modes.size()) + " codegen modes" +
+         (r.vls.size() > 1
+              ? " × " + std::to_string(r.vls.size()) + " VL points"
+              : "") +
+         " = " + std::to_string(r.cells.size()) +
+         " cells. Memory: load latency " +
          std::to_string(r.mem_load_latency) + " cycle(s), store latency " +
          std::to_string(r.mem_store_latency) + " cycle(s).\n\n";
 
@@ -65,10 +73,42 @@ std::string render_markdown(const EvalReport& r) {
       for (const auto& tc : r.type_configs) {
         std::vector<std::string> cells = {b, tc};
         for (const auto& m : r.modes) {
-          const CellResult* c = r.find_cell(b, tc, mode_from_name(m));
+          const CellResult* c =
+              r.find_cell(b, tc, mode_from_name(m), first_vl(r));
           cells.push_back(c ? std::to_string(c->cycles) : "—");
         }
         row(out, cells);
+      }
+    }
+    out += "\n";
+  }
+
+  // ---- VL sweep ------------------------------------------------------------
+  if (r.vls.size() > 1) {
+    out +=
+        "## VL sweep: cycles per `setvl` cap\n\n"
+        "Each column is one point of the dynamic-VL axis (`vl_cap`; 0 = "
+        "legacy fixed-lane lowering, otherwise strip-mined `setvl` loops "
+        "capped at that granted VL). Results at a given point are "
+        "bit-identical across engines, backends, and thread counts; across "
+        "points cycles legitimately differ.\n\n";
+    std::vector<std::string> cols = {"benchmark", "type config", "mode"};
+    for (const int vl : r.vls) {
+      cols.push_back(vl == 0 ? "legacy" : "vl=" + std::to_string(vl));
+    }
+    table_header(out, cols);
+    for (const auto& b : r.benchmarks) {
+      for (const auto& tc : r.type_configs) {
+        for (const auto& m : r.modes) {
+          std::vector<std::string> cells = {b, tc, m};
+          bool any = false;
+          for (const int vl : r.vls) {
+            const CellResult* c = r.find_cell(b, tc, mode_from_name(m), vl);
+            if (c != nullptr) any = true;
+            cells.push_back(c ? std::to_string(c->cycles) : "—");
+          }
+          if (any) row(out, cells);
+        }
       }
     }
     out += "\n";
@@ -88,7 +128,8 @@ std::string render_markdown(const EvalReport& r) {
       const CellResult* base = scalar_float_cell(r, b);
       std::vector<std::string> cells = {b};
       for (const auto& tc : r.type_configs) {
-        const CellResult* c = r.find_cell(b, tc, ir::CodegenMode::ManualVec);
+        const CellResult* c =
+            r.find_cell(b, tc, ir::CodegenMode::ManualVec, first_vl(r));
         cells.push_back(base && c ? fmt_ratio(static_cast<double>(base->cycles),
                                               static_cast<double>(c->cycles))
                                   : "—");
@@ -112,7 +153,8 @@ std::string render_markdown(const EvalReport& r) {
       if (tc == "float") continue;  // the baseline defines the reference
       std::vector<std::string> cells = {tc};
       for (const auto& b : r.benchmarks) {
-        const CellResult* c = r.find_cell(b, tc, ir::CodegenMode::ManualVec);
+        const CellResult* c =
+            r.find_cell(b, tc, ir::CodegenMode::ManualVec, first_vl(r));
         cells.push_back(c ? fmt(c->sqnr_db, 1) : "—");
       }
       row(out, cells);
@@ -131,8 +173,10 @@ std::string render_markdown(const EvalReport& r) {
                        "manual-vec cycles", "auto/manual"});
     for (const auto& b : r.benchmarks) {
       for (const auto& tc : r.type_configs) {
-        const CellResult* av = r.find_cell(b, tc, ir::CodegenMode::AutoVec);
-        const CellResult* mv = r.find_cell(b, tc, ir::CodegenMode::ManualVec);
+        const CellResult* av =
+            r.find_cell(b, tc, ir::CodegenMode::AutoVec, first_vl(r));
+        const CellResult* mv =
+            r.find_cell(b, tc, ir::CodegenMode::ManualVec, first_vl(r));
         if (av == nullptr || mv == nullptr) continue;
         if (ir::lanes32(av->data) < 2) continue;  // not a SIMD configuration
         row(out, {b, tc, std::to_string(av->cycles),
@@ -149,9 +193,10 @@ std::string render_markdown(const EvalReport& r) {
     std::string rows;
     for (const auto& b : r.benchmarks) {
       for (const auto& tc : r.type_configs) {
-        const CellResult* mv = r.find_cell(b, tc, ir::CodegenMode::ManualVec);
+        const CellResult* mv =
+            r.find_cell(b, tc, ir::CodegenMode::ManualVec, first_vl(r));
         const CellResult* ex =
-            r.find_cell(b, tc, ir::CodegenMode::ManualVecExs);
+            r.find_cell(b, tc, ir::CodegenMode::ManualVecExs, first_vl(r));
         if (mv == nullptr || ex == nullptr) continue;
         if (mv->cycles == ex->cycles) continue;  // no widening reduction hit
         row(rows,
@@ -189,7 +234,8 @@ std::string render_markdown(const EvalReport& r) {
       const CellResult* base = scalar_float_cell(r, b);
       std::vector<std::string> cells = {b};
       for (const auto& tc : r.type_configs) {
-        const CellResult* c = r.find_cell(b, tc, ir::CodegenMode::ManualVec);
+        const CellResult* c =
+            r.find_cell(b, tc, ir::CodegenMode::ManualVec, first_vl(r));
         cells.push_back(base && c && base->energy.total() != 0
                             ? fmt(c->energy.total() / base->energy.total(), 2)
                             : "—");
@@ -236,7 +282,7 @@ std::string render_markdown(const EvalReport& r) {
       for (const auto& tc : r.type_configs) {
         const auto mode = tc == "float" ? ir::CodegenMode::Scalar
                                         : ir::CodegenMode::ManualVec;
-        const CellResult* c = r.find_cell(s.benchmark, tc, mode);
+        const CellResult* c = r.find_cell(s.benchmark, tc, mode, first_vl(r));
         if (c == nullptr) continue;
         row(out, {tc,
                   fmt_ratio(static_cast<double>(base->cycles),

@@ -33,6 +33,7 @@ Json cell_to_json(const CellResult& c) {
       {"data", Json(ir::type_name(c.data))},
       {"acc", Json(ir::type_name(c.acc))},
       {"mode", Json(ir::mode_name(c.mode))},
+      {"vl", Json(c.vl)},
       {"cycles", Json(c.cycles)},
       {"instructions", Json(c.instructions)},
       {"loads", Json(c.loads)},
@@ -52,6 +53,7 @@ CellResult cell_from_json(const Json& j) {
   c.data = scalar_type_from_name(j.at("data").as_string());
   c.acc = scalar_type_from_name(j.at("acc").as_string());
   c.mode = mode_from_name(j.at("mode").as_string());
+  c.vl = static_cast<int>(j.at("vl").as_int());
   c.cycles = j.at("cycles").as_uint();
   c.instructions = j.at("instructions").as_uint();
   c.loads = j.at("loads").as_uint();
@@ -97,6 +99,20 @@ std::vector<std::string> strings_from_json(const Json& j) {
   return v;
 }
 
+Json ints_to_json(const std::vector<int>& v) {
+  JsonArray arr;
+  arr.reserve(v.size());
+  for (const int x : v) arr.emplace_back(x);
+  return Json(std::move(arr));
+}
+
+std::vector<int> ints_from_json(const Json& j) {
+  std::vector<int> v;
+  v.reserve(j.array().size());
+  for (const auto& x : j.array()) v.push_back(static_cast<int>(x.as_int()));
+  return v;
+}
+
 }  // namespace
 
 ir::ScalarType scalar_type_from_name(std::string_view name) {
@@ -119,10 +135,10 @@ ir::CodegenMode mode_from_name(std::string_view name) {
 
 const CellResult* EvalReport::find_cell(std::string_view benchmark,
                                         std::string_view type_config,
-                                        ir::CodegenMode mode) const {
+                                        ir::CodegenMode mode, int vl) const {
   for (const auto& c : cells) {
     if (c.benchmark == benchmark && c.type_config == type_config &&
-        c.mode == mode) {
+        c.mode == mode && c.vl == vl) {
       return &c;
     }
   }
@@ -145,6 +161,7 @@ Json to_json(const EvalReport& report) {
       {"benchmarks", strings_to_json(report.benchmarks)},
       {"type_configs", strings_to_json(report.type_configs)},
       {"modes", strings_to_json(report.modes)},
+      {"vls", ints_to_json(report.vls)},
       {"cells", Json(std::move(cells))},
   };
   // Host-dependent, opt-in: keeping it out of default reports preserves the
@@ -186,6 +203,7 @@ EvalReport report_from_json(const Json& doc) {
   r.benchmarks = strings_from_json(doc.at("benchmarks"));
   r.type_configs = strings_from_json(doc.at("type_configs"));
   r.modes = strings_from_json(doc.at("modes"));
+  r.vls = ints_from_json(doc.at("vls"));
   for (const auto& c : doc.at("cells").array()) {
     r.cells.push_back(cell_from_json(c));
   }

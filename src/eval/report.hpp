@@ -40,7 +40,15 @@ namespace sfrv::eval {
 ///     IEEE formats against each other, posit/IEEE mixes outside float) are
 ///     recorded as skipped trials with qor = -1 / cost = 0 instead of being
 ///     simulated.
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v6";
+/// v7: dynamic vector length. The campaign matrix gains a VL axis (`vls`,
+///     innermost after mode; the default {0} keeps the legacy fixed-lane
+///     lowering) and every cell records its `vl` (the strip-mining `setvl`
+///     cap, 0 = legacy). The suite gains the NN tier (conv2d,
+///     fully_connected, nn_train). Results must be bit-identical across
+///     engines, backends, and thread counts at every VL point; across
+///     *different* VL points cycles and outputs legitimately differ (the
+///     element-to-lane mapping changes with the granted VL).
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v7";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.
@@ -50,6 +58,9 @@ struct CellResult {
   ir::ScalarType data = ir::ScalarType::F32;
   ir::ScalarType acc = ir::ScalarType::F32;
   ir::CodegenMode mode = ir::CodegenMode::Scalar;
+  /// Dynamic-VL cap the cell was lowered under (OptConfig::vl_cap);
+  /// 0 = legacy fixed-lane lowering.
+  int vl = 0;
 
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
@@ -109,15 +120,18 @@ struct EvalReport {
   std::vector<std::string> benchmarks;    ///< suite order
   std::vector<std::string> type_configs;  ///< campaign order
   std::vector<std::string> modes;         ///< campaign order
+  std::vector<int> vls = {0};             ///< VL-sweep axis (0 = legacy)
   /// benchmark-major, then type config, then mode (matrix-expansion order).
   std::vector<CellResult> cells;
   bool has_tuner = false;
   TunerStudy tuner{};
 
   /// Cell lookup by coordinates; nullptr when the cell is not present.
+  /// `vl` selects a point of the VL-sweep axis (0 = legacy lowering).
   [[nodiscard]] const CellResult* find_cell(std::string_view benchmark,
                                             std::string_view type_config,
-                                            ir::CodegenMode mode) const;
+                                            ir::CodegenMode mode,
+                                            int vl = 0) const;
 };
 
 [[nodiscard]] Json to_json(const EvalReport& report);

@@ -947,13 +947,36 @@ class Lowerer {
   ScalarType vec_t_ = ScalarType::F16;  // active vector element type
   std::uint8_t zero_vec_ = 0;           // packed +0 lanes, when allocated
   bool zero_vec_valid_ = false;
+  bool strip_ = false;  // emitting a VL strip-mined body (vl_cap != 0)
 
-  /// Vector load: flw through pointer or indexed addressing.
+  /// Packed-register load for the vector body: a full-register flw in the
+  /// legacy fixed-lane shape, or the VL-governed vflh/vflb (element count =
+  /// granted vl, tail undisturbed) inside a strip-mined loop.
+  void emit_vec_load(std::uint8_t d, std::int32_t imm, std::uint8_t base) {
+    if (!strip_) {
+      asm_.flw(d, imm, base);
+    } else if (log2_bytes(vec_t_) == 1) {
+      asm_.vflh(d, imm, base);
+    } else {
+      asm_.vflb(d, imm, base);
+    }
+  }
+  void emit_vec_store(std::uint8_t r, std::int32_t imm, std::uint8_t base) {
+    if (!strip_) {
+      asm_.fsw(r, imm, base);
+    } else if (log2_bytes(vec_t_) == 1) {
+      asm_.vfsh(r, imm, base);
+    } else {
+      asm_.vfsb(r, imm, base);
+    }
+  }
+
+  /// Vector load: packed load through pointer or indexed addressing.
   VVal vload(const ArrayRef& r) {
     const Addr a = stream_addr(r);
     const std::uint8_t d = fp_pool_.alloc();
     note_mem(r.array);
-    asm_.flw(d, a.imm, a.reg);
+    emit_vec_load(d, a.imm, a.reg);
     release_addr(a);
     return {d, true, vec_t_, true};
   }
@@ -1145,7 +1168,7 @@ class Lowerer {
         }
         const Addr a = stream_addr(s.dst);
         note_mem(s.dst.array);
-        asm_.fsw(v.reg, a.imm, a.reg);
+        emit_vec_store(v.reg, a.imm, a.reg);
         release_addr(a);
         free_vval(v);
         return;
@@ -1154,7 +1177,7 @@ class Lowerer {
         const Addr a = stream_addr(s.dst);
         const std::uint8_t d = fp_pool_.alloc();
         note_mem(s.dst.array);
-        asm_.flw(d, a.imm, a.reg);
+        emit_vec_load(d, a.imm, a.reg);
         if (s.value->kind == Expr::Kind::Mul) {
           emit_vec_mac(d, *s.value, vec_t_);
         } else if (s.value->kind == Expr::Kind::Add &&
@@ -1169,7 +1192,7 @@ class Lowerer {
           free_vval(v);
         }
         note_mem(s.dst.array);
-        asm_.fsw(d, a.imm, a.reg);
+        emit_vec_store(d, a.imm, a.reg);
         release_addr(a);
         fp_pool_.release(d);
         return;
@@ -1376,6 +1399,10 @@ class Lowerer {
     // scalar epilogue — and every element keeps the exact O0 execution shape
     // (same chunk order, same instructions per chunk), so reductions stay
     // bit-identical.
+    // Dynamic-VL strip mining replaces the whole three-way split: the loop
+    // asks `setvl` for min(remaining, vl_cap) elements each iteration, and
+    // the final short strip IS the tail — no vecend, no scalar epilogue.
+    const bool strip = opt_.vl_cap != 0 && is_manual_mode(mode_);
     const bool const_trip = lp.upper.is_constant();
     const int trip_const = const_trip ? lp.upper.constant - lp.lower : -1;
     const bool exact = const_trip && trip_const % vl == 0;
@@ -1383,13 +1410,13 @@ class Lowerer {
     const int step = U * vl;
     // A statically-known trip count that cannot fill one unrolled group
     // makes the unrolled loop pure overhead: fall back to the O0 shape.
-    const bool do_unroll = U > 1 && !(const_trip && trip_const < step);
+    const bool do_unroll = !strip && U > 1 && !(const_trip && trip_const < step);
     // The vl-stepped loop is statically empty when the unrolled loop already
     // covers every full-width chunk.
     const bool mid_needed =
-        !do_unroll || !const_trip ||
-        (trip_const > 0 &&
-         (trip_const / vl) * vl != (trip_const / step) * step);
+        !strip && (!do_unroll || !const_trip ||
+                   (trip_const > 0 &&
+                    (trip_const / vl) * vl != (trip_const / step) * step));
     std::uint8_t vecend = 0;
     if (mid_needed) {
       if (const_trip) {
@@ -1418,6 +1445,54 @@ class Lowerer {
     inner_ = &ic;
 
     const std::uint32_t range_begin = asm_.pc();
+    if (strip) {
+      // VL-agnostic strip-mined loop:
+      //   while (v < b) { U x [ avl = b - v; gvl = setvl(avl, ew, cap);
+      //                         body; ptr += gvl << ew; v += gvl ] }
+      // Unrolled copies past the exhausted point self-neutralize: with
+      // AVL == 0, setvl grants 0, so the body's tail-undisturbed merges, the
+      // VL-governed loads/stores, the pointer bumps, and the induction update
+      // are all no-ops. That makes U > 1 element-for-element identical to
+      // U = 1 (same strip sequence), which is the O2 == O0 contract.
+      strip_ = true;
+      const int ew = log2_bytes(t);
+      const std::uint8_t avl = int_pool_.alloc();
+      const std::uint8_t gvl = int_pool_.alloc();
+      const std::uint8_t bump = int_pool_.alloc();
+      const auto lsend = asm_.make_label();
+      const auto lstop = asm_.make_label();
+      asm_.bge(v, b, lsend);
+      asm_.bind(lstop);
+      // Replicate strips only when the static strip count divides evenly by
+      // U: exhausted strips are architecturally no-ops but still retire
+      // their glue and masked body, so a partial final group would make the
+      // unrolled loop strictly slower than U = 1.
+      int copies = 1;
+      if (U > 1 && const_trip && trip_const > 0) {
+        const int g = vl < opt_.vl_cap ? vl : opt_.vl_cap;
+        const int strips = (trip_const + g - 1) / g;
+        if (strips % U == 0) copies = U;
+      }
+      for (int u = 0; u < copies; ++u) {
+        asm_.sub(avl, b, v);
+        asm_.setvl(gvl, avl, ew, opt_.vl_cap);
+        for (const auto& n : lp.body) lower_vec_stmt(std::get<Stmt>(n));
+        asm_.slli(bump, gvl, ew);
+        for (const std::uint8_t p : ic.ptr_regs) asm_.add(p, p, bump);
+        asm_.add(v, v, gvl);
+      }
+      asm_.blt(v, b, lstop);
+      asm_.bind(lsend);
+      // Restore VL to VLMAX: the horizontal reductions below (and any later
+      // vector loop's preheader) use packed operations, which are
+      // VL-governed. Requesting a large AVL with no cap grants VLMAX.
+      asm_.li(avl, 32);
+      asm_.setvl(reg::zero, avl, 0, 0);
+      strip_ = false;
+      int_pool_.release(bump);
+      int_pool_.release(gvl);
+      int_pool_.release(avl);
+    }
     if (do_unroll) {
       const std::uint8_t uvend = int_pool_.alloc();
       if (const_trip) {
@@ -1480,8 +1555,9 @@ class Lowerer {
     }
     wide_accs_.clear();
 
-    // Scalar epilogue for the remainder.
-    if (!exact) {
+    // Scalar epilogue for the remainder (strip mining has none: the final
+    // short strip already covered it).
+    if (!strip && !exact) {
       if (indexed) {
         // Materialize pointers for the scalar tail from the row bases.
         ic.indexed_active = false;

@@ -21,6 +21,13 @@ void validate(const OptConfig& cfg) {
         "invalid unroll factor " + std::to_string(u) +
         " (must be a power of two in [1, 8])");
   }
+  // The setvl cap field is 6 bits, so a strip request cannot exceed 63
+  // elements. Per-format divisibility (cap % lanes == 0) is checked at
+  // lowering time, where the element width is known.
+  if (cfg.vl_cap < 0 || cfg.vl_cap > 63) {
+    throw std::runtime_error("invalid vl_cap " + std::to_string(cfg.vl_cap) +
+                             " (must be in [0, 63])");
+  }
 }
 
 std::string_view opt_name(const OptConfig& cfg) {
@@ -103,6 +110,31 @@ InstModel classify(const Inst& in) {
   auto def_x = [&](unsigned r) {
     if (r != 0) m.def = xr(r);
   };
+  // VL-governed vector memops: the access footprint depends on the dynamic
+  // vl register (invisible to this pass), and a VL load merges into its
+  // destination tail-undisturbed, so rd is a *source* as well as the def.
+  // Model them as opaque memory barriers — never deleted, never eligible
+  // for store-to-load forwarding, and clearing the forwarding table (the
+  // widths the table tracks don't describe what these ops touch).
+  switch (op) {
+    case Op::VFLB:
+    case Op::VFLH:
+      m.understood = true;
+      m.barrier = true;
+      m.def = fr(in.rd);
+      m.uses[0] = xr(in.rs1);
+      m.uses[1] = fr(in.rd);
+      return m;
+    case Op::VFSB:
+    case Op::VFSH:
+      m.understood = true;
+      m.barrier = true;
+      m.uses[0] = xr(in.rs1);
+      m.uses[1] = fr(in.rs2);
+      return m;
+    default:
+      break;
+  }
   switch (c) {
     case Cls::IntAlu:
     case Cls::IntMul:

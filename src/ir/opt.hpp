@@ -48,10 +48,18 @@ struct OptConfig {
   bool ptr_strength_reduction = false;
   /// Run the dead-glue elimination post pass over the lowered text.
   bool dead_glue_elim = false;
+  /// Dynamic-VL strip mining (manual codegen modes only). 0 keeps the
+  /// legacy fixed-lane lowering (byte-identical to every pre-VL program);
+  /// nonzero emits a VL-agnostic strip-mined inner loop — per-iteration
+  /// `setvl` requesting min(remaining, vl_cap) elements, VL-governed
+  /// loads/stores, granted-VL pointer bumps, and no scalar epilogue (the
+  /// final short strip IS the tail). Any value in [1, 63] is a legitimate
+  /// sweep point; sub-lane grants merge tail-undisturbed.
+  int vl_cap = 0;
 
-  [[nodiscard]] static constexpr OptConfig O0() { return {1, false, false}; }
-  [[nodiscard]] static constexpr OptConfig O1() { return {1, true, true}; }
-  [[nodiscard]] static constexpr OptConfig O2() { return {4, true, true}; }
+  [[nodiscard]] static constexpr OptConfig O0() { return {1, false, false, 0}; }
+  [[nodiscard]] static constexpr OptConfig O1() { return {1, true, true, 0}; }
+  [[nodiscard]] static constexpr OptConfig O2() { return {4, true, true, 0}; }
 
   friend constexpr bool operator==(const OptConfig&, const OptConfig&) = default;
 };

@@ -348,7 +348,17 @@ enum class Lay : std::uint8_t {
   X(FCVT_P16_AH, "fcvt.p16.ah", Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 1) \
   X(FCVT_P16_H,  "fcvt.p16.h",  Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 2) \
   X(FCVT_P16_B,  "fcvt.p16.b",  Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 3) \
-  X(FCVT_P16_P8, "fcvt.p16.p8", Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 4)
+  X(FCVT_P16_P8, "fcvt.p16.p8", Ext::Xposit, Cls::FpCvt, OpFmt::P16, false, Lay::FpUnaryRm, 0x0b, -1, ((0x08 << 2) | 0x1), 4) \
+  /* Dynamic vector length. setvl grants rd = min(AVL in rs1, VLMAX for the
+     element width in imm[2:0], optional cap in imm[8:3]) and latches it in
+     the vl CSR. The VL load/stores move min(vl, packed lanes) elements;
+     the register tail is undisturbed. vec=false: these are scalar-register
+     control / whole-register memory ops, not per-lane SIMD compute. */ \
+  X(SETVL, "setvl", Ext::Xfvec, Cls::Csr,     OpFmt::None, false, Lay::Iimm, 0x73, 4, -1, -1) \
+  X(VFLB,  "vflb",  Ext::Xfvec, Cls::FpLoad,  OpFmt::None, false, Lay::Iimm, 0x07, 4, -1, -1) \
+  X(VFLH,  "vflh",  Ext::Xfvec, Cls::FpLoad,  OpFmt::None, false, Lay::Iimm, 0x07, 5, -1, -1) \
+  X(VFSB,  "vfsb",  Ext::Xfvec, Cls::FpStore, OpFmt::None, false, Lay::Simm, 0x27, 4, -1, -1) \
+  X(VFSH,  "vfsh",  Ext::Xfvec, Cls::FpStore, OpFmt::None, false, Lay::Simm, 0x27, 5, -1, -1)
 
 // clang-format on
 

@@ -177,6 +177,10 @@ const std::vector<Benchmark>& benchmark_suite() {
       {"syrk", [](TypeConfig tc) { return make_syrk(tc); }},
       {"syr2k", [](TypeConfig tc) { return make_syr2k(tc); }},
       {"fdtd2d", [](TypeConfig tc) { return make_fdtd2d(tc); }},
+      {"conv2d", [](TypeConfig tc) { return make_conv2d(tc); }},
+      {"fully_connected",
+       [](TypeConfig tc) { return make_fully_connected(tc); }},
+      {"nn_train", [](TypeConfig tc) { return make_nn_train(tc); }},
   };
   return suite;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/nn.hpp"
 #include "kernels/polybench.hpp"
 #include "kernels/svm.hpp"
 
@@ -25,7 +26,9 @@ struct SvmFixture {
 };
 [[nodiscard]] const SvmFixture& svm_fixture();
 
-/// Table III order: SVM, GEMM, ATAX, SYRK, SYR2K, FDTD2D.
+/// Table III order (SVM, GEMM, ATAX, SYRK, SYR2K, FDTD2D), then the NN
+/// inference/training tier (CONV2D, FULLY_CONNECTED, NN_TRAIN) appended so
+/// pre-NN report rows keep their matrix-expansion positions.
 [[nodiscard]] const std::vector<Benchmark>& benchmark_suite();
 
 }  // namespace sfrv::kernels

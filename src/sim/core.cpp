@@ -147,6 +147,9 @@ void Core::load_program(const asmb::Program& prog) {
   ctx_.pc = prog.entry();
   ctx_.x[2] = asmb::kDefaultStackTop;  // sp
   ctx_.halted = false;
+  // VL reset: all lanes of the narrowest packed format active, so programs
+  // that never execute SETVL behave exactly as before the VL seam existed.
+  ctx_.vl = static_cast<std::uint32_t>(cfg_.flen / 8);
   stats_.pc_cycles.assign(decoded_.size(), 0);
 }
 
@@ -353,10 +356,10 @@ Core::RunResult Core::run_jit(std::uint64_t max_steps) {
     while (remaining > 0) {
       if (ctx_.halted) break;
       const std::uint32_t idx = fetch_index(ctx_.pc);
-      jit::Trace* t = jit_.lookup(idx);
+      jit::Trace* t = jit_.lookup(idx, ctx_.vl);
       if (t == nullptr && jit_.note_entry(idx)) {
         t = jit_.translate(idx, uops_, timing_, mem_.config(), text_base_,
-                           stats_);
+                           ctx_.vl, stats_);
       }
       if (t != nullptr) {
         remaining -= exec_trace(*t, remaining);
@@ -608,6 +611,42 @@ void Core::exec_int(const Inst& i) {
       ctx_.halted = true;
       break;
 
+    // VL-governed vector loads/stores: move min(vl, lanes) packed elements,
+    // lowest lane first; the register tail is undisturbed. The destination is
+    // written only after every element load succeeded, so a mid-vector fault
+    // leaves rd unchanged (stores are element-ordered; a fault makes the
+    // lower elements visible, like any partially-completed store sequence).
+    case Op::VFLH:
+    case Op::VFLB: {
+      const int w = i.op == Op::VFLH ? 16 : 8;
+      const int active = ctx_.vl_active(cfg_.flen / w);
+      std::uint64_t out = ctx_.f[i.rd];
+      for (int l = 0; l < active; ++l) {
+        const std::uint64_t v = w == 16
+                                    ? mem_.load16(rs1 + imm + 2 * l)
+                                    : mem_.load8(rs1 + imm + l);
+        out = set_lane(out, l, w, v);
+      }
+      ctx_.f[i.rd] = out & ctx_.flen_mask;
+      break;
+    }
+    case Op::VFSH:
+    case Op::VFSB: {
+      const int w = i.op == Op::VFSH ? 16 : 8;
+      const int active = ctx_.vl_active(cfg_.flen / w);
+      const std::uint64_t v = ctx_.f[i.rs2];
+      for (int l = 0; l < active; ++l) {
+        if (w == 16) {
+          mem_.store16(rs1 + imm + 2 * l,
+                       static_cast<std::uint16_t>(get_lane(v, l, 16)));
+        } else {
+          mem_.store8(rs1 + imm + l,
+                      static_cast<std::uint8_t>(get_lane(v, l, 8)));
+        }
+      }
+      break;
+    }
+
     case Op::FLW: write_fp(i.rd, 32, mem_.load32(rs1 + imm)); break;
     case Op::FLH: write_fp(i.rd, 16, mem_.load16(rs1 + imm)); break;
     case Op::FLB: write_fp(i.rd, 8, mem_.load8(rs1 + imm)); break;
@@ -628,6 +667,20 @@ void Core::exec_int(const Inst& i) {
 }
 
 void Core::exec_csr(const Inst& i) {
+  if (i.op == Op::SETVL) {
+    // rd = vl = min(AVL in rs1, VLMAX for imm[2:0] = log2(element bytes),
+    // optional cap in imm[8:3]); no x0 special case, AVL 0 grants vl 0.
+    const std::uint32_t avl = ctx_.x[i.rs1];
+    const auto ew = static_cast<std::uint32_t>(i.imm) & 7u;
+    const std::uint32_t cap = (static_cast<std::uint32_t>(i.imm) >> 3) & 63u;
+    const std::uint32_t vlmax = static_cast<std::uint32_t>(cfg_.flen / 8) >> ew;
+    std::uint32_t vl = avl < vlmax ? avl : vlmax;
+    if (cap != 0 && vl > cap) vl = cap;
+    ctx_.vl = vl;
+    if (i.rd != 0) ctx_.x[i.rd] = vl;
+    ctx_.pc += 4;
+    return;
+  }
   const std::uint32_t old = csr_read(i.imm);
   const bool is_imm =
       (i.op == Op::CSRRWI || i.op == Op::CSRRSI || i.op == Op::CSRRCI);
@@ -659,6 +712,7 @@ std::uint32_t Core::csr_read(std::int32_t addr) const {
     case 0x003: return static_cast<std::uint32_t>(ctx_.frm) << 5 | ctx_.fflags;
     case 0xc00: return static_cast<std::uint32_t>(stats_.cycles);
     case 0xc02: return static_cast<std::uint32_t>(stats_.instructions);
+    case 0xc20: return ctx_.vl;  // read-only; SETVL is the sole writer
     case 0xc80: return static_cast<std::uint32_t>(stats_.cycles >> 32);
     case 0xc82: return static_cast<std::uint32_t>(stats_.instructions >> 32);
     default:
@@ -969,6 +1023,12 @@ void Core::exec_fp_vector(const Inst& i) {
   const FpFormat fmt = isa::to_fp_format(isa::op_format(i.op));
   const int w = fmt_width(fmt);
   const int lanes = isa::vector_lanes(fmt, cfg_.flen);
+  // Dynamic VL: only the low `active` lanes compute; the register tail is
+  // undisturbed (merged back from the old rd). Cast-and-pack ops are
+  // VL-agnostic by contract (they address lanes explicitly); comparisons
+  // zero the tail mask bits.
+  const int active = ctx_.vl_active(lanes);
+  const std::uint64_t keep = width_mask(active * w);
   const RoundingMode rm = resolve_rm(isa::kRmDyn);
   Flags fl;
 
@@ -976,21 +1036,25 @@ void Core::exec_fp_vector(const Inst& i) {
   const std::uint64_t vb = ctx_.f[i.rs2];
   std::uint64_t vd = ctx_.f[i.rd];
 
+  auto merge = [&](std::uint64_t out) {
+    return mask_flen((out & keep) | (vd & ~keep));
+  };
+
   using BinFn = std::uint64_t (*)(FpFormat, std::uint64_t, std::uint64_t,
                                   RoundingMode, Flags&);
   auto lanewise = [&](BinFn fn, bool replicate) {
     std::uint64_t out = 0;
     const std::uint64_t b0 = get_lane(vb, 0, w);
-    for (int l = 0; l < lanes; ++l) {
+    for (int l = 0; l < active; ++l) {
       const std::uint64_t bl = replicate ? b0 : get_lane(vb, l, w);
       out = set_lane(out, l, w, fn(fmt, get_lane(va, l, w), bl, rm, fl));
     }
-    ctx_.f[i.rd] = mask_flen(out);
+    ctx_.f[i.rd] = merge(out);
   };
   using CmpFn = bool (*)(FpFormat, std::uint64_t, std::uint64_t, Flags&);
   auto cmpwise = [&](CmpFn fn) {
     std::uint32_t mask = 0;
-    for (int l = 0; l < lanes; ++l) {
+    for (int l = 0; l < active; ++l) {
       if (fn(fmt, get_lane(va, l, w), get_lane(vb, l, w), fl)) {
         mask |= 1u << l;
       }
@@ -1000,13 +1064,13 @@ void Core::exec_fp_vector(const Inst& i) {
   auto macwise = [&](bool replicate) {
     std::uint64_t out = vd;
     const std::uint64_t b0 = get_lane(vb, 0, w);
-    for (int l = 0; l < lanes; ++l) {
+    for (int l = 0; l < active; ++l) {
       const std::uint64_t bl = replicate ? b0 : get_lane(vb, l, w);
       out = set_lane(out, l, w,
                      fp::rt_fma(fmt, get_lane(va, l, w), bl,
                                 get_lane(vd, l, w), rm, fl));
     }
-    ctx_.f[i.rd] = mask_flen(out);
+    ctx_.f[i.rd] = merge(out);
   };
   auto no_round_min = [](FpFormat f, std::uint64_t a, std::uint64_t b,
                          RoundingMode, Flags& flg) {
@@ -1035,26 +1099,26 @@ void Core::exec_fp_vector(const Inst& i) {
 
     SFRV_VCASE3(VFSGNJ) {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w,
                        fp::rt_sgnj(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
     SFRV_VCASE3(VFSGNJN) {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w,
                        fp::rt_sgnjn(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
     SFRV_VCASE3(VFSGNJX) {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w,
                        fp::rt_sgnjx(fmt, get_lane(va, l, w), get_lane(vb, l, w)));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
 
@@ -1064,16 +1128,16 @@ void Core::exec_fp_vector(const Inst& i) {
 
     SFRV_VCASE3(VFSQRT) {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w, fp::rt_sqrt(fmt, get_lane(va, l, w), rm, fl));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
     SFRV_VCASE3(VFCVT_X) {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w, lane_to_int(fmt, get_lane(va, l, w), w, rm, fl));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
     case Op::VFCVT_H_X:
@@ -1082,28 +1146,28 @@ void Core::exec_fp_vector(const Inst& i) {
     case Op::VFCVT_P8_X:
     case Op::VFCVT_P16_X: {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w,
                        lane_from_int(fmt, get_lane(va, l, w), w, rm, fl));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
     case Op::VFCVT_H_AH: {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w,
                        fp::rt_convert(FpFormat::F16, FpFormat::F16Alt,
                                       get_lane(va, l, w), rm, fl));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
     case Op::VFCVT_AH_H: {
       std::uint64_t out = 0;
-      for (int l = 0; l < lanes; ++l)
+      for (int l = 0; l < active; ++l)
         out = set_lane(out, l, w,
                        fp::rt_convert(FpFormat::F16Alt, FpFormat::F16,
                                       get_lane(va, l, w), rm, fl));
-      ctx_.f[i.rd] = mask_flen(out);
+      ctx_.f[i.rd] = merge(out);
       break;
     }
 
@@ -1134,7 +1198,7 @@ void Core::exec_fp_vector(const Inst& i) {
     // accumulated with fused f32 steps in lane order.
     SFRV_VCASE3(VFDOTPEX_S) {
       std::uint64_t acc = read_fp(i.rd, 32);
-      for (int l = 0; l < lanes; ++l) {
+      for (int l = 0; l < active; ++l) {
         const std::uint64_t wa = widen_to_f32(fmt, get_lane(va, l, w), fl);
         const std::uint64_t wb = widen_to_f32(fmt, get_lane(vb, l, w), fl);
         acc = fp::rt_fma(FpFormat::F32, wa, wb, acc, rm, fl);
@@ -1145,7 +1209,7 @@ void Core::exec_fp_vector(const Inst& i) {
     SFRV_VCASE3(VFDOTPEX_S_R) {
       std::uint64_t acc = read_fp(i.rd, 32);
       const std::uint64_t wb = widen_to_f32(fmt, get_lane(vb, 0, w), fl);
-      for (int l = 0; l < lanes; ++l) {
+      for (int l = 0; l < active; ++l) {
         const std::uint64_t wa = widen_to_f32(fmt, get_lane(va, l, w), fl);
         acc = fp::rt_fma(FpFormat::F32, wa, wb, acc, rm, fl);
       }
@@ -1178,9 +1242,10 @@ void Core::exec_fp_vector(const Inst& i) {
                              fl);
       }
       std::uint64_t out = 0;
-      for (int wl = 0; wl < lanes / 2; ++wl) {
+      for (int wl = 0; 2 * wl < active; ++wl) {
         std::uint64_t accl = get_lane(vd, wl, ww);
-        for (int k = 0; k < 2; ++k) {
+        const int kn = active - 2 * wl < 2 ? active - 2 * wl : 2;
+        for (int k = 0; k < kn; ++k) {
           const int l = 2 * wl + k;
           const std::uint64_t wa = fp::rt_convert(
               wide, fmt, get_lane(va, l, w), RoundingMode::RNE, fl);
@@ -1192,7 +1257,8 @@ void Core::exec_fp_vector(const Inst& i) {
         }
         out = set_lane(out, wl, ww, accl);
       }
-      ctx_.f[i.rd] = mask_flen(out);
+      const std::uint64_t wkeep = width_mask((active + 1) / 2 * ww);
+      ctx_.f[i.rd] = mask_flen((out & wkeep) | (vd & ~wkeep));
       break;
     }
 

@@ -231,6 +231,7 @@ U32 csr_read(ExecContext& c, I32 addr) {
     case 0x003: return static_cast<U32>(c.frm) << 5 | c.fflags;
     case 0xc00: return static_cast<U32>(c.stats->cycles);
     case 0xc02: return static_cast<U32>(c.stats->instructions);
+    case 0xc20: return c.vl;  // read-only; SETVL is the sole writer
     case 0xc80: return static_cast<U32>(c.stats->cycles >> 32);
     case 0xc82: return static_cast<U32>(c.stats->instructions >> 32);
     default:
@@ -411,36 +412,46 @@ void h_fmacex(ExecContext& c, const DecodedOp& u) {
 // ---- vectorial FP -----------------------------------------------------------
 // Vector ops always round with the dynamic mode (no rm operand in the
 // encoding), and the lane loop lives inside the bound softfloat entry.
+// Dynamic VL: only min(vl, lanes) lanes compute; the destination tail is
+// merged back undisturbed (cast-and-pack is VL-agnostic, comparisons zero
+// their tail mask bits), bit-for-bit the reference interpreter's rule.
 
 void h_vec_bin(ExecContext& c, const DecodedOp& u) {
   Flags fl;
-  const U64 r = u.fp1.vbin(c.f[u.rs1], c.f[u.rs2], u.lanes, u.replicate,
+  const int active = c.vl_active(u.lanes);
+  const U64 keep = width_mask(active * u.width);
+  const U64 r = u.fp1.vbin(c.f[u.rs1], c.f[u.rs2], active, u.replicate,
                            c.frm_mode(), fl);
-  c.f[u.rd] = r & c.flen_mask;
+  c.f[u.rd] = ((r & keep) | (c.f[u.rd] & ~keep)) & c.flen_mask;
   c.fflags |= fl.bits;
   c.pc += 4;
 }
 
 void h_vec_mac(ExecContext& c, const DecodedOp& u) {
   Flags fl;
-  const U64 r = u.fp1.vtern(c.f[u.rs1], c.f[u.rs2], c.f[u.rd], u.lanes,
+  const int active = c.vl_active(u.lanes);
+  const U64 keep = width_mask(active * u.width);
+  const U64 r = u.fp1.vtern(c.f[u.rs1], c.f[u.rs2], c.f[u.rd], active,
                             u.replicate, c.frm_mode(), fl);
-  c.f[u.rd] = r & c.flen_mask;
+  c.f[u.rd] = ((r & keep) | (c.f[u.rd] & ~keep)) & c.flen_mask;
   c.fflags |= fl.bits;
   c.pc += 4;
 }
 
 void h_vec_un(ExecContext& c, const DecodedOp& u) {
   Flags fl;
-  const U64 r = u.fp1.vun(c.f[u.rs1], u.lanes, c.frm_mode(), fl);
-  c.f[u.rd] = r & c.flen_mask;
+  const int active = c.vl_active(u.lanes);
+  const U64 keep = width_mask(active * u.width);
+  const U64 r = u.fp1.vun(c.f[u.rs1], active, c.frm_mode(), fl);
+  c.f[u.rd] = ((r & keep) | (c.f[u.rd] & ~keep)) & c.flen_mask;
   c.fflags |= fl.bits;
   c.pc += 4;
 }
 
 void h_vec_cmp(ExecContext& c, const DecodedOp& u) {
   Flags fl;
-  c.set_x(u.rd, u.fp1.vcmp(c.f[u.rs1], c.f[u.rs2], u.lanes, fl));
+  c.set_x(u.rd,
+          u.fp1.vcmp(c.f[u.rs1], c.f[u.rs2], c.vl_active(u.lanes), fl));
   c.fflags |= fl.bits;
   c.pc += 4;
 }
@@ -449,13 +460,15 @@ void h_vec_cmp(ExecContext& c, const DecodedOp& u) {
 void h_vec_cvt(ExecContext& c, const DecodedOp& u) {
   Flags fl;
   const RoundingMode rm = c.frm_mode();
+  const int active = c.vl_active(u.lanes);
+  const U64 keep = width_mask(active * u.width);
   const U64 va = c.f[u.rs1];
   U64 out = 0;
-  for (int l = 0; l < u.lanes; ++l) {
+  for (int l = 0; l < active; ++l) {
     out = set_lane(out, l, u.width,
                    u.fp1.cvt(get_lane(va, l, u.width), rm, fl));
   }
-  c.f[u.rd] = out & c.flen_mask;
+  c.f[u.rd] = ((out & keep) | (c.f[u.rd] & ~keep)) & c.flen_mask;
   c.fflags |= fl.bits;
   c.pc += 4;
 }
@@ -479,22 +492,75 @@ void h_vec_dotp(ExecContext& c, const DecodedOp& u) {
   Flags fl;
   const U64 acc = c.read_fp(u.rd, 32);
   c.write_fp(u.rd, 32,
-             u.fp1.vdotp(c.f[u.rs1], c.f[u.rs2], acc, u.lanes, u.replicate,
-                         c.frm_mode(), fl));
+             u.fp1.vdotp(c.f[u.rs1], c.f[u.rs2], acc, c.vl_active(u.lanes),
+                         u.replicate, c.frm_mode(), fl));
   c.fflags |= fl.bits;
   c.pc += 4;
 }
 
 /// Widening sum-of-dot-products: unlike h_vec_dotp's single binary32
 /// accumulator, the destination is a full vector packed in the one-step-wider
-/// format, so the whole register is read and written.
+/// format, so the whole register is read and written (under VL, the wide
+/// lanes past ceil(active/2) are undisturbed).
 void h_vec_exsdotp(ExecContext& c, const DecodedOp& u) {
   Flags fl;
+  const int active = c.vl_active(u.lanes);
+  const U64 keep = width_mask((active + 1) / 2 * 2 * u.width);
   const U64 acc = c.f[u.rd];
-  c.f[u.rd] = u.fp1.vdotp(c.f[u.rs1], c.f[u.rs2], acc, u.lanes, u.replicate,
-                          c.frm_mode(), fl) &
-              c.flen_mask;
+  const U64 r = u.fp1.vdotp(c.f[u.rs1], c.f[u.rs2], acc, active, u.replicate,
+                            c.frm_mode(), fl);
+  c.f[u.rd] = ((r & keep) | (acc & ~keep)) & c.flen_mask;
   c.fflags |= fl.bits;
+  c.pc += 4;
+}
+
+// ---- dynamic vector length --------------------------------------------------
+
+/// setvl rd, rs1, imm: grant vl = min(AVL, VLMAX for the element width in
+/// imm[2:0], optional cap in imm[8:3]). Decode pre-folds VLMAX into u.lanes
+/// and the cap into u.width2. No x0 special case: AVL 0 grants vl 0.
+void h_setvl(ExecContext& c, const DecodedOp& u) {
+  const U32 avl = c.x[u.rs1];
+  U32 vl = avl < u.lanes ? avl : u.lanes;
+  if (u.width2 != 0 && vl > u.width2) vl = u.width2;
+  c.vl = vl;
+  c.set_x(u.rd, vl);
+  c.pc += 4;
+}
+
+/// VL-governed vector load: min(vl, lanes) elements, lowest lane first, tail
+/// undisturbed. rd is written only after every element load succeeded, so a
+/// mid-vector fault leaves it unchanged.
+template <int W>
+void h_vfl(ExecContext& c, const DecodedOp& u) {
+  const int active = c.vl_active(u.lanes);
+  const U32 base = c.x[u.rs1] + static_cast<U32>(u.imm);
+  U64 out = c.f[u.rd];
+  for (int l = 0; l < active; ++l) {
+    const U64 v = W == 16 ? c.mem->load16(base + 2 * l)
+                          : c.mem->load8(base + static_cast<U32>(l));
+    out = set_lane(out, l, W, v);
+  }
+  c.f[u.rd] = out & c.flen_mask;
+  c.pc += 4;
+}
+
+/// VL-governed vector store, element-ordered (a fault leaves the lower
+/// elements written, like any partially-completed store sequence).
+template <int W>
+void h_vfs(ExecContext& c, const DecodedOp& u) {
+  const int active = c.vl_active(u.lanes);
+  const U32 base = c.x[u.rs1] + static_cast<U32>(u.imm);
+  const U64 v = c.f[u.rs2];
+  for (int l = 0; l < active; ++l) {
+    if constexpr (W == 16) {
+      c.mem->store16(base + 2 * l,
+                     static_cast<std::uint16_t>(get_lane(v, l, 16)));
+    } else {
+      c.mem->store8(base + static_cast<U32>(l),
+                    static_cast<std::uint8_t>(get_lane(v, l, 8)));
+    }
+  }
   c.pc += 4;
 }
 
@@ -614,6 +680,34 @@ void bind_handler(DecodedOp& u, const isa::IsaConfig& cfg,
     case Op::FSW: u.fn = &h_fsw; break;
     case Op::FSH: u.fn = &h_fsh; break;
     case Op::FSB: u.fn = &h_fsb; break;
+
+    case Op::SETVL:
+      u.fn = &h_setvl;
+      u.lanes = static_cast<std::uint8_t>(
+          (cfg.flen / 8) >> (static_cast<U32>(u.imm) & 7u));  // VLMAX
+      u.width2 =
+          static_cast<std::uint8_t>((static_cast<U32>(u.imm) >> 3) & 63u);
+      break;
+    case Op::VFLH:
+      u.fn = &h_vfl<16>;
+      u.width = 16;
+      u.lanes = static_cast<std::uint8_t>(cfg.flen / 16);
+      break;
+    case Op::VFLB:
+      u.fn = &h_vfl<8>;
+      u.width = 8;
+      u.lanes = static_cast<std::uint8_t>(cfg.flen / 8);
+      break;
+    case Op::VFSH:
+      u.fn = &h_vfs<16>;
+      u.width = 16;
+      u.lanes = static_cast<std::uint8_t>(cfg.flen / 16);
+      break;
+    case Op::VFSB:
+      u.fn = &h_vfs<8>;
+      u.width = 8;
+      u.lanes = static_cast<std::uint8_t>(cfg.flen / 8);
+      break;
 
     SFRV_CASE4(FADD) u.fn = &h_fp_bin; u.fp1.bin = so.add; break;
     SFRV_CASE4(FSUB) u.fn = &h_fp_bin; u.fp1.bin = so.sub; break;

@@ -65,6 +65,14 @@ struct ExecContext {
   bool branch_taken = false;  ///< set by branch handlers for the timing model
 
   std::uint64_t flen_mask = width_mask(32);  ///< low-FLEN-bits mask for f regs
+
+  /// Dynamic vector length (the `vl` CSR, granted by SETVL), counted in
+  /// elements of the *narrowest* packed format (f8: FLEN/8 lanes). Vector
+  /// ops on wider formats are clamped to their own lane count, so the reset
+  /// value of FLEN/8 means "all lanes active" for every format — legacy
+  /// programs that never execute SETVL are unaffected.
+  std::uint32_t vl = 4;
+
   Memory* mem = nullptr;
   Stats* stats = nullptr;  ///< for the counter CSRs (cycle/instret)
 
@@ -91,6 +99,12 @@ struct ExecContext {
     const std::uint64_t boxed =
         (bits & width_mask(width)) | ~width_mask(width);
     f[reg & 31] = boxed & flen_mask;
+  }
+
+  /// Active lanes of a `lanes`-wide vector op under the current vl.
+  [[nodiscard]] int vl_active(int lanes) const {
+    return vl < static_cast<std::uint32_t>(lanes) ? static_cast<int>(vl)
+                                                  : lanes;
   }
 
   [[nodiscard]] fp::RoundingMode frm_mode() const {

@@ -13,14 +13,15 @@
 //    one immediately (so no deferred state exists when the run stops
 //    mid-trace), and re-materializes pc.
 //
-// Fault model: the only slot bodies that can throw are the sixteen memory
-// ops (the jm_* range checks, identical to Memory's) — every other body is
-// total (FP
-// ops saturate/flag, integer division is fully defined, set_x cannot
-// fault). Memory bodies therefore record their slot index in `tr.cursor`
-// before touching memory; the unwind path books the completed prefix and
-// parks pc on the faulting instruction, exactly as the predecoded engine
-// leaves it.
+// Fault model: the only slot bodies that can throw are the memory ops —
+// the fourteen scalar loads/stores (jm_* range checks, the same shared
+// predicate Memory uses) plus VMem, the VL-governed vector load/store slot
+// whose bound handler faults through Memory::check itself. Every other
+// body is total (FP ops saturate/flag, integer division is fully defined,
+// set_x cannot fault). Memory bodies therefore record their slot index in
+// `tr.cursor` before touching memory; the unwind path books the completed
+// prefix and parks pc on the faulting instruction, exactly as the
+// predecoded engine leaves it.
 #include "sim/jit.hpp"
 
 #include <atomic>
@@ -124,14 +125,13 @@ inline void book_slot(Stats& st, const Trace& tr, const TraceSlot* s,
 // Memory access through the cached backing store (ExecContext::mem_base /
 // mem_size) instead of the Memory object: the base pointer stays live in a
 // register across the trace, where `mem->bytes_` would be re-loaded after
-// every opaque call. Bounds test and exception replicate Memory::check()
-// exactly — same condition, same type, same message.
-[[noreturn, gnu::noinline]] void jm_oob(U32 addr) {
-  throw std::out_of_range("memory access out of bounds: addr=" +
-                          std::to_string(addr));
-}
+// every opaque call. The bounds test and exception are the shared
+// mem_access_oob()/throw_mem_oob() from memory.hpp — the same predicate
+// Memory::check() uses, so the two paths cannot drift. jm_oob stays a
+// noinline trampoline to keep the throw machinery off the hot path.
+[[noreturn, gnu::noinline]] void jm_oob(U32 addr) { throw_mem_oob(addr); }
 inline void jm_check(const ExecContext& c, U32 addr, U32 n) {
-  if (addr + n > c.mem_size || addr + n < addr) jm_oob(addr);
+  if (mem_access_oob(addr, n, c.mem_size)) jm_oob(addr);
 }
 inline std::uint8_t jm_ld8(const ExecContext& c, U32 a) {
   jm_check(c, a, 1);
@@ -258,30 +258,40 @@ inline void jm_st32(const ExecContext& c, U32 a, U32 v) {
     c.fflags |= fl.bits;                                       \
   } while (0)
 
-// Generic packed binary op (h_vec_bin inlined).
+// Generic packed binary op (h_vec_bin inlined). The translator folded the
+// trace's VL into the slot: u.lanes is the *active* lane count, so the body
+// runs active lanes only and preserves the tail. The keep mask is computed
+// from lanes * width (one shift) rather than cached in p0 — p0 is 32 bits
+// and FLEN=64 masks would truncate.
 #define SFRV_JB_VECBIN()                                           \
   do {                                                             \
     fp::Flags fl;                                                  \
     const U64 r = s->u.fp1.vbin(c.f[s->u.rs1], c.f[s->u.rs2],      \
                                 s->u.lanes, s->u.replicate,        \
                                 c.frm_mode(), fl);                 \
-    c.f[s->u.rd] = r & c.flen_mask;                                \
+    const U64 keep = width_mask(s->u.lanes * s->u.width);          \
+    c.f[s->u.rd] = ((r & keep) | (c.f[s->u.rd] & ~keep)) &         \
+                   c.flen_mask;                                    \
     c.fflags |= fl.bits;                                           \
   } while (0)
 
-// Generic packed multiply-accumulate (h_vec_mac inlined).
+// Generic packed multiply-accumulate (h_vec_mac inlined; VL folded as in
+// SFRV_JB_VECBIN).
 #define SFRV_JB_VECMAC()                                           \
   do {                                                             \
     fp::Flags fl;                                                  \
     const U64 r = s->u.fp1.vtern(c.f[s->u.rs1], c.f[s->u.rs2],     \
                                  c.f[s->u.rd], s->u.lanes,         \
                                  s->u.replicate, c.frm_mode(), fl); \
-    c.f[s->u.rd] = r & c.flen_mask;                                \
+    const U64 keep = width_mask(s->u.lanes * s->u.width);          \
+    c.f[s->u.rd] = ((r & keep) | (c.f[s->u.rd] & ~keep)) &         \
+                   c.flen_mask;                                    \
     c.fflags |= fl.bits;                                           \
   } while (0)
 
 // Expanding dot product with a binary32 scalar accumulator (h_vec_dotp
-// inlined).
+// inlined). u.lanes is the folded *active* count; the accumulator is a
+// full scalar write, so no tail merge is needed.
 #define SFRV_JB_VECDOTP()                                            \
   do {                                                               \
     fp::Flags fl;                                                    \
@@ -294,14 +304,18 @@ inline void jm_st32(const ExecContext& c, U32 a, U32 v) {
   } while (0)
 
 // Widening sum-of-dot-products: full-register packed wide accumulator
-// (h_vec_exsdotp inlined).
+// (h_vec_exsdotp inlined). u.lanes is the folded *active* narrow count; the
+// keep mask covers the ceil(active/2) wide accumulators it feeds.
 #define SFRV_JB_VECEXSDOTP()                                         \
   do {                                                               \
     fp::Flags fl;                                                    \
     const U64 r = s->u.fp1.vdotp(c.f[s->u.rs1], c.f[s->u.rs2],       \
                                  c.f[s->u.rd], s->u.lanes,           \
                                  s->u.replicate, c.frm_mode(), fl);  \
-    c.f[s->u.rd] = r & c.flen_mask;                                  \
+    const U64 keep =                                                 \
+        width_mask((s->u.lanes + 1) / 2 * 2 * s->u.width);           \
+    c.f[s->u.rd] = ((r & keep) | (c.f[s->u.rd] & ~keep)) &           \
+                   c.flen_mask;                                      \
     c.fflags |= fl.bits;                                             \
   } while (0)
 
@@ -393,6 +407,7 @@ inline void jm_st32(const ExecContext& c, U32 a, U32 v) {
   B(Fsw, SFRV_JB_Fsw)                                                        \
   B(Fsh, SFRV_JB_Fsh)                                                        \
   B(Fsb, SFRV_JB_Fsb)                                                        \
+  B(VMem, do { SFRV_JB_CUR(); s->u.fn(c, s->u); } while (0))                 \
   B(CallUop, s->u.fn(c, s->u))                                               \
   B(FpBin, SFRV_JB_FPBIN())                                                  \
   B(VecBin, SFRV_JB_VECBIN())                                                \
@@ -703,9 +718,10 @@ void fast_specialize(TraceSlot& s) {
 }
 
 /// Lower one micro-op into a trace slot; `pc` is its absolute address (for
-/// folding auipc/jal/branch constants).
+/// folding auipc/jal/branch constants) and `vl` the vector length the trace
+/// is being compiled for (folded into vector slots; the cache keys on it).
 Lowered lower_slot(const DecodedOp& u, std::uint32_t pc, const Timing& timing,
-                   const MemConfig& mem, TraceSlot& s) {
+                   const MemConfig& mem, std::uint32_t vl, TraceSlot& s) {
   using isa::Op;
   if (!u.supported || u.fn == nullptr) return Lowered::Untranslatable;
   s.u = u;
@@ -760,6 +776,16 @@ Lowered lower_slot(const DecodedOp& u, std::uint32_t pc, const Timing& timing,
     case Op::FSW: return memop(TOp::Fsw);
     case Op::FSH: return memop(TOp::Fsh);
     case Op::FSB: return memop(TOp::Fsb);
+    // VL-governed vector memops keep their bound handler (which reads the
+    // live vl — equal to the trace's folded vl by the cache-keying
+    // invariant) but need the cursor-recording VMem slot: the handler can
+    // fault mid-element through Memory::check, and a plain CallUop would
+    // leave a stale cursor for the unwind path to book against.
+    case Op::VFLB:
+    case Op::VFLH:
+    case Op::VFSB:
+    case Op::VFSH:
+      return memop(TOp::VMem);
     case Op::ADDI: return alu(TOp::Addi);
     case Op::SLTI: return alu(TOp::Slti);
     case Op::SLTIU: return alu(TOp::Sltiu);
@@ -814,15 +840,45 @@ Lowered lower_slot(const DecodedOp& u, std::uint32_t pc, const Timing& timing,
     default:
       break;
   }
+  // Fold the trace's VL into the inlined vector shapes: u.lanes becomes
+  // the active lane count, so the slot bodies pay no per-visit min()
+  // computation. Handlers reached via CallUop (and VMem above) read the
+  // live c.vl instead, which equals the folded vl whenever the trace runs
+  // (lookup keys on it).
+  const auto active_of = [&](int lanes) {
+    return vl < static_cast<std::uint32_t>(lanes) ? static_cast<int>(vl)
+                                                  : lanes;
+  };
+  bool full_vl = true;
   switch (u.hkind) {
     case HandlerKind::FpBin: s.top = TOp::FpBin; break;
-    case HandlerKind::VecBin: s.top = TOp::VecBin; break;
-    case HandlerKind::VecMac: s.top = TOp::VecMac; break;
-    case HandlerKind::VecDotp: s.top = TOp::VecDotp; break;
-    case HandlerKind::VecExsdotp: s.top = TOp::VecExsdotp; break;
+    case HandlerKind::VecBin:
+    case HandlerKind::VecMac: {
+      const int active = active_of(u.lanes);
+      full_vl = active == u.lanes;
+      s.u.lanes = static_cast<std::uint8_t>(active);
+      s.top = u.hkind == HandlerKind::VecBin ? TOp::VecBin : TOp::VecMac;
+      break;
+    }
+    case HandlerKind::VecDotp: {
+      const int active = active_of(u.lanes);
+      full_vl = active == u.lanes;
+      s.u.lanes = static_cast<std::uint8_t>(active);
+      s.top = TOp::VecDotp;
+      break;
+    }
+    case HandlerKind::VecExsdotp: {
+      const int active = active_of(u.lanes);
+      full_vl = active == u.lanes;
+      s.u.lanes = static_cast<std::uint8_t>(active);
+      s.top = TOp::VecExsdotp;
+      break;
+    }
     default: s.top = TOp::CallUop; break;
   }
-  fast_specialize(s);
+  // The fast-backend direct-call bodies have no tail merge: only a slot
+  // running all hardware lanes may specialize (scalar FpBin always does).
+  if (full_vl) fast_specialize(s);
   return Lowered::Straight;
 }
 
@@ -836,12 +892,23 @@ void JitProgram::on_code_change(std::size_t n_uops) {
   heat_.assign(n_uops, 0);
 }
 
-Trace* JitProgram::lookup(std::uint32_t idx) {
+Trace* JitProgram::lookup(std::uint32_t idx, std::uint32_t vl) {
   ++stats_.lookups;
   const std::int32_t id = slot_of_[idx];
   if (id < 0) return nullptr;
+  Trace& t = traces_[static_cast<std::size_t>(id)];
+  if (t.vl != vl) {
+    // Compiled under a different vector length: its folded lane counts and
+    // tail masks are stale, so unmap the index and miss — heat is already
+    // past the threshold, so the caller recompiles at the live VL
+    // immediately. The orphaned trace keeps its id (deferred accounting
+    // lands at the next flush) and is reclaimed by the next flush-all.
+    slot_of_[idx] = -1;
+    ++stats_.vl_invalidations;
+    return nullptr;
+  }
   ++stats_.hits;
-  return &traces_[static_cast<std::size_t>(id)];
+  return &t;
 }
 
 bool JitProgram::note_entry(std::uint32_t idx) {
@@ -854,7 +921,8 @@ bool JitProgram::note_entry(std::uint32_t idx) {
 Trace* JitProgram::translate(std::uint32_t idx,
                              const std::vector<DecodedOp>& uops,
                              const Timing& timing, const MemConfig& mem,
-                             std::uint32_t text_base, Stats& st) {
+                             std::uint32_t text_base, std::uint32_t vl,
+                             Stats& st) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto charge = [&] {
     stats_.translate_ns += static_cast<std::uint64_t>(
@@ -866,12 +934,14 @@ Trace* JitProgram::translate(std::uint32_t idx,
   Trace t;
   t.start_idx = idx;
   t.base_pc = text_base + 4 * idx;
+  t.vl = vl;
   t.taken_extra = static_cast<std::uint16_t>(timing.branch_taken_penalty);
   bool terminated = false;
   for (std::uint32_t j = idx;
        j < uops.size() && t.slots.size() < kMaxTraceSlots; ++j) {
     TraceSlot s;
-    const Lowered r = lower_slot(uops[j], text_base + 4 * j, timing, mem, s);
+    const Lowered r =
+        lower_slot(uops[j], text_base + 4 * j, timing, mem, vl, s);
     if (r == Lowered::Untranslatable) break;
     t.slots.push_back(s);
     if (r == Lowered::Terminator) {
@@ -926,6 +996,7 @@ Trace* JitProgram::translate(std::uint32_t idx,
     ++stats_.evictions;
   }
   const auto id = static_cast<std::int32_t>(traces_.size());
+  t.id = id;
   traces_.push_back(std::move(t));
   slot_of_[idx] = id;
   ++stats_.translations;
@@ -945,9 +1016,10 @@ void JitProgram::materialize_all(Stats& st) {
 void JitProgram::note_runs(Trace& t, std::uint64_t runs) {
   if (!t.dirty) {
     t.dirty = true;
-    // Traces are only removed wholesale, so start_idx -> id stays valid for
-    // the trace's whole lifetime.
-    dirty_.push_back(static_cast<std::uint32_t>(slot_of_[t.start_idx]));
+    // Use the trace's own id: slot_of_[start_idx] may already point at a
+    // replacement compiled under a different VL (or be unmapped), but ids
+    // stay valid until the next wholesale flush.
+    dirty_.push_back(static_cast<std::uint32_t>(t.id));
   }
   t.pending += runs;
   // Every internal restart ended in the taken back-edge; the final exit's

@@ -42,8 +42,14 @@
 // stop, fault) book per-slot immediately, so simulated cycles, fflags, and
 // architectural digests stay bit-identical to Engine::Reference.
 //
-// Translation cache. Traces are keyed on the starting text index within a
-// (backend, code version) generation: `Core::set_backend` and
+// Translation cache. Traces are keyed on the starting text index *and the
+// dynamic vector length (vl CSR)* within a (backend, code version)
+// generation: translation folds the live VL into every vector slot (active
+// lane count plus a tail-preservation mask), so a trace compiled at one VL
+// must not run at another. A lookup under a different VL misses and the
+// recompiled trace replaces the stale one in the direct map — `setvl` is
+// itself untranslatable (Cls::Csr), so VL is constant within any trace.
+// `Core::set_backend` and
 // `load_program` re-lower the micro-op stream and call `on_code_change`,
 // which drops every trace (stale bound pointers must not survive). A
 // hotness threshold keeps cold blocks on the fused interpreter — a block
@@ -73,6 +79,9 @@ namespace sfrv::sim::jit {
 //   LoadImm   — lui, and auipc with pc+imm folded (p0 = value).
 //   CallUop   — generic FP/vector op: calls the bound predecoded handler
 //               (its pc bump is a dead store; exits re-materialize pc).
+//   VMem      — VL-governed vector load/store (vflb/vflh/vfsb/vfsh):
+//               records the fault cursor, then calls the bound handler
+//               (which can throw on an out-of-bounds element access).
 //   FpBin/VecBin/VecMac — the three most common FP handler shapes, inlined
 //               as slot bodies calling the *bound* softfloat pointer
 //               directly (skips the handler trampoline; backend-agnostic).
@@ -85,7 +94,7 @@ namespace sfrv::sim::jit {
   X(Add) X(Sub) X(Sll) X(Slt) X(Sltu) X(Xor) X(Srl) X(Sra) X(Or) X(And)   \
   X(Mul) X(Mulh) X(Mulhsu) X(Mulhu) X(Div) X(Divu) X(Rem) X(Remu)         \
   X(Lb) X(Lh) X(Lw) X(Lbu) X(Lhu) X(Sb) X(Sh) X(Sw)                       \
-  X(Flw) X(Flh) X(Flb) X(Fsw) X(Fsh) X(Fsb)                               \
+  X(Flw) X(Flh) X(Flb) X(Fsw) X(Fsh) X(Fsb) X(VMem)                       \
   X(CallUop) X(FpBin) X(VecBin) X(VecMac) X(VecDotp) X(VecExsdotp)        \
   X(FastAddS) X(FastSubS) X(FastMulS)                                     \
   X(FastVAddH) X(FastVSubH) X(FastVMulH) X(FastVMacH)                     \
@@ -130,6 +139,8 @@ struct Trace {
   std::vector<TraceSlot> slots;
   std::uint32_t start_idx = 0;  ///< text index of the first slot
   std::uint32_t base_pc = 0;    ///< text_base + 4 * start_idx
+  std::uint32_t vl = 0;         ///< vector length folded at translation time
+  std::int32_t id = -1;         ///< stable index into JitProgram's deque
   std::uint32_t n = 0;          ///< instructions retired by a full execution
   std::uint64_t sum_cycles = 0;  ///< sum of slot cycles (no taken penalty)
   std::uint32_t n_loads = 0;
@@ -177,6 +188,7 @@ struct JitStats {
   std::uint64_t interp_entries = 0;  ///< cold entries run by the fused path
   std::uint64_t evictions = 0;       ///< cap-triggered flush-all evictions
   std::uint64_t invalidations = 0;   ///< on_code_change flushes
+  std::uint64_t vl_invalidations = 0;  ///< lookups that unmapped a stale-VL trace
   std::uint64_t translate_ns = 0;    ///< wall time spent translating
 
   [[nodiscard]] double hit_rate() const {
@@ -207,9 +219,12 @@ class JitProgram {
   /// outside Core::run() nothing is pending.
   void on_code_change(std::size_t n_uops);
 
-  /// The compiled trace starting at text index `idx`, or null. Counts
-  /// toward the hit rate.
-  [[nodiscard]] Trace* lookup(std::uint32_t idx);
+  /// The compiled trace starting at text index `idx`, or null. A trace
+  /// compiled under a different vector length is a miss (the entry
+  /// recompiles and replaces it): translation folds the live VL into the
+  /// vector slots, so a trace is only valid at the VL it was compiled for.
+  /// Counts toward the hit rate.
+  [[nodiscard]] Trace* lookup(std::uint32_t idx, std::uint32_t vl);
 
   /// Record one cold entry at `idx`; true when the block just crossed the
   /// hotness threshold and should be compiled now.
@@ -222,7 +237,7 @@ class JitProgram {
   /// cache first when the cap is reached (materializing into `st`).
   Trace* translate(std::uint32_t idx, const std::vector<DecodedOp>& uops,
                    const Timing& timing, const MemConfig& mem,
-                   std::uint32_t text_base, Stats& st);
+                   std::uint32_t text_base, std::uint32_t vl, Stats& st);
 
   /// Flush every trace's deferred accounting into `st`. Cheap when clean.
   void materialize_all(Stats& st);

@@ -8,23 +8,57 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace sfrv::sim {
+
+/// The one bounds predicate for simulated memory: true when [addr, addr+n)
+/// is not contained in a `size`-byte backing store, including the 32-bit
+/// wrap case (addr + n overflowing past UINT32_MAX reads as a small sum).
+/// Memory::check() and the JIT's cached-base-pointer fast path (jit.cpp's
+/// jm_* accessors) both call this — it is the single source of truth, so
+/// the two paths cannot drift.
+[[nodiscard]] constexpr bool mem_access_oob(std::uint32_t addr,
+                                            std::uint32_t n,
+                                            std::uint32_t size) {
+  return addr + n > size || addr + n < addr;
+}
+
+/// The matching exception, shared so diagnostics stay byte-identical
+/// across the interpreter and JIT memory paths.
+[[noreturn]] inline void throw_mem_oob(std::uint32_t addr) {
+  throw std::out_of_range("memory access out of bounds: addr=" +
+                          std::to_string(addr));
+}
+
+/// Memory hierarchy level, carried explicitly on MemConfig so the energy
+/// model bills against the configured *level*, never a latency heuristic: a
+/// swept or custom load latency (say, 5 cycles) must not silently land in
+/// the L2 energy bucket just because it exceeds the L1 preset.
+enum class MemLevelId : std::uint8_t { L1, L2, L3 };
 
 /// Named latency presets from the paper.
 struct MemLevel {
   const char* name;
   int load_latency;
+  MemLevelId id;
 };
-inline constexpr MemLevel kMemL1{"L1", 1};
-inline constexpr MemLevel kMemL2{"L2", 10};
-inline constexpr MemLevel kMemL3{"L3", 100};
+inline constexpr MemLevel kMemL1{"L1", 1, MemLevelId::L1};
+inline constexpr MemLevel kMemL2{"L2", 10, MemLevelId::L2};
+inline constexpr MemLevel kMemL3{"L3", 100, MemLevelId::L3};
 
 struct MemConfig {
   std::uint32_t size = 8u << 20;  ///< bytes of backing storage
   int load_latency = 1;           ///< cycles per load (stall-until-fill)
   int store_latency = 1;          ///< cycles per store (1 = posted store buffer)
+  MemLevelId level = MemLevelId::L1;  ///< hierarchy level for energy billing
+
+  /// Apply a named preset: latency and billing level move together.
+  void set_level(const MemLevel& l) {
+    load_latency = l.load_latency;
+    level = l.id;
+  }
 };
 
 class Memory {
@@ -80,8 +114,9 @@ class Memory {
 
   // Raw backing store, for executors that cache the base pointer instead of
   // chasing `mem->bytes_` on every access (the storage never reallocates:
-  // its size is fixed at construction). Callers taking this route must
-  // reproduce check()'s bounds test and exception exactly.
+  // its size is fixed at construction). Callers taking this route must gate
+  // every access on mem_access_oob() / throw_mem_oob() above, exactly as
+  // check() does.
   [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(bytes_.size());
@@ -89,10 +124,7 @@ class Memory {
 
  private:
   void check(std::uint32_t addr, std::uint32_t n) const {
-    if (addr + n > bytes_.size() || addr + n < addr) {
-      throw std::out_of_range("memory access out of bounds: addr=" +
-                              std::to_string(addr));
-    }
+    if (mem_access_oob(addr, n, size())) throw_mem_oob(addr);
   }
 
   MemConfig cfg_;

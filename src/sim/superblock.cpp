@@ -14,6 +14,7 @@ using fp::Flags;
 using isa::Cls;
 using isa::Op;
 using U32 = std::uint32_t;
+using U64 = std::uint64_t;
 using I32 = std::int32_t;
 
 // ---- fused handlers ---------------------------------------------------------
@@ -108,23 +109,32 @@ void f_vec_vec(ExecContext& c, const FusedOp& fo) {
   const fp::RoundingMode rm = c.frm_mode();
   const DecodedOp& a = fo.u1;
   const DecodedOp& b = fo.u2;
-  if constexpr (Mac1) {
-    c.f[a.rd] = a.fp1.vtern(c.f[a.rs1], c.f[a.rs2], c.f[a.rd], a.lanes,
-                            a.replicate, rm, fl) &
-                c.flen_mask;
-  } else {
-    c.f[a.rd] =
-        a.fp1.vbin(c.f[a.rs1], c.f[a.rs2], a.lanes, a.replicate, rm, fl) &
-        c.flen_mask;
+  // Dynamic VL, read live per slot (vl cannot change mid-pair — SETVL is a
+  // CSR op and CSRs never fuse): active lanes compute, the tail is merged
+  // back undisturbed, exactly as in h_vec_bin/h_vec_mac.
+  {
+    const int act = c.vl_active(a.lanes);
+    const U64 keep = width_mask(act * a.width);
+    U64 r;
+    if constexpr (Mac1) {
+      r = a.fp1.vtern(c.f[a.rs1], c.f[a.rs2], c.f[a.rd], act, a.replicate, rm,
+                      fl);
+    } else {
+      r = a.fp1.vbin(c.f[a.rs1], c.f[a.rs2], act, a.replicate, rm, fl);
+    }
+    c.f[a.rd] = ((r & keep) | (c.f[a.rd] & ~keep)) & c.flen_mask;
   }
-  if constexpr (Mac2) {
-    c.f[b.rd] = b.fp1.vtern(c.f[b.rs1], c.f[b.rs2], c.f[b.rd], b.lanes,
-                            b.replicate, rm, fl) &
-                c.flen_mask;
-  } else {
-    c.f[b.rd] =
-        b.fp1.vbin(c.f[b.rs1], c.f[b.rs2], b.lanes, b.replicate, rm, fl) &
-        c.flen_mask;
+  {
+    const int act = c.vl_active(b.lanes);
+    const U64 keep = width_mask(act * b.width);
+    U64 r;
+    if constexpr (Mac2) {
+      r = b.fp1.vtern(c.f[b.rs1], c.f[b.rs2], c.f[b.rd], act, b.replicate, rm,
+                      fl);
+    } else {
+      r = b.fp1.vbin(c.f[b.rs1], c.f[b.rs2], act, b.replicate, rm, fl);
+    }
+    c.f[b.rd] = ((r & keep) | (c.f[b.rd] & ~keep)) & c.flen_mask;
   }
   c.fflags |= fl.bits;
   c.pc += 8;

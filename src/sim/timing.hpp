@@ -15,6 +15,9 @@ struct Timing {
   int jump_penalty = 1;          ///< extra cycles for jal/jalr
   int int_div_cycles = 32;       ///< RISCY serial divider
 
+  // Exhaustive over FpFormat with no default and no trailing return: adding
+  // a format without a divider latency is a compile error (-Werror=switch,
+  // -Werror=return-type), not a silent fall-through to the F32 cost.
   [[nodiscard]] int fp_div_cycles(fp::FpFormat f) const {
     switch (f) {
       case fp::FpFormat::F8: return 5;
@@ -27,7 +30,7 @@ struct Timing {
       case fp::FpFormat::P8: return 5;
       case fp::FpFormat::P16: return 9;
     }
-    return 15;
+    __builtin_unreachable();
   }
 
   [[nodiscard]] int fp_sqrt_cycles(fp::FpFormat f) const {

@@ -610,9 +610,10 @@ std::uint64_t v_fast_exsdotp(std::uint64_t a, std::uint64_t b,
   if (rep) {
     wb0 = convert<Wide>(as<F>(b & lane_mask<F>()), RoundingMode::RNE, fl).bits;
   }
-  for (int wl = 0; wl < lanes / 2; ++wl) {
+  for (int wl = 0; 2 * wl < lanes; ++wl) {
     std::uint64_t accl = (acc >> (wl * Wide::width)) & lane_mask<Wide>();
-    for (int i = 0; i < 2; ++i) {
+    const int k = lanes - 2 * wl < 2 ? lanes - 2 * wl : 2;
+    for (int i = 0; i < k; ++i) {
       const int l = 2 * wl + i;
       const std::uint64_t wa =
           convert<Wide>(as<F>((a >> (l * w)) & lane_mask<F>()),

@@ -388,9 +388,10 @@ std::uint64_t v_exsdotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc,
   std::uint64_t out = 0;
   Float<Wide> wb0{};
   if (rep) wb0 = convert<Wide>(lane<F>(b, 0), RoundingMode::RNE, fl);
-  for (int wl = 0; wl < lanes / 2; ++wl) {
+  for (int wl = 0; 2 * wl < lanes; ++wl) {
     Float<Wide> accl = lane<Wide>(acc, wl);
-    for (int i = 0; i < 2; ++i) {
+    const int k = lanes - 2 * wl < 2 ? lanes - 2 * wl : 2;
+    for (int i = 0; i < k; ++i) {
       const int l = 2 * wl + i;
       const Float<Wide> wa = convert<Wide>(lane<F>(a, l), RoundingMode::RNE, fl);
       const Float<Wide> wb =
@@ -519,9 +520,10 @@ std::uint64_t vp_exsdotp(std::uint64_t a, std::uint64_t b, std::uint64_t acc,
   static_assert(PWide::width == 2 * P::width);
   std::uint64_t out = 0;
   const std::uint64_t wb0 = posit_resize<PWide, P>(plane<P>(b, 0));
-  for (int wl = 0; wl < lanes / 2; ++wl) {
+  for (int wl = 0; 2 * wl < lanes; ++wl) {
     std::uint64_t accl = plane<PWide>(acc, wl);
-    for (int i = 0; i < 2; ++i) {
+    const int k = lanes - 2 * wl < 2 ? lanes - 2 * wl : 2;
+    for (int i = 0; i < k; ++i) {
       const int l = 2 * wl + i;
       const std::uint64_t wa = posit_resize<PWide, P>(plane<P>(a, l));
       const std::uint64_t wb = rep ? wb0 : posit_resize<PWide, P>(plane<P>(b, l));

@@ -33,8 +33,53 @@ TEST(EnergyModel, IterativeUnitsCostMore) {
 
 TEST(EnergyModel, MemoryEnergyGrowsWithLevel) {
   const EnergyModel m;
-  EXPECT_LT(m.mem_energy(1), m.mem_energy(10));
-  EXPECT_LT(m.mem_energy(10), m.mem_energy(100));
+  EXPECT_LT(m.mem_energy(sim::MemLevelId::L1), m.mem_energy(sim::MemLevelId::L2));
+  EXPECT_LT(m.mem_energy(sim::MemLevelId::L2), m.mem_energy(sim::MemLevelId::L3));
+}
+
+TEST(EnergyModel, PresetLatencyAndLevelStayPaired) {
+  // The named presets are the only place latency and billing level are
+  // coupled; set_level must apply both halves.
+  for (const auto& preset : {sim::kMemL1, sim::kMemL2, sim::kMemL3}) {
+    sim::MemConfig cfg;
+    cfg.set_level(preset);
+    EXPECT_EQ(cfg.load_latency, preset.load_latency) << preset.name;
+    EXPECT_EQ(cfg.level, preset.id) << preset.name;
+  }
+  EXPECT_EQ(sim::kMemL1.id, sim::MemLevelId::L1);
+  EXPECT_EQ(sim::kMemL2.id, sim::MemLevelId::L2);
+  EXPECT_EQ(sim::kMemL3.id, sim::MemLevelId::L3);
+}
+
+TEST(EnergyModel, CustomLatencyDoesNotShiftEnergyBucket) {
+  // Regression: mem_energy used to infer the bucket from the load latency,
+  // so a swept 5-cycle latency silently billed at L2. Billing now keys off
+  // the explicit level only.
+  const EnergyModel m;
+  sim::MemConfig cfg;  // defaults: L1 billing
+  cfg.load_latency = 5;
+  sim::Stats st;
+  st.instructions = 1;
+  st.load_count = 1;
+  const double e_l1 = m.breakdown(st, sim::MemConfig{}).memory;
+  EXPECT_EQ(m.breakdown(st, cfg).memory, e_l1);
+}
+
+TEST(EnergyModel, PostedStoresBillAtStoreBufferNotLoadLevel) {
+  // Regression: stores used to be billed at the *load* level even though a
+  // posted store (store_latency == 1) retires through the store buffer. At
+  // L3, one load books mem_l3 but one posted store still books mem_l1; an
+  // explicit slow store path pays the level energy.
+  const EnergyModel m;
+  sim::MemConfig l3;
+  l3.set_level(sim::kMemL3);
+  sim::Stats st;
+  st.instructions = 2;
+  st.load_count = 1;
+  st.store_count = 1;
+  EXPECT_DOUBLE_EQ(m.breakdown(st, l3).memory, m.mem_l3 + m.mem_l1);
+  l3.store_latency = 100;
+  EXPECT_DOUBLE_EQ(m.breakdown(st, l3).memory, 2 * m.mem_l3);
 }
 
 TEST(EnergyModel, TotalTracksWork) {
@@ -49,7 +94,7 @@ TEST(EnergyModel, TotalTracksWork) {
                    static_cast<double>(r.stats.instructions));
   // Memory level raises total energy for the same instruction stream.
   sim::MemConfig l3;
-  l3.load_latency = 100;
+  l3.set_level(sim::kMemL3);
   const auto r3 = kernels::run_kernel(spec, ir::CodegenMode::Scalar, l3);
   EXPECT_GT(m.total_pj(r3.stats, l3), e);
 }

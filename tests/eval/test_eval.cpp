@@ -101,13 +101,43 @@ TEST(ExpandMatrix, BenchmarkFilterAndUnknownName) {
 }
 
 TEST(ExpandMatrix, CoversAcceptanceMatrix) {
-  // The acceptance criterion: all 6 benchmarks x 4 modes (scalar, auto-vec,
+  // The acceptance criterion: the paper's 6 benchmarks plus the NN tier
+  // (conv2d, fully_connected, nn_train) x 4 modes (scalar, auto-vec,
   // manual-vec, manual-vec-exsdotp) x >= 7 type configs (the paper's five
   // plus posit8/posit16).
   const CampaignSpec spec = CampaignSpec::table3();
-  EXPECT_EQ(eval_suite(spec.scale).size(), 6u);
+  EXPECT_EQ(eval_suite(spec.scale).size(), 9u);
   EXPECT_EQ(spec.modes.size(), 4u);
   EXPECT_GE(spec.type_configs.size(), 7u);
+}
+
+TEST(ExpandMatrix, VlAxisIsInnermost) {
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"gemm"};
+  spec.modes = {ir::CodegenMode::ManualVec};
+  spec.vls = {0, 2, 4};
+  const auto cells = expand_matrix(spec);
+  ASSERT_EQ(cells.size(), spec.type_configs.size() * spec.vls.size());
+  std::size_t i = 0;
+  for (const auto& tc : spec.type_configs) {
+    for (const int vl : spec.vls) {
+      EXPECT_EQ(cells[i].type_config.name, tc.name);
+      EXPECT_EQ(cells[i].vl, vl);
+      ++i;
+    }
+  }
+}
+
+TEST(ExpandMatrix, NnPresetShape) {
+  const CampaignSpec spec = CampaignSpec::nn(SuiteScale::Smoke);
+  EXPECT_EQ(spec.name, "nn");
+  EXPECT_FALSE(spec.tuner_study);
+  const auto cells = expand_matrix(spec);
+  // 3 NN benchmarks x {float16, minifloat-nn} x manual-vec-exsdotp x 4 VLs.
+  EXPECT_EQ(cells.size(), 3u * 2u * 1u * 4u);
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.mode, ir::CodegenMode::ManualVecExs);
+  }
 }
 
 // ---- campaign determinism and round-trip -----------------------------------

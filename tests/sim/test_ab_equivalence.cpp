@@ -382,6 +382,19 @@ TEST(AbEquivalence, FuzzPoolCoversPositAndExSdotp) {
   }
 }
 
+TEST(AbEquivalence, FuzzPoolCoversDynamicVl) {
+  // Same guard for the dynamic-VL additions: setvl (random ew/cap fields and
+  // AVL values, including zero and oversize grants) and the VL-aware packed
+  // memops must stay in the differential fuzz pool, so every engine's VL
+  // masking, trace keying, and partial-width memory access get four-way
+  // coverage from the streams above.
+  const IsaConfig cfg = IsaConfig::full();
+  for (const Op op :
+       {Op::SETVL, Op::VFLB, Op::VFLH, Op::VFSB, Op::VFSH}) {
+    EXPECT_TRUE(cfg.supports(op)) << isa::mnemonic(op);
+  }
+}
+
 // Deterministic guard: the canonical loop shapes must actually fuse (the
 // randomized suite would still pass if the builder degenerated to all
 // singles), and the fused run must stay cycle-identical across a taken

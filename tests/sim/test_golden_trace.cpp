@@ -116,6 +116,30 @@ std::vector<GoldenCell> golden_matrix() {
                        ir::OptConfig::O0()});
     }
   }
+  // Dynamic-VL rows: the strip-mined setvl lowering pinned at representative
+  // sweep points — sub-lane (vl1), full-lane (vl2) at O0 and under the O2
+  // unroller, and the widening ExSdotp path. Digests fold both the outputs
+  // (pinned lane order at each VL) and the setvl-loop cycle shape.
+  const auto with_vl = [](ir::OptConfig opt, int cap) {
+    opt.vl_cap = cap;
+    return opt;
+  };
+  const auto f16 = kernels::TypeConfig::uniform(ir::ScalarType::F16);
+  const kernels::TypeConfig mixed8{ir::ScalarType::F8, ir::ScalarType::F16};
+  for (const auto& b : eval::eval_suite(eval::SuiteScale::Smoke)) {
+    cells.push_back({b.bench.name + "/float16/manual-vec/vl1", &b, f16,
+                     ir::CodegenMode::ManualVec,
+                     with_vl(ir::OptConfig::O0(), 1)});
+    cells.push_back({b.bench.name + "/float16/manual-vec/vl2", &b, f16,
+                     ir::CodegenMode::ManualVec,
+                     with_vl(ir::OptConfig::O0(), 2)});
+    cells.push_back({b.bench.name + "/float16/manual-vec/vl2-O2", &b, f16,
+                     ir::CodegenMode::ManualVec,
+                     with_vl(ir::OptConfig::O2(), 2)});
+    cells.push_back({b.bench.name + "/mixed8/manual-vec-exsdotp/vl2", &b,
+                     mixed8, ir::CodegenMode::ManualVecExs,
+                     with_vl(ir::OptConfig::O0(), 2)});
+  }
   return cells;
 }
 

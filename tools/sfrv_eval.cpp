@@ -27,17 +27,22 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--suite table3|smoke] [--out PREFIX] [-j N]\n"
-      "          [--benchmarks a,b,...] [--mem l1|l2|l3]\n"
+      "usage: %s [--suite table3|smoke|nn|nn-smoke] [--out PREFIX] [-j N]\n"
+      "          [--benchmarks a,b,...] [--vls a,b,...] [--mem l1|l2|l3]\n"
       "          [--engine predecoded|fused|reference|jit]\n"
       "          [--backend grs|fast] [--opt O0|O1|O2]\n"
       "          [--jit-threshold N] [--wall-clock] [--no-tuner]\n"
       "\n"
-      "  --suite       campaign to run (default: table3)\n"
+      "  --suite       campaign to run (default: table3). nn is the NN\n"
+      "                inference/training tier with a VL sweep; nn-smoke is\n"
+      "                its reduced-size clone for CI\n"
       "  --out         output prefix; writes PREFIX.json and PREFIX.md\n"
       "                (default: report)\n"
       "  -j, --jobs    worker threads (default: 1)\n"
       "  --benchmarks  comma-separated subset of the suite (default: all)\n"
+      "  --vls         comma-separated VL-sweep axis; each point overrides\n"
+      "                the strip-mining setvl cap (0 = legacy fixed-lane\n"
+      "                lowering). Default: the suite's axis\n"
       "  --mem         memory level: l1=1, l2=10, l3=100 cycles load latency\n"
       "                (default: l1)\n"
       "  --engine      simulator engine; results are engine-independent, only\n"
@@ -98,6 +103,7 @@ int main(int argc, char** argv) {
   std::string suite = "table3";
   std::string out_prefix = "report";
   std::string benchmarks;
+  std::string vls;
   std::string mem_level = "l1";
   std::string engine;
   std::string backend;
@@ -132,6 +138,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       benchmarks = v;
+    } else if (arg == "--vls") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      vls = v;
     } else if (arg == "--mem") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -173,12 +183,29 @@ int main(int argc, char** argv) {
     spec = eval::CampaignSpec::table3();
   } else if (suite == "smoke") {
     spec = eval::CampaignSpec::smoke();
+  } else if (suite == "nn") {
+    spec = eval::CampaignSpec::nn(eval::SuiteScale::Full);
+  } else if (suite == "nn-smoke") {
+    spec = eval::CampaignSpec::nn(eval::SuiteScale::Smoke);
+    spec.name = "nn-smoke";
   } else {
     std::fprintf(stderr, "unknown suite: %s\n", suite.c_str());
     return usage(argv[0]);
   }
-  spec.benchmarks = split_csv(benchmarks);
-  spec.tuner_study = tuner;
+  if (!benchmarks.empty()) spec.benchmarks = split_csv(benchmarks);
+  if (!vls.empty()) {
+    spec.vls.clear();
+    for (const auto& tok : split_csv(vls)) {
+      int vl = 0;
+      if (!parse_int(tok.c_str(), vl) || vl < 0 || vl > 63) {
+        std::fprintf(stderr, "invalid VL point: %s (expected 0..63)\n",
+                     tok.c_str());
+        return 2;
+      }
+      spec.vls.push_back(vl);
+    }
+  }
+  spec.tuner_study = tuner && spec.tuner_study;
   if (!engine.empty()) {
     try {
       spec.engine = sim::engine_from_name(engine);
@@ -208,11 +235,11 @@ int main(int argc, char** argv) {
     }
   }
   if (mem_level == "l1") {
-    spec.mem.load_latency = sim::kMemL1.load_latency;
+    spec.mem.set_level(sim::kMemL1);
   } else if (mem_level == "l2") {
-    spec.mem.load_latency = sim::kMemL2.load_latency;
+    spec.mem.set_level(sim::kMemL2);
   } else if (mem_level == "l3") {
-    spec.mem.load_latency = sim::kMemL3.load_latency;
+    spec.mem.set_level(sim::kMemL3);
   } else {
     std::fprintf(stderr, "unknown memory level: %s\n", mem_level.c_str());
     return usage(argv[0]);
