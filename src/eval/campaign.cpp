@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <map>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
+#include <tuple>
 
+#include "eval/executor.hpp"
 #include "kernels/qor.hpp"
+#include "kernels/runner.hpp"
 #include "kernels/svm.hpp"
 #include "tuner/tuner.hpp"
 
@@ -221,25 +222,141 @@ std::vector<CellSpec> expand_matrix(const CampaignSpec& spec) {
   return cells;
 }
 
-CellResult run_cell(const CellSpec& cell, const sim::MemConfig& mem,
-                    sim::Engine engine, fp::MathBackend backend,
+// ---- planner ----------------------------------------------------------------
+
+namespace {
+
+/// Immutable planned kernel instance shared through the process-wide plan
+/// cache: the built KernelSpec, one lowering of it, and the content digest.
+struct PlannedKernel {
+  std::shared_ptr<const KernelSpec> spec;
+  std::shared_ptr<const ir::LoweredKernel> lowered;
+  std::uint64_t digest = 0;
+};
+
+/// Process-wide plan cache. Sound because it only caches benchmarks of the
+/// two static eval_suite() vectors, whose make() functions are deterministic
+/// and fixture-backed — so (scale, benchmark name, TypeConfig, mode, opt)
+/// fully determines the kernel and its lowering. This is what makes a warm
+/// daemon request planning-free: repeated specs re-use both the kernel
+/// build (golden reference included) and the lowering.
+class PlanCache {
+ public:
+  PlannedKernel get(SuiteScale scale, const EvalBenchmark& bench,
+                    const kernels::TypeConfig& tc, ir::CodegenMode mode,
                     const ir::OptConfig& opt) {
-  const KernelSpec spec = cell.benchmark->bench.make(cell.type_config.tc);
+    const Key key{scale == SuiteScale::Full,
+                  bench.bench.name,
+                  static_cast<int>(tc.data),
+                  static_cast<int>(tc.acc),
+                  static_cast<int>(mode),
+                  opt.unroll_factor,
+                  opt.ptr_strength_reduction,
+                  opt.dead_glue_elim,
+                  opt.vl_cap};
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) return it->second;
+    }
+    // Build outside the lock: planning two different cells concurrently must
+    // not serialize, and a duplicate build is idempotent (first insert wins).
+    PlannedKernel p;
+    auto spec_ptr = spec_for(scale, bench, tc);
+    p.spec = spec_ptr;
+    p.lowered = std::make_shared<const ir::LoweredKernel>(
+        ir::lower(spec_ptr->kernel, mode, spec_ptr->init, opt));
+    p.digest = kernels::lowered_digest(*p.spec, *p.lowered);
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.emplace(key, std::move(p)).first->second;
+  }
+
+ private:
+  using Key = std::tuple<bool, std::string, int, int, int, int, bool, bool, int>;
+
+  /// Kernel builds are shared across modes/VL points of the same
+  /// (benchmark, TypeConfig) — the spec (inputs, golden) is mode-independent.
+  std::shared_ptr<const KernelSpec> spec_for(SuiteScale scale,
+                                             const EvalBenchmark& bench,
+                                             const kernels::TypeConfig& tc) {
+    const SpecKey key{scale == SuiteScale::Full, bench.bench.name,
+                      static_cast<int>(tc.data), static_cast<int>(tc.acc)};
+    {
+      const std::lock_guard<std::mutex> lock(spec_mu_);
+      const auto it = specs_.find(key);
+      if (it != specs_.end()) return it->second;
+    }
+    auto built = std::make_shared<const KernelSpec>(bench.bench.make(tc));
+    const std::lock_guard<std::mutex> lock(spec_mu_);
+    return specs_.emplace(key, std::move(built)).first->second;
+  }
+
+  using SpecKey = std::tuple<bool, std::string, int, int>;
+  std::mutex mu_;
+  std::map<Key, PlannedKernel> map_;
+  std::mutex spec_mu_;
+  std::map<SpecKey, std::shared_ptr<const KernelSpec>> specs_;
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+/// Assemble one PlannedCell: memoized build+lower, then the content address.
+PlannedCell plan_one(SuiteScale scale, const CellSpec& cell,
+                     const sim::MemConfig& mem, sim::Engine engine,
+                     fp::MathBackend backend, const ir::OptConfig& opt) {
   // The cell's VL-sweep point overrides the campaign-level vl_cap: each
   // point is a distinct lowering of the same kernel.
   ir::OptConfig cell_opt = opt;
   cell_opt.vl_cap = cell.vl;
-  const RunResult r = kernels::run_kernel(spec, cell.mode, mem,
-                                          isa::IsaConfig::full(), engine,
-                                          backend, cell_opt);
+  const PlannedKernel pk = plan_cache().get(scale, *cell.benchmark,
+                                            cell.type_config.tc, cell.mode,
+                                            cell_opt);
+  PlannedCell p;
+  p.cell = cell;
+  p.spec = pk.spec;
+  p.lowered = pk.lowered;
+  p.opt = cell_opt;
+  p.key.kernel_digest = pk.digest;
+  p.key.data = cell.type_config.tc.data;
+  p.key.acc = cell.type_config.tc.acc;
+  p.key.mode = cell.mode;
+  p.key.vl = cell.vl;
+  p.key.engine = engine;
+  p.key.backend = backend;
+  p.key.opt = cell_opt;
+  p.key.mem_load_latency = mem.load_latency;
+  p.key.mem_store_latency = mem.store_latency;
+  p.key.mem_level = static_cast<int>(mem.level);
+  p.key.mem_size = mem.size;
+  return p;
+}
 
-  CellResult c;
+/// Presentation fields are spec-derived, not measurement-derived: they are
+/// (re)stamped on every serve, which is what lets differently-labelled specs
+/// (the tuner grid vs. the campaign's "mixed" column) share content cells.
+void stamp_presentation(CellResult& c, const CellSpec& cell) {
   c.benchmark = cell.benchmark->bench.name;
   c.type_config = cell.type_config.name;
   c.data = cell.type_config.tc.data;
   c.acc = cell.type_config.tc.acc;
   c.mode = cell.mode;
   c.vl = cell.vl;
+}
+
+/// The execute layer: simulate a planned cell and measure everything the
+/// report wants. This is exactly the work a store hit skips.
+CellResult run_planned_cell(const PlannedCell& p, const sim::MemConfig& mem,
+                            sim::Engine engine, fp::MathBackend backend) {
+  const KernelSpec& spec = *p.spec;
+  const RunResult r = kernels::run_lowered(spec, *p.lowered, mem,
+                                           isa::IsaConfig::full(), engine,
+                                           backend);
+
+  CellResult c;
+  stamp_presentation(c, p.cell);
   c.cycles = r.stats.cycles;
   c.instructions = r.stats.instructions;
   c.loads = r.stats.load_count;
@@ -259,47 +376,89 @@ CellResult run_cell(const CellSpec& cell, const sim::MemConfig& mem,
   c.energy = energy::EnergyModel{}.breakdown(r.stats, mem);
   c.sqnr_db = kernels::sqnr_db(golden_concat(spec),
                                r.concat_outputs(spec.output_arrays));
-  if (cell.benchmark->accuracy) {
-    c.accuracy = cell.benchmark->accuracy(spec, r);
+  if (p.cell.benchmark->accuracy) {
+    c.accuracy = p.cell.benchmark->accuracy(spec, r);
   }
   return c;
 }
 
-EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
-  const auto cells = expand_matrix(spec);
+}  // namespace
 
-  std::vector<CellResult> results(cells.size());
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1);
-      if (i >= cells.size()) return;
-      try {
-        results[i] = run_cell(cells[i], spec.mem, spec.engine, spec.backend,
-                              spec.opt);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
+std::vector<PlannedCell> plan_campaign(const CampaignSpec& spec) {
+  const auto cells = expand_matrix(spec);
+  std::vector<PlannedCell> planned;
+  planned.reserve(cells.size());
+  for (const auto& cell : cells) {
+    planned.push_back(plan_one(spec.scale, cell, spec.mem, spec.engine,
+                               spec.backend, spec.opt));
+  }
+  return planned;
+}
+
+CellResult run_cell(const CellSpec& cell, const sim::MemConfig& mem,
+                    sim::Engine engine, fp::MathBackend backend,
+                    const ir::OptConfig& opt) {
+  // Ad-hoc entry point (unit tests, one-off cells): builds and lowers
+  // directly, bypassing the plan cache — its memo key assumes suite-resident
+  // benchmarks, which this caller does not guarantee.
+  ir::OptConfig cell_opt = opt;
+  cell_opt.vl_cap = cell.vl;
+  PlannedCell p;
+  p.cell = cell;
+  p.spec = std::make_shared<const KernelSpec>(
+      cell.benchmark->bench.make(cell.type_config.tc));
+  p.lowered = std::make_shared<const ir::LoweredKernel>(
+      ir::lower(p.spec->kernel, cell.mode, p.spec->init, cell_opt));
+  p.opt = cell_opt;
+  return run_planned_cell(p, mem, engine, backend);
+}
+
+EvalReport run_campaign(const CampaignSpec& spec, int jobs, CellStore* store,
+                        const CellCallback& on_cell) {
+  const auto planned = plan_campaign(spec);
+  const std::size_t total = planned.size();
+
+  std::vector<CellResult> results(total);
+  CacheTelemetry tally;
+  std::mutex cb_mu;
+  auto emit = [&](std::size_t i, const CellResult& c, bool cached) {
+    if (!on_cell) return;
+    // Serialized: workers land cells concurrently, but clients see a clean
+    // stream (the service tier writes each one straight to a socket).
+    const std::lock_guard<std::mutex> lock(cb_mu);
+    on_cell(i, total, c, cached);
   };
 
-  const int n = std::max(1, jobs);
-  if (n == 1) {
-    worker();
+  // Store layer: partition into hits and misses up front (lookups are O(1)
+  // and serial), so hits stream before any simulation starts and only the
+  // misses ever reach the executor.
+  std::vector<std::size_t> misses;
+  if (store != nullptr) {
+    for (std::size_t i = 0; i < total; ++i) {
+      if (auto hit = store->lookup(planned[i].key)) {
+        stamp_presentation(*hit, planned[i].cell);
+        results[i] = std::move(*hit);
+        ++tally.hits;
+        emit(i, results[i], true);
+      } else {
+        misses.push_back(i);
+      }
+    }
+    tally.misses = misses.size();
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(n));
-    for (int t = 0; t < n; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    misses.resize(total);
+    for (std::size_t i = 0; i < total; ++i) misses[i] = i;
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  // Executor layer: cache-miss cells on the work-stealing shards.
+  run_sharded(misses.size(), std::max(1, jobs), [&](std::size_t mi) {
+    const std::size_t i = misses[mi];
+    CellResult c = run_planned_cell(planned[i], spec.mem, spec.engine,
+                                    spec.backend);
+    if (store != nullptr) store->insert(planned[i].key, c);
+    emit(i, c, false);
+    results[i] = std::move(c);
+  });
 
   EvalReport report;
   report.suite = spec.name;
@@ -308,10 +467,10 @@ EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
   report.opt = std::string(ir::opt_name(spec.opt));
   report.mem_load_latency = spec.mem.load_latency;
   report.mem_store_latency = spec.mem.store_latency;
-  for (const auto& c : cells) {
+  for (const auto& p : planned) {
     if (report.benchmarks.empty() ||
-        report.benchmarks.back() != c.benchmark->bench.name) {
-      report.benchmarks.push_back(c.benchmark->bench.name);
+        report.benchmarks.back() != p.cell.benchmark->bench.name) {
+      report.benchmarks.push_back(p.cell.benchmark->bench.name);
     }
   }
   for (const auto& tc : spec.type_configs) {
@@ -325,14 +484,18 @@ EvalReport run_campaign(const CampaignSpec& spec, int jobs) {
   if (spec.runs_tuner()) {
     report.has_tuner = true;
     report.tuner = run_tuner_study(spec.scale, spec.mem, spec.engine,
-                                   spec.backend, spec.opt);
+                                   spec.backend, spec.opt, store, &tally);
   }
+  // Telemetry is always populated in memory; `has_cache` (serialization)
+  // stays opt-in so default reports keep their byte-determinism.
+  report.cache = tally;
   return report;
 }
 
 TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
                            sim::Engine engine, fp::MathBackend backend,
-                           const ir::OptConfig& opt) {
+                           const ir::OptConfig& opt, CellStore* store,
+                           CacheTelemetry* tally) {
   const auto& suite = eval_suite(scale);
   const auto it = std::find_if(
       suite.begin(), suite.end(),
@@ -370,11 +533,32 @@ TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
     // float data has no lanes at FLEN=32 and runs the scalar pipeline.
     const auto mode = ir::lanes32(tc.data) >= 2 ? ir::CodegenMode::ManualVec
                                                 : ir::CodegenMode::Scalar;
-    const KernelSpec spec = svm.bench.make(tc);
-    const RunResult r = kernels::run_kernel(spec, mode, mem,
-                                            isa::IsaConfig::full(), engine,
-                                            backend, opt);
-    const Outcome out{svm.accuracy(spec, r), static_cast<double>(r.cycles())};
+    // Each grid point is a content-addressed cell like any campaign cell:
+    // points that coincide with matrix cells (e.g. the "mixed" SVM) are
+    // served from the store instead of re-simulated, and what the tuner
+    // computes becomes servable to later campaigns.
+    CellSpec cell;
+    cell.benchmark = &svm;
+    cell.type_config = {std::string(ir::type_name(tc.data)) + "/" +
+                            std::string(ir::type_name(tc.acc)),
+                        tc};
+    cell.mode = mode;
+    cell.vl = opt.vl_cap;  // plan_one re-applies it; keep key.vl == opt.vl_cap
+    const PlannedCell p = plan_one(scale, cell, mem, engine, backend, opt);
+    CellResult c;
+    if (store != nullptr) {
+      if (auto hit = store->lookup(p.key)) {
+        c = std::move(*hit);
+        if (tally != nullptr) ++tally->hits;
+      } else {
+        c = run_planned_cell(p, mem, engine, backend);
+        store->insert(p.key, c);
+        if (tally != nullptr) ++tally->misses;
+      }
+    } else {
+      c = run_planned_cell(p, mem, engine, backend);
+    }
+    const Outcome out{c.accuracy, static_cast<double>(c.cycles)};
     memo.emplace(key, out);
     return out;
   };
@@ -412,6 +596,100 @@ TunerStudy run_tuner_study(SuiteScale scale, const sim::MemConfig& mem,
   study.explored.reserve(result.explored.size());
   for (const auto& e : result.explored) study.explored.push_back(to_trial(e));
   return study;
+}
+
+Json spec_to_json(const CampaignSpec& spec) {
+  JsonArray benchmarks;
+  for (const auto& b : spec.benchmarks) benchmarks.emplace_back(b);
+  JsonArray tcs;
+  for (const auto& tc : spec.type_configs) {
+    tcs.emplace_back(JsonObject{
+        {"name", Json(tc.name)},
+        {"data", Json(ir::type_name(tc.tc.data))},
+        {"acc", Json(ir::type_name(tc.tc.acc))},
+    });
+  }
+  JsonArray modes;
+  for (const auto m : spec.modes) modes.emplace_back(ir::mode_name(m));
+  JsonArray vls;
+  for (const int vl : spec.vls) vls.emplace_back(vl);
+  return Json(JsonObject{
+      {"name", Json(spec.name)},
+      {"scale", Json(spec.scale == SuiteScale::Full ? "full" : "smoke")},
+      {"benchmarks", Json(std::move(benchmarks))},
+      {"type_configs", Json(std::move(tcs))},
+      {"modes", Json(std::move(modes))},
+      {"mem",
+       Json(JsonObject{
+           {"size", Json(static_cast<std::int64_t>(spec.mem.size))},
+           {"load_latency", Json(spec.mem.load_latency)},
+           {"store_latency", Json(spec.mem.store_latency)},
+           {"level", Json(static_cast<int>(spec.mem.level))},
+       })},
+      {"engine", Json(sim::engine_name(spec.engine))},
+      {"backend", Json(fp::backend_name(spec.backend))},
+      {"opt",
+       Json(JsonObject{
+           {"unroll_factor", Json(spec.opt.unroll_factor)},
+           {"ptr_strength_reduction", Json(spec.opt.ptr_strength_reduction)},
+           {"dead_glue_elim", Json(spec.opt.dead_glue_elim)},
+           {"vl_cap", Json(spec.opt.vl_cap)},
+       })},
+      {"vls", Json(std::move(vls))},
+      {"tuner_study", Json(spec.tuner_study)},
+  });
+}
+
+CampaignSpec spec_from_json(const Json& doc) {
+  CampaignSpec spec;
+  spec.name = doc.at("name").as_string();
+  const std::string& scale = doc.at("scale").as_string();
+  if (scale == "full") {
+    spec.scale = SuiteScale::Full;
+  } else if (scale == "smoke") {
+    spec.scale = SuiteScale::Smoke;
+  } else {
+    throw std::runtime_error("campaign spec: unknown scale: " + scale);
+  }
+  spec.benchmarks.clear();
+  for (const auto& b : doc.at("benchmarks").array()) {
+    spec.benchmarks.push_back(b.as_string());
+  }
+  spec.type_configs.clear();
+  for (const auto& t : doc.at("type_configs").array()) {
+    TypeConfigSpec tc;
+    tc.name = t.at("name").as_string();
+    tc.tc.data = scalar_type_from_name(t.at("data").as_string());
+    tc.tc.acc = scalar_type_from_name(t.at("acc").as_string());
+    spec.type_configs.push_back(std::move(tc));
+  }
+  spec.modes.clear();
+  for (const auto& m : doc.at("modes").array()) {
+    spec.modes.push_back(mode_from_name(m.as_string()));
+  }
+  const Json& mem = doc.at("mem");
+  spec.mem.size = static_cast<std::uint32_t>(mem.at("size").as_uint());
+  spec.mem.load_latency = static_cast<int>(mem.at("load_latency").as_int());
+  spec.mem.store_latency = static_cast<int>(mem.at("store_latency").as_int());
+  const auto level = mem.at("level").as_int();
+  if (level < 0 || level > static_cast<int>(sim::MemLevelId::L3)) {
+    throw std::runtime_error("campaign spec: unknown mem level: " +
+                             std::to_string(level));
+  }
+  spec.mem.level = static_cast<sim::MemLevelId>(level);
+  spec.engine = sim::engine_from_name(doc.at("engine").as_string());
+  spec.backend = fp::backend_from_name(doc.at("backend").as_string());
+  const Json& opt = doc.at("opt");
+  spec.opt.unroll_factor = static_cast<int>(opt.at("unroll_factor").as_int());
+  spec.opt.ptr_strength_reduction = opt.at("ptr_strength_reduction").as_bool();
+  spec.opt.dead_glue_elim = opt.at("dead_glue_elim").as_bool();
+  spec.opt.vl_cap = static_cast<int>(opt.at("vl_cap").as_int());
+  spec.vls.clear();
+  for (const auto& vl : doc.at("vls").array()) {
+    spec.vls.push_back(static_cast<int>(vl.as_int()));
+  }
+  spec.tuner_study = doc.at("tuner_study").as_bool();
+  return spec;
 }
 
 }  // namespace sfrv::eval

@@ -1,19 +1,30 @@
-// Campaign runner: expand a (benchmark × TypeConfig × CodegenMode) matrix,
-// execute every cell through the predecoded simulator engine on a thread
-// pool, and aggregate cycles, instruction/energy breakdowns, and QoR into an
-// EvalReport.
+// Campaign runner, split into the three layers of eval-as-a-service:
+//
+//  * planner   — expand_matrix / plan_campaign turn a CampaignSpec into
+//                planned cells: the built kernel, its lowered program, and a
+//                content-addressed CellKey (kernel digest × TypeConfig ×
+//                mode × engine × backend × opt × vl × mem × schema).
+//  * store     — run_campaign consults an optional CellStore before
+//                simulating; hits are served in O(1) and only misses reach
+//                the executor (eval/cellstore.hpp).
+//  * executor  — cache-miss cells run on per-shard work-stealing deques
+//                (eval/executor.hpp), streaming each completed cell through
+//                a callback so clients (the service tier, progress UIs) can
+//                render partial results.
 //
 // Determinism contract: a campaign's report is a pure function of its spec.
 // Cells are executed in any order (each one builds its own kernel, Core and
 // ExecContext), but results land in matrix-expansion order, and every
-// aggregate is computed serially afterwards — so `-j1` and `-jN` produce
-// byte-identical JSON.
+// aggregate is computed serially afterwards — so `-j1` and `-jN`, cold and
+// warm, local and remote runs all produce byte-identical JSON.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "eval/cellstore.hpp"
 #include "eval/report.hpp"
 #include "kernels/suite.hpp"
 #include "sim/core.hpp"
@@ -104,6 +115,26 @@ struct CellSpec {
 /// then VL. Throws on a benchmark name not present in the suite.
 [[nodiscard]] std::vector<CellSpec> expand_matrix(const CampaignSpec& spec);
 
+/// A planner output cell: the matrix coordinates plus everything needed to
+/// either serve it from the store or simulate it — the built kernel, its
+/// lowered program, the effective optimizer config (campaign opt with the
+/// cell's vl_cap applied), and the content address. Kernel and lowering are
+/// shared_ptrs into a process-wide plan cache (keyed by suite scale,
+/// benchmark name, TypeConfig, mode and opt), so a long-lived daemon plans a
+/// repeated spec without re-building or re-lowering anything.
+struct PlannedCell {
+  CellSpec cell;
+  std::shared_ptr<const kernels::KernelSpec> spec;
+  std::shared_ptr<const ir::LoweredKernel> lowered;
+  ir::OptConfig opt{};
+  CellKey key;
+};
+
+/// The planner: expand the matrix and build/lower/digest every cell (no
+/// simulation). Cheap relative to execution — this is the part a warm run
+/// still pays.
+[[nodiscard]] std::vector<PlannedCell> plan_campaign(const CampaignSpec& spec);
+
 /// Execute one cell: lower, simulate, and measure.
 [[nodiscard]] CellResult run_cell(
     const CellSpec& cell, const sim::MemConfig& mem,
@@ -111,8 +142,27 @@ struct CellSpec {
     fp::MathBackend backend = fp::default_backend(),
     const ir::OptConfig& opt = ir::default_opt());
 
+/// Completed-cell stream: invoked (serialized, from worker threads) as each
+/// cell lands, in arbitrary completion order — store hits first, then
+/// misses as the executor retires them. `index` is the matrix-expansion
+/// position; `cached` tells hits from computed cells.
+using CellCallback = std::function<void(
+    std::size_t index, std::size_t total, const CellResult& cell, bool cached)>;
+
 /// Run the whole campaign with `jobs` worker threads (clamped to >= 1).
-[[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1);
+/// With a `store`, cells present in it are served instead of simulated and
+/// computed cells are inserted; `report.cache.{hits,misses}` record the
+/// lookup outcome (serialization of that block stays opt-in via
+/// `report.has_cache`). `on_cell` streams partial results.
+[[nodiscard]] EvalReport run_campaign(const CampaignSpec& spec, int jobs = 1,
+                                      CellStore* store = nullptr,
+                                      const CellCallback& on_cell = nullptr);
+
+/// Wire codec for campaign specs (the service protocol's request payload).
+/// Round-trips exactly: a spec parsed from its own JSON plans and runs to a
+/// byte-identical report.
+[[nodiscard]] Json spec_to_json(const CampaignSpec& spec);
+[[nodiscard]] CampaignSpec spec_from_json(const Json& doc);
 
 /// The Fig. 6 case study: precision tuning of the SVM slots ({data, acc}
 /// over all six scalar types, narrowest first) with QoR = simulated
@@ -120,10 +170,17 @@ struct CellSpec {
 /// constraint of matching the float configuration's accuracy. Exhaustive
 /// over the 36-config grid: lattice-ordered pairs are simulated once each
 /// (memoized), unordered pairs are recorded as skipped trials.
+///
+/// With a `store` the tuner is a store-aware client: every simulated pair is
+/// a content-addressed cell, so grid points that coincide with campaign
+/// matrix cells (e.g. the "mixed" f16/f32 ManualVec SVM) are served instead
+/// of re-simulated, and vice versa. `tally` (optional) accumulates the
+/// lookup hits/misses into a campaign's cache telemetry.
 [[nodiscard]] TunerStudy run_tuner_study(
     SuiteScale scale, const sim::MemConfig& mem,
     sim::Engine engine = sim::default_engine(),
     fp::MathBackend backend = fp::default_backend(),
-    const ir::OptConfig& opt = ir::default_opt());
+    const ir::OptConfig& opt = ir::default_opt(), CellStore* store = nullptr,
+    CacheTelemetry* tally = nullptr);
 
 }  // namespace sfrv::eval

@@ -23,6 +23,8 @@ energy::EnergyBreakdown breakdown_from_json(const Json& j) {
   return e;
 }
 
+}  // namespace
+
 Json cell_to_json(const CellResult& c) {
   JsonObject counts;
   counts.reserve(c.class_counts.size());
@@ -66,6 +68,8 @@ CellResult cell_from_json(const Json& j) {
   if (const Json* acc = j.find("accuracy")) c.accuracy = acc->as_double();
   return c;
 }
+
+namespace {
 
 Json trial_to_json(const TunerTrial& t) {
   return Json(JsonObject{{"data", Json(ir::type_name(t.data))},
@@ -169,6 +173,20 @@ Json to_json(const EvalReport& report) {
   if (report.wall_ms >= 0) {
     obj.emplace_back("wall_ms", Json(report.wall_ms));
   }
+  // Same opt-in: cache telemetry depends on run order (a warm rerun hits
+  // where the cold pass missed), so it must stay out of the byte-compared
+  // default reports.
+  if (report.has_cache) {
+    JsonObject cache{{"hits", Json(report.cache.hits)},
+                     {"misses", Json(report.cache.misses)}};
+    if (report.cache.cold_ms >= 0) {
+      cache.emplace_back("cold_ms", Json(report.cache.cold_ms));
+    }
+    if (report.cache.warm_ms >= 0) {
+      cache.emplace_back("warm_ms", Json(report.cache.warm_ms));
+    }
+    obj.emplace_back("cache", Json(std::move(cache)));
+  }
   if (report.has_tuner) {
     JsonArray explored;
     explored.reserve(report.tuner.explored.size());
@@ -209,6 +227,13 @@ EvalReport report_from_json(const Json& doc) {
   }
   if (const Json* wall = doc.find("wall_ms")) {
     r.wall_ms = wall->as_double();
+  }
+  if (const Json* cache = doc.find("cache")) {
+    r.has_cache = true;
+    r.cache.hits = cache->at("hits").as_uint();
+    r.cache.misses = cache->at("misses").as_uint();
+    if (const Json* v = cache->find("cold_ms")) r.cache.cold_ms = v->as_double();
+    if (const Json* v = cache->find("warm_ms")) r.cache.warm_ms = v->as_double();
   }
   if (const Json* tuner = doc.find("tuner")) {
     r.has_tuner = true;

@@ -48,7 +48,16 @@ namespace sfrv::eval {
 ///     engines, backends, and thread counts at every VL point; across
 ///     *different* VL points cycles and outputs legitimately differ (the
 ///     element-to-lane mapping changes with the granted VL).
-inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v7";
+/// v8: eval-as-a-service. Adds an *optional* `cache` telemetry block
+///     ({hits, misses, cold_ms, warm_ms}) recording content-addressed cell
+///     store reuse and warm-vs-cold campaign wall time. Like `wall_ms` it is
+///     serialized only when wall-clock measurement was requested, so default
+///     reports stay byte-deterministic — and byte-identity across cold,
+///     warm, local, and `--connect` runs of the same spec is exactly the
+///     cache-correctness contract (CI-enforced). The schema version is part
+///     of every cell-store key, so a schema bump invalidates all cached
+///     cells.
+inline constexpr std::string_view kReportSchema = "sfrv-eval-report/v8";
 
 /// One matrix cell: a benchmark executed at a type configuration under one
 /// code generator, with its performance, breakdown, energy, and QoR.
@@ -95,6 +104,18 @@ struct TunerStudy {
   std::vector<TunerTrial> explored;  ///< in evaluation order
 };
 
+/// Cell-store reuse telemetry for one campaign run. `hits`/`misses` count
+/// store lookups (matrix cells and tuner trials); the wall times compare a
+/// cold (store-populating) pass against a warm (fully cached) rerun when
+/// both were measured. Host-dependent and run-order-dependent, so the block
+/// is serialized only when wall-clock measurement was requested.
+struct CacheTelemetry {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double cold_ms = -1;  ///< cold-pass campaign wall time; -1 = not measured
+  double warm_ms = -1;  ///< warm-rerun campaign wall time; -1 = not measured
+};
+
 struct EvalReport {
   std::string suite;   ///< campaign name ("table3", "smoke")
   /// Simulator engine the cells executed through ("predecoded", "fused",
@@ -117,6 +138,10 @@ struct EvalReport {
   /// serialized when >= 0 (sfrv-eval --wall-clock); the default -1 keeps
   /// reports byte-identical across machines, runs, and thread counts.
   double wall_ms = -1;
+  /// Cell-store telemetry. Populated in memory whenever a store was used;
+  /// serialized only when `has_cache` (same opt-in as `wall_ms`).
+  bool has_cache = false;
+  CacheTelemetry cache{};
   std::vector<std::string> benchmarks;    ///< suite order
   std::vector<std::string> type_configs;  ///< campaign order
   std::vector<std::string> modes;         ///< campaign order
@@ -136,6 +161,14 @@ struct EvalReport {
 
 [[nodiscard]] Json to_json(const EvalReport& report);
 [[nodiscard]] EvalReport report_from_json(const Json& doc);
+
+/// Single-cell codec, exposed for the cell store's on-disk entries and the
+/// service wire protocol. Round-trips exactly: dumping a parsed cell
+/// reproduces the original bytes (doubles use shortest-round-trip form),
+/// which is what lets a cached cell serialize bit-for-bit like a recomputed
+/// one.
+[[nodiscard]] Json cell_to_json(const CellResult& c);
+[[nodiscard]] CellResult cell_from_json(const Json& j);
 
 /// Human-readable report mirroring the paper's Table III, Fig. 5 and Fig. 6.
 [[nodiscard]] std::string render_markdown(const EvalReport& report);

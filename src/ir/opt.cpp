@@ -9,6 +9,7 @@
 
 #include "isa/encoding.hpp"
 #include "isa/opcodes.hpp"
+#include "util/env.hpp"
 
 namespace sfrv::ir {
 
@@ -46,17 +47,9 @@ OptConfig opt_from_name(std::string_view name) {
 }
 
 OptConfig opt_from_env(const char* value) {
-  if (value == nullptr || *value == '\0') return OptConfig::O0();
-  try {
-    return opt_from_name(value);
-  } catch (const std::exception&) {
-    // Never throw here: this runs inside a static-local initializer reached
-    // from default arguments (same contract as engine_from_env).
-    std::fprintf(stderr,
-                 "warning: ignoring invalid SFRV_OPT=%s (expected O0|O1|O2)\n",
-                 value);
-    return OptConfig::O0();
-  }
+  return util::parse_env_enum(
+      value, OptConfig::O0(),
+      [](const char* v) { return opt_from_name(v); }, "SFRV_OPT", "O0|O1|O2");
 }
 
 OptConfig default_opt() {

@@ -1,12 +1,18 @@
 #include "kernels/runner.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "softfloat/runtime.hpp"
+#include "util/fnv.hpp"
 
 namespace sfrv::kernels {
+
+using util::Fnv1a;
 
 double RunResult::ideal_cycles(int vl) const {
   if (vl < 1) {
@@ -41,12 +47,36 @@ std::vector<double> RunResult::concat_outputs(
   return all;
 }
 
+std::uint64_t lowered_digest(const KernelSpec& spec,
+                             const ir::LoweredKernel& lowered) {
+  Fnv1a h;
+  h.pod(lowered.program.text_base);
+  h.pod(lowered.program.data_base);
+  h.bytes(lowered.program.text_words.data(),
+          lowered.program.text_words.size() * sizeof(std::uint32_t));
+  h.bytes(lowered.program.data.data(), lowered.program.data.size());
+  // The QoR reference: SQNR (and accuracy) of a cached cell are functions of
+  // the golden outputs too, so a reference change must change the address.
+  for (const auto& name : spec.output_arrays) h.str(name);
+  for (const auto& g : spec.golden) {
+    h.bytes(g.data(), g.size() * sizeof(double));
+  }
+  return h.value();
+}
+
 RunResult run_kernel(const KernelSpec& spec, ir::CodegenMode mode,
                      sim::MemConfig mem, isa::IsaConfig cfg,
                      sim::Engine engine, fp::MathBackend backend,
                      const ir::OptConfig& opt) {
+  return run_lowered(spec, ir::lower(spec.kernel, mode, spec.init, opt), mem,
+                     cfg, engine, backend);
+}
+
+RunResult run_lowered(const KernelSpec& spec, const ir::LoweredKernel& lowered,
+                      sim::MemConfig mem, isa::IsaConfig cfg,
+                      sim::Engine engine, fp::MathBackend backend) {
   RunResult r;
-  r.lowered = ir::lower(spec.kernel, mode, spec.init, opt);
+  r.lowered = lowered;
   sim::Core core(cfg, mem);
   core.set_engine(engine);
   core.set_backend(backend);

@@ -53,4 +53,24 @@ struct RunResult {
     fp::MathBackend backend = fp::default_backend(),
     const ir::OptConfig& opt = ir::default_opt());
 
+/// Execute an already-lowered kernel (the simulate half of run_kernel).
+/// Separated so the eval planner can lower every cell up front — computing
+/// content digests and consulting the cell store — and pay for simulation
+/// only on cache misses.
+[[nodiscard]] RunResult run_lowered(
+    const KernelSpec& spec, const ir::LoweredKernel& lowered,
+    sim::MemConfig mem = {}, isa::IsaConfig cfg = isa::IsaConfig::full(),
+    sim::Engine engine = sim::default_engine(),
+    fp::MathBackend backend = fp::default_backend());
+
+/// Content digest of a lowered kernel instance: a process-stable FNV-1a hash
+/// over the encoded text image, the initialized data segment (which embeds
+/// the quantized inputs), the memory layout bases, and the QoR reference
+/// (output-array names and golden values). Any change to the kernel source,
+/// its inputs, the code generator, or the optimizer that alters the program
+/// or its reference changes the digest — this is what makes the eval cell
+/// store content-addressed rather than name-addressed.
+[[nodiscard]] std::uint64_t lowered_digest(const KernelSpec& spec,
+                                           const ir::LoweredKernel& lowered);
+
 }  // namespace sfrv::kernels

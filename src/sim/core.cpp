@@ -7,6 +7,7 @@
 
 #include "isa/disasm.hpp"
 #include "softfloat/runtime.hpp"
+#include "util/env.hpp"
 
 namespace sfrv::sim {
 
@@ -72,19 +73,10 @@ Engine engine_from_name(std::string_view name) {
 }
 
 Engine engine_from_env(const char* value) {
-  if (value == nullptr || *value == '\0') return Engine::Predecoded;
-  try {
-    return engine_from_name(value);
-  } catch (const std::exception&) {
-    // Never throw here: this runs inside a static-local initializer
-    // reached from default arguments and member initializers, long
-    // before any caller could catch or report it.
-    std::fprintf(stderr,
-                 "warning: ignoring invalid SFRV_ENGINE=%s "
-                 "(expected reference|predecoded|fused|jit)\n",
-                 value);
-    return Engine::Predecoded;
-  }
+  return util::parse_env_enum(
+      value, Engine::Predecoded,
+      [](const char* v) { return engine_from_name(v); }, "SFRV_ENGINE",
+      "reference|predecoded|fused|jit");
 }
 
 Engine default_engine() {

@@ -12,6 +12,7 @@
 #include "softfloat/convert.hpp"
 #include "softfloat/host.hpp"
 #include "softfloat/posit.hpp"
+#include "util/env.hpp"
 
 namespace sfrv::fp {
 
@@ -627,16 +628,10 @@ MathBackend backend_from_name(std::string_view name) {
 }
 
 MathBackend backend_from_env(const char* value) {
-  if (value == nullptr || *value == '\0') return MathBackend::Grs;
-  try {
-    return backend_from_name(value);
-  } catch (const std::exception&) {
-    std::fprintf(stderr,
-                 "warning: ignoring invalid SFRV_BACKEND=%s "
-                 "(expected grs|fast)\n",
-                 value);
-    return MathBackend::Grs;
-  }
+  return util::parse_env_enum(
+      value, MathBackend::Grs,
+      [](const char* v) { return backend_from_name(v); }, "SFRV_BACKEND",
+      "grs|fast");
 }
 
 MathBackend default_backend() {

@@ -1,0 +1,33 @@
+// Shared environment-variable enum resolution.
+//
+// SFRV_ENGINE / SFRV_BACKEND / SFRV_OPT all follow the same contract: an
+// unset or empty variable selects the built-in default, a valid value
+// parses, and anything else warns on stderr and falls back to the default —
+// never throws, because every resolver runs inside a static-local
+// initializer reached from default arguments, long before any caller could
+// catch or report an exception.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+namespace sfrv::util {
+
+/// Resolve an environment value against `parse` (a name -> T function that
+/// throws on unknown names). `var` and `expected` feed the warning message:
+///   warning: ignoring invalid <var>=<value> (expected <expected>)
+template <typename T, typename ParseFn>
+[[nodiscard]] T parse_env_enum(const char* value, T fallback, ParseFn&& parse,
+                               const char* var, const char* expected) {
+  if (value == nullptr || *value == '\0') return fallback;
+  try {
+    return std::forward<ParseFn>(parse)(value);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "warning: ignoring invalid %s=%s (expected %s)\n",
+                 var, value, expected);
+    return fallback;
+  }
+}
+
+}  // namespace sfrv::util

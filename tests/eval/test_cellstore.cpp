@@ -1,0 +1,368 @@
+// Content-addressed cell store: per-axis key sensitivity (any field of what
+// a result is a function of must change the address), cross-process address
+// stability (a pinned constant), memory and disk round trips, the
+// never-serve-questionable-entries contract (truncation, corruption, key
+// mismatch, schema drift), and the end-to-end cache-correctness contract —
+// a warm campaign rerun serializes byte-identically with a 100% hit rate.
+#include "eval/cellstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "eval/campaign.hpp"
+#include "eval/report.hpp"
+#include "kernels/runner.hpp"
+
+namespace sfrv::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under the system temp dir, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("sfrv-cellstore-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+/// A fully pinned synthetic key (schema included, so the constant below
+/// survives report schema bumps).
+CellKey synthetic_key() {
+  CellKey key;
+  key.kernel_digest = 0x0123456789abcdefull;
+  key.data = ir::ScalarType::F16;
+  key.acc = ir::ScalarType::F32;
+  key.mode = ir::CodegenMode::ManualVec;
+  key.vl = 4;
+  key.engine = sim::Engine::Predecoded;
+  key.backend = fp::MathBackend::Grs;
+  key.opt.unroll_factor = 2;
+  key.opt.ptr_strength_reduction = true;
+  key.opt.dead_glue_elim = false;
+  key.opt.vl_cap = 4;
+  key.mem_load_latency = 10;
+  key.mem_store_latency = 1;
+  key.mem_level = 1;
+  key.mem_size = 8u << 20;
+  key.schema = "sfrv-cellstore-test/v1";
+  return key;
+}
+
+TEST(CellKey, EveryAxisChangesTheAddress) {
+  const CellKey base = synthetic_key();
+  const std::string addr = base.address();
+  EXPECT_EQ(addr.size(), 32u);
+
+  auto expect_differs = [&](CellKey k, const char* what) {
+    EXPECT_NE(k.address(), addr) << "axis did not affect the address: "
+                                 << what;
+  };
+  {
+    CellKey k = base;
+    k.kernel_digest ^= 1;
+    expect_differs(k, "kernel digest");
+  }
+  {
+    CellKey k = base;
+    k.data = ir::ScalarType::F8;
+    expect_differs(k, "data type");
+  }
+  {
+    CellKey k = base;
+    k.acc = ir::ScalarType::F16;
+    expect_differs(k, "acc type");
+  }
+  {
+    CellKey k = base;
+    k.mode = ir::CodegenMode::Scalar;
+    expect_differs(k, "codegen mode");
+  }
+  {
+    CellKey k = base;
+    k.vl = 2;
+    expect_differs(k, "vl");
+  }
+  {
+    CellKey k = base;
+    k.engine = sim::Engine::Jit;
+    expect_differs(k, "engine");
+  }
+  {
+    CellKey k = base;
+    k.backend = fp::MathBackend::Fast;
+    expect_differs(k, "backend");
+  }
+  {
+    CellKey k = base;
+    k.opt.unroll_factor = 4;
+    expect_differs(k, "opt unroll");
+  }
+  {
+    CellKey k = base;
+    k.opt.ptr_strength_reduction = false;
+    expect_differs(k, "opt strength reduction");
+  }
+  {
+    CellKey k = base;
+    k.opt.dead_glue_elim = true;
+    expect_differs(k, "opt dead glue");
+  }
+  {
+    CellKey k = base;
+    k.mem_load_latency = 100;
+    expect_differs(k, "mem load latency");
+  }
+  {
+    CellKey k = base;
+    k.mem_store_latency = 10;
+    expect_differs(k, "mem store latency");
+  }
+  {
+    CellKey k = base;
+    k.mem_level = 2;
+    expect_differs(k, "mem level");
+  }
+  {
+    CellKey k = base;
+    k.schema = "sfrv-cellstore-test/v2";
+    expect_differs(k, "schema version");
+  }
+}
+
+TEST(CellKey, AddressIsStableAcrossProcesses) {
+  // Pinned constant: the address must not depend on process layout, pointer
+  // values, or hash seeding — a disk cache written by one process (or `-j`
+  // worker) must be readable by any other. If this fails, the canonical text
+  // or the FNV seeding changed, and every persistent cache is invalidated —
+  // bump the report schema if that is intentional.
+  EXPECT_EQ(synthetic_key().address(), "ffadc6fa7abe1be96938c50ded5230b9");
+}
+
+TEST(CellKey, DefaultSchemaIsTheReportSchema) {
+  // A report schema bump must invalidate every cached cell.
+  EXPECT_EQ(CellKey{}.schema, std::string(kReportSchema));
+}
+
+TEST(CellKey, KernelTextFeedsTheDigest) {
+  // Two smoke benchmarks at the same TypeConfig/mode/etc. differ only in
+  // kernel content — their planned digests (and addresses) must differ.
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"gemm", "atax"};
+  spec.type_configs = {{"float16", kernels::TypeConfig::uniform(
+                                       ir::ScalarType::F16)}};
+  spec.modes = {ir::CodegenMode::Scalar};
+  spec.tuner_study = false;
+  const auto planned = plan_campaign(spec);
+  ASSERT_EQ(planned.size(), 2u);
+  EXPECT_NE(planned[0].key.kernel_digest, planned[1].key.kernel_digest);
+  EXPECT_NE(planned[0].key.address(), planned[1].key.address());
+
+  // Planning is deterministic: a second pass reproduces the digests.
+  const auto again = plan_campaign(spec);
+  EXPECT_EQ(planned[0].key.address(), again[0].key.address());
+  EXPECT_EQ(planned[1].key.address(), again[1].key.address());
+}
+
+TEST(CellStore, MemoryRoundTrip) {
+  CellStore store;
+  const CellKey key = synthetic_key();
+  EXPECT_FALSE(store.lookup(key).has_value());
+
+  CellResult cell;
+  cell.benchmark = "gemm";
+  cell.cycles = 1234;
+  cell.sqnr_db = 42.5;
+  store.insert(key, cell);
+  const auto hit = store.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cell_to_json(*hit).dump(), cell_to_json(cell).dump());
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+}
+
+TEST(CellStore, DiskRoundTripAcrossInstances) {
+  const TempDir dir;
+  const CellKey key = synthetic_key();
+  CellResult cell;
+  cell.benchmark = "gemm";
+  cell.cycles = 99;
+  {
+    CellStore store(dir.str());
+    store.insert(key, cell);
+  }
+  CellStore fresh(dir.str());
+  const auto hit = fresh.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cell_to_json(*hit).dump(), cell_to_json(cell).dump());
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+
+  // Promoted into memory: the second lookup does not touch disk again.
+  (void)fresh.lookup(key);
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+  EXPECT_EQ(fresh.stats().hits, 2u);
+}
+
+TEST(CellStore, QuestionableDiskEntriesAreRecomputedNeverServed) {
+  const TempDir dir;
+  const CellKey key = synthetic_key();
+  const std::string entry =
+      dir.str() + "/" + key.address() + ".json";
+  CellResult cell;
+  cell.benchmark = "gemm";
+  cell.cycles = 7;
+  {
+    CellStore store(dir.str());
+    store.insert(key, cell);
+  }
+
+  auto write_entry = [&](const std::string& text) {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << text;
+  };
+  auto read_entry = [&] {
+    std::ifstream in(entry, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  const std::string good = read_entry();
+
+  // Truncated mid-document.
+  write_entry(good.substr(0, good.size() / 2));
+  {
+    CellStore store(dir.str());
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().rejected, 1u);
+    EXPECT_EQ(store.stats().misses, 1u);
+  }
+  // Unparsable garbage.
+  write_entry("not json at all");
+  {
+    CellStore store(dir.str());
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().rejected, 1u);
+  }
+  // Parses, but the recorded key text does not match the requested address
+  // (tampering or a hash collision): must not be served.
+  {
+    CellKey other = synthetic_key();
+    other.vl = 7;
+    const Json forged(JsonObject{{"schema", Json(key.schema)},
+                                 {"key", Json(other.canonical())},
+                                 {"cell", cell_to_json(cell)}});
+    write_entry(forged.dump(2));
+    CellStore store(dir.str());
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().rejected, 1u);
+  }
+  // Another schema version.
+  {
+    const Json foreign(JsonObject{{"schema", Json("sfrv-cellstore-test/v0")},
+                                  {"key", Json(key.canonical())},
+                                  {"cell", cell_to_json(cell)}});
+    write_entry(foreign.dump(2));
+    CellStore store(dir.str());
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().rejected, 1u);
+  }
+  // A miss recomputes and rewrites: the store heals the entry.
+  {
+    CellStore store(dir.str());
+    ASSERT_FALSE(store.lookup(key).has_value());
+    store.insert(key, cell);
+    CellStore fresh(dir.str());
+    ASSERT_TRUE(fresh.lookup(key).has_value());
+  }
+}
+
+/// Small campaign for end-to-end store tests: one benchmark, two configs,
+/// two modes, no tuner.
+CampaignSpec tiny_campaign() {
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"gemm"};
+  spec.type_configs = {
+      {"float", kernels::TypeConfig::uniform(ir::ScalarType::F32)},
+      {"float16", kernels::TypeConfig::uniform(ir::ScalarType::F16)},
+  };
+  spec.modes = {ir::CodegenMode::Scalar, ir::CodegenMode::ManualVec};
+  spec.tuner_study = false;
+  return spec;
+}
+
+TEST(CellStore, WarmCampaignIsByteIdenticalWithFullHitRate) {
+  const CampaignSpec spec = tiny_campaign();
+  CellStore store;
+
+  const EvalReport cold = run_campaign(spec, 2, &store);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, cold.cells.size());
+
+  const EvalReport warm = run_campaign(spec, 2, &store);
+  EXPECT_EQ(warm.cache.hits, warm.cells.size());
+  EXPECT_EQ(warm.cache.misses, 0u);
+
+  // The cache-correctness contract: served == recomputed, byte for byte
+  // (telemetry only lives in memory unless has_cache is set, so the dumps
+  // compare directly), and independent of the thread count.
+  EXPECT_EQ(to_json(cold).dump(2), to_json(warm).dump(2));
+  EXPECT_EQ(render_markdown(cold), render_markdown(warm));
+  const EvalReport serial = run_campaign(spec, 1, &store);
+  EXPECT_EQ(to_json(cold).dump(2), to_json(serial).dump(2));
+}
+
+TEST(CellStore, TunerAndCampaignShareContentCells) {
+  // The smoke campaign's SVM matrix cells coincide with tuner grid points
+  // (display names differ, content matches): a campaign that runs both must
+  // see nonzero store hits even on a cold pass.
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"svm"};
+  CellStore store;
+  const EvalReport report = run_campaign(spec, 2, &store);
+  ASSERT_TRUE(report.has_tuner);
+  EXPECT_GT(report.cache.hits, 0u);
+  // And the shared cells must not leak tuner display names into the matrix.
+  for (const auto& c : report.cells) {
+    EXPECT_EQ(c.benchmark, "svm");
+    EXPECT_TRUE(c.type_config == "float" || c.type_config == "float16" ||
+                c.type_config == "float16alt" || c.type_config == "float8" ||
+                c.type_config == "mixed" || c.type_config == "posit8" ||
+                c.type_config == "posit16")
+        << c.type_config;
+  }
+}
+
+TEST(CampaignSpecCodec, RoundTripsToTheSameReport) {
+  const CampaignSpec spec = tiny_campaign();
+  const CampaignSpec parsed = spec_from_json(spec_to_json(spec));
+  EXPECT_EQ(to_json(run_campaign(spec, 1)).dump(2),
+            to_json(run_campaign(parsed, 1)).dump(2));
+}
+
+TEST(CampaignSpecCodec, RejectsUnknownScale) {
+  Json doc = spec_to_json(tiny_campaign());
+  JsonObject obj = doc.object();
+  for (auto& [k, v] : obj) {
+    if (k == "scale") v = Json("huge");
+  }
+  EXPECT_THROW((void)spec_from_json(Json(obj)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfrv::eval

@@ -1,0 +1,152 @@
+// Service tier: a loopback daemon on a Unix-domain socket, exercised
+// through the public client API. Checks the byte-identity contract (remote
+// == local, warm == cold), the per-run telemetry, error propagation for bad
+// specs, and clean shutdown.
+#include "eval/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "eval/campaign.hpp"
+#include "eval/report.hpp"
+
+namespace sfrv::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignSpec tiny_campaign() {
+  CampaignSpec spec = CampaignSpec::smoke();
+  spec.benchmarks = {"gemm", "atax"};
+  spec.type_configs = {
+      {"float16", kernels::TypeConfig::uniform(ir::ScalarType::F16)},
+  };
+  spec.modes = {ir::CodegenMode::Scalar, ir::CodegenMode::ManualVec};
+  spec.tuner_study = false;
+  return spec;
+}
+
+/// Daemon on a temp-dir Unix socket for one test's lifetime. run_remote
+/// retries the dial until the listener is up.
+struct Daemon {
+  std::string address;
+  std::thread thread;
+
+  Daemon() {
+    static int counter = 0;
+    address = (fs::temp_directory_path() /
+               ("sfrv-eval-test-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter++) + ".sock"))
+                  .string();
+    ServeOptions opts;
+    opts.address = address;
+    opts.jobs = 2;
+    opts.verbose = false;
+    thread = std::thread([opts] { serve(opts); });
+    wait_ready();
+  }
+
+  void wait_ready() const {
+    // The listener needs a beat to bind; probe with an empty connection.
+    for (int i = 0; i < 200; ++i) {
+      if (fs::exists(address)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "daemon did not come up on " << address;
+  }
+
+  ~Daemon() {
+    if (thread.joinable()) {
+      try {
+        shutdown_remote(address);
+      } catch (const std::exception&) {
+        // Already shut down by the test body.
+      }
+      thread.join();
+    }
+  }
+};
+
+TEST(EvalService, RemoteRunMatchesLocalByteForByte) {
+  const CampaignSpec spec = tiny_campaign();
+  const EvalReport local = run_campaign(spec, 2);
+  const std::string local_json = to_json(local).dump(2) + "\n";
+  const std::string local_md = render_markdown(local);
+
+  Daemon daemon;
+  std::size_t streamed = 0;
+  const ClientResult cold = run_remote(
+      daemon.address, spec, 2, false,
+      [&](std::size_t, std::size_t total, bool) {
+        ++streamed;
+        EXPECT_EQ(total, local.cells.size());
+      });
+  EXPECT_EQ(cold.json, local_json);
+  EXPECT_EQ(cold.md, local_md);
+  EXPECT_EQ(cold.cells, local.cells.size());
+  EXPECT_EQ(streamed, local.cells.size());
+  EXPECT_EQ(cold.misses, local.cells.size());
+
+  // Warm rerun against the daemon's shared store: all hits, same bytes.
+  const ClientResult warm = run_remote(daemon.address, spec, 2);
+  EXPECT_EQ(warm.json, local_json);
+  EXPECT_EQ(warm.md, local_md);
+  EXPECT_EQ(warm.hits, local.cells.size());
+  EXPECT_EQ(warm.misses, 0u);
+}
+
+TEST(EvalService, ConcurrentClientsShareTheStore) {
+  const CampaignSpec spec = tiny_campaign();
+  Daemon daemon;
+  ClientResult a, b;
+  std::thread ta([&] { a = run_remote(daemon.address, spec, 1); });
+  std::thread tb([&] { b = run_remote(daemon.address, spec, 1); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.md, b.md);
+  // Between them every cell was computed at least once; a sequential third
+  // client is fully served.
+  const ClientResult c = run_remote(daemon.address, spec, 1);
+  EXPECT_EQ(c.hits, c.cells);
+  EXPECT_EQ(c.misses, 0u);
+}
+
+TEST(EvalService, ServerErrorsPropagateAndTheDaemonSurvives) {
+  Daemon daemon;
+  CampaignSpec bad = tiny_campaign();
+  bad.benchmarks = {"no-such-benchmark"};
+  EXPECT_THROW((void)run_remote(daemon.address, bad, 1), std::runtime_error);
+  // The daemon outlives the bad request.
+  const ClientResult ok = run_remote(daemon.address, tiny_campaign(), 1);
+  EXPECT_GT(ok.cells, 0u);
+}
+
+TEST(EvalService, ShutdownStopsTheDaemon) {
+  Daemon daemon;
+  shutdown_remote(daemon.address);
+  daemon.thread.join();
+  // A further connection attempt must fail fast.
+  EXPECT_THROW((void)run_remote(daemon.address, tiny_campaign(), 1),
+               std::runtime_error);
+}
+
+TEST(EvalService, RejectsBadAddresses) {
+  EXPECT_THROW((void)run_remote("not-a-port", tiny_campaign(), 1),
+               std::runtime_error);
+  EXPECT_THROW((void)run_remote("localhost:0", tiny_campaign(), 1),
+               std::runtime_error);
+  ServeOptions opts;
+  opts.address = "999999";
+  EXPECT_THROW(serve(opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfrv::eval

@@ -7,10 +7,12 @@
 
 #include <vector>
 
+#include "ir/opt.hpp"
 #include "sim/core.hpp"
 #include "sim_util.hpp"
 #include "softfloat/runtime.hpp"
 #include "test_util.hpp"
+#include "util/env.hpp"
 
 namespace sfrv::test {
 namespace {
@@ -50,6 +52,31 @@ TEST(EngineNames, EnvContractWarnsAndFallsBack) {
   EXPECT_EQ(sim::engine_from_env("bogus"), Engine::Predecoded);
   EXPECT_EQ(sim::engine_from_env("Fused"), Engine::Predecoded);
   EXPECT_EQ(sim::engine_from_env("JIT"), Engine::Predecoded);  // case-sensitive
+}
+
+TEST(EnvParsers, SharedHelperContractAcrossAllThreeVariables) {
+  // SFRV_ENGINE / SFRV_BACKEND / SFRV_OPT all resolve through
+  // util::parse_env_enum: unset or empty selects the fallback, a valid name
+  // parses, anything else warns on stderr and falls back — never throws
+  // (resolution runs inside static initialization). One helper, one
+  // contract; an invalid value must behave identically for every variable.
+  for (const char* invalid : {"bogus", " O1", "O1 ", "o1", "3", "--"}) {
+    EXPECT_EQ(sim::engine_from_env(invalid), Engine::Predecoded) << invalid;
+    EXPECT_EQ(fp::backend_from_env(invalid), MathBackend::Grs) << invalid;
+    EXPECT_EQ(ir::opt_name(ir::opt_from_env(invalid)), "O0") << invalid;
+  }
+  EXPECT_EQ(ir::opt_name(ir::opt_from_env(nullptr)), "O0");
+  EXPECT_EQ(ir::opt_name(ir::opt_from_env("")), "O0");
+  EXPECT_EQ(ir::opt_name(ir::opt_from_env("O2")), "O2");
+  // Direct helper check: fallback passes through untouched on bad input.
+  const int parsed = util::parse_env_enum(
+      "nope", 7, [](const char*) -> int { throw std::runtime_error("no"); },
+      "SFRV_TEST", "anything");
+  EXPECT_EQ(parsed, 7);
+  const int ok = util::parse_env_enum(
+      "13", 7, [](const char* v) { return std::atoi(v); }, "SFRV_TEST",
+      "a number");
+  EXPECT_EQ(ok, 13);
 }
 
 /// FP-heavy program touching every fast-path family: f8/f16 packed SIMD

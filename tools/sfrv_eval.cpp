@@ -7,19 +7,25 @@
 //
 //   sfrv-eval --suite table3 --out report          # full paper-sized run
 //   sfrv-eval --suite smoke --out eval-ci -j 2     # CI-sized run
+//   sfrv-eval --serve 7475 --cache-dir .cells      # eval-as-a-service daemon
+//   sfrv-eval --connect 7475 --suite smoke --out r # thin client
 //
-// The JSON output is deterministic: identical across thread counts and
-// across runs, so it can be checked in (BENCH_eval.json) and diffed.
+// The JSON output is deterministic: identical across thread counts, across
+// runs, across cold/warm cell-store passes, and across local vs. --connect
+// execution — so it can be checked in (BENCH_eval.json) and diffed.
 #include <cerrno>
 #include <chrono>
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "eval/campaign.hpp"
+#include "eval/service.hpp"
 #include "sim/jit.hpp"
 
 namespace {
@@ -32,6 +38,9 @@ int usage(const char* argv0) {
       "          [--engine predecoded|fused|reference|jit]\n"
       "          [--backend grs|fast] [--opt O0|O1|O2]\n"
       "          [--jit-threshold N] [--wall-clock] [--no-tuner]\n"
+      "          [--serve ADDR] [--connect ADDR] [--shutdown ADDR]\n"
+      "          [--cache-dir DIR] [--cache-bench]\n"
+      "          [--list benchmarks|suites|engines|backends|opts]\n"
       "\n"
       "  --suite       campaign to run (default: table3). nn is the NN\n"
       "                inference/training tier with a VL sweep; nn-smoke is\n"
@@ -58,9 +67,61 @@ int usage(const char* argv0) {
       "  --wall-clock  record campaign wall time as `wall_ms` in the JSON\n"
       "                report (host-dependent; off by default so reports stay\n"
       "                byte-deterministic)\n"
-      "  --no-tuner    skip the Fig. 6 precision-tuning case study\n",
+      "  --no-tuner    skip the Fig. 6 precision-tuning case study\n"
+      "  --serve       run as a daemon on ADDR (\"PORT\", \"HOST:PORT\", or a\n"
+      "                Unix socket path); concurrent clients share one\n"
+      "                content-addressed cell store. Blocks until --shutdown\n"
+      "  --connect     submit the campaign to a daemon at ADDR instead of\n"
+      "                running locally; output files are byte-identical to a\n"
+      "                local run\n"
+      "  --shutdown    ask the daemon at ADDR to exit\n"
+      "  --cache-dir   persist the cell store under DIR (one JSON entry per\n"
+      "                content address, atomic-rename writes); later runs\n"
+      "                reuse any cell whose address matches\n"
+      "  --cache-bench run the campaign twice in-process (cold, then warm from\n"
+      "                the store), verify the reports are byte-identical, and\n"
+      "                record {hits, misses, cold_ms, warm_ms} in the JSON\n"
+      "                report (implies --wall-clock)\n"
+      "  --list        print the known names of a kind, one per line, and exit\n",
       argv0);
   return 2;
+}
+
+int run_list(const std::string& kind) {
+  using namespace sfrv;
+  if (kind == "benchmarks") {
+    // The smoke suite carries every benchmark name (the full suite at full
+    // problem sizes would train the paper SVM fixture just to print names).
+    for (const auto& b : eval::eval_suite(eval::SuiteScale::Smoke)) {
+      std::printf("%s\n", b.bench.name.c_str());
+    }
+  } else if (kind == "suites") {
+    std::printf("table3\nsmoke\nnn\nnn-smoke\n");
+  } else if (kind == "engines") {
+    std::printf("reference\npredecoded\nfused\njit\n");
+  } else if (kind == "backends") {
+    std::printf("grs\nfast\n");
+  } else if (kind == "opts") {
+    std::printf("O0\nO1\nO2\n");
+  } else {
+    std::fprintf(stderr,
+                 "unknown list kind: %s (expected "
+                 "benchmarks|suites|engines|backends|opts)\n",
+                 kind.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+void print_cache_line(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t lookups = hits + misses;
+  const double rate =
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(hits) /
+                         static_cast<double>(lookups);
+  std::printf("cache: %llu hits, %llu misses (hit rate: %.1f%%)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), rate);
 }
 
 bool write_file(const std::string& path, const std::string& contents) {
@@ -108,9 +169,15 @@ int main(int argc, char** argv) {
   std::string engine;
   std::string backend;
   std::string opt;
+  std::string serve_addr;
+  std::string connect_addr;
+  std::string shutdown_addr;
+  std::string cache_dir;
+  std::string list_kind;
   int jobs = 1;
   int jit_threshold = -1;  // -1: keep the process default
   bool wall_clock = false;
+  bool cache_bench = false;
   bool tuner = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -165,6 +232,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid jit threshold: %s\n", v);
         return 2;
       }
+    } else if (arg == "--serve") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      serve_addr = v;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      connect_addr = v;
+    } else if (arg == "--shutdown") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      shutdown_addr = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cache_dir = v;
+    } else if (arg == "--cache-bench") {
+      cache_bench = true;
+      wall_clock = true;
+    } else if (arg == "--list") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      list_kind = v;
     } else if (arg == "--wall-clock") {
       wall_clock = true;
     } else if (arg == "--no-tuner") {
@@ -175,6 +265,18 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return usage(argv[0]);
+    }
+  }
+
+  if (!list_kind.empty()) return run_list(list_kind);
+  if (!shutdown_addr.empty()) {
+    try {
+      eval::shutdown_remote(shutdown_addr);
+      std::printf("sfrv-eval: daemon at %s shut down\n", shutdown_addr.c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sfrv-eval: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -245,6 +347,45 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  if (!serve_addr.empty()) {
+    try {
+      eval::ServeOptions opts;
+      opts.address = serve_addr;
+      opts.jobs = jobs;
+      opts.cache_dir = cache_dir;
+      eval::serve(opts);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sfrv-eval: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  const std::string json_path = out_prefix + ".json";
+  const std::string md_path = out_prefix + ".md";
+
+  if (!connect_addr.empty()) {
+    try {
+      const std::size_t n_cells = eval::expand_matrix(spec).size();
+      std::printf("sfrv-eval: suite %s -> daemon at %s, %zu cells\n",
+                  spec.name.c_str(), connect_addr.c_str(), n_cells);
+      const eval::ClientResult r =
+          eval::run_remote(connect_addr, spec, jobs, wall_clock);
+      if (!write_file(json_path, r.json) || !write_file(md_path, r.md)) {
+        std::fprintf(stderr, "failed to write %s / %s\n", json_path.c_str(),
+                     md_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu cells) and %s\n", json_path.c_str(), r.cells,
+                  md_path.c_str());
+      print_cache_line(r.hits, r.misses);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sfrv-eval: %s\n", e.what());
+      return 1;
+    }
+  }
+
   try {
     const std::size_t n_cells = eval::expand_matrix(spec).size();
     std::printf("sfrv-eval: suite %s, engine %s, backend %s, opt %s, "
@@ -254,17 +395,44 @@ int main(int argc, char** argv) {
                 std::string(fp::backend_name(spec.backend)).c_str(),
                 std::string(ir::opt_name(spec.opt)).c_str(), n_cells,
                 jobs, spec.runs_tuner() ? ", tuner study" : "");
-    const auto t0 = std::chrono::steady_clock::now();
-    eval::EvalReport report = eval::run_campaign(spec, jobs);
-    if (wall_clock) {
-      report.wall_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - t0)
-              .count();
+    std::unique_ptr<eval::CellStore> store;
+    if (!cache_dir.empty() || cache_bench) {
+      store = std::make_unique<eval::CellStore>(cache_dir);
     }
+    const auto t0 = std::chrono::steady_clock::now();
+    eval::EvalReport report = eval::run_campaign(spec, jobs, store.get());
+    const auto t1 = std::chrono::steady_clock::now();
+    const double cold_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (cache_bench) {
+      const eval::EvalReport warm = eval::run_campaign(spec, jobs, store.get());
+      const double warm_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t1)
+                                 .count();
+      // The cache-correctness contract, checked in-process: a fully cached
+      // rerun must serialize bit-for-bit like the cold pass (telemetry is
+      // not attached yet, so the dumps are directly comparable).
+      if (eval::to_json(report).dump(2) != eval::to_json(warm).dump(2) ||
+          eval::render_markdown(report) != eval::render_markdown(warm)) {
+        std::fprintf(stderr,
+                     "sfrv-eval: cache determinism violation: warm report "
+                     "differs from cold\n");
+        return 1;
+      }
+      report.has_cache = true;
+      report.cache.hits = warm.cache.hits;  // warm pass: every lookup hits
+      report.cache.misses = warm.cache.misses;
+      report.cache.cold_ms = cold_ms;
+      report.cache.warm_ms = warm_ms;
+      std::printf("cache bench: cold %.1f ms, warm %.1f ms (%.1fx)\n", cold_ms,
+                  warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+      print_cache_line(report.cache.hits, report.cache.misses);
+    } else if (store != nullptr) {
+      if (wall_clock) report.has_cache = true;
+      print_cache_line(report.cache.hits, report.cache.misses);
+    }
+    if (wall_clock) report.wall_ms = cold_ms;
 
-    const std::string json_path = out_prefix + ".json";
-    const std::string md_path = out_prefix + ".md";
     if (!write_file(json_path, eval::to_json(report).dump(2) + "\n") ||
         !write_file(md_path, eval::render_markdown(report))) {
       std::fprintf(stderr, "failed to write %s / %s\n", json_path.c_str(),
