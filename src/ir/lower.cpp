@@ -8,7 +8,9 @@
 #include <stdexcept>
 
 #include "asmb/assembler.hpp"
+#include "ir/verify.hpp"
 #include "softfloat/runtime.hpp"
+#include "util/verify.hpp"
 
 namespace sfrv::ir {
 
@@ -135,7 +137,12 @@ class Lowerer {
     }
     for (const auto& v : k_.vars) {
       (void)v;
-      var_reg_.push_back(fp_pool_.alloc());
+      const std::uint8_t r = fp_pool_.alloc();
+      var_reg_.push_back(r);
+      // Scalar vars start at +0.0 by contract. Zero the home register
+      // explicitly instead of relying on the simulator's reset state — an
+      // accumulating var (acc += ...) reads it before any other write.
+      asm_.emit(isa::Inst{.op = Op::FMV_S_X, .rd = r, .rs1 = reg::zero});
     }
     preload_consts();
 
@@ -147,15 +154,13 @@ class Lowerer {
     out.array_addr = array_addr_;
     out.inner_ranges = normalized_ranges();
     out.opt = opt_;
-    if (opt_.dead_glue_elim) {
-      // Provenance for the alias rules: per-text-index array id (distinct
-      // arrays and the constant pool are guaranteed-disjoint objects).
-      std::vector<int> mem_array(out.program.text.size(), -1);
-      for (const auto& [idx, arr] : mem_notes_) {
-        if (idx < mem_array.size()) mem_array[idx] = arr;
-      }
-      out.glue = dead_glue_elim(out.program, out.inner_ranges, mem_array,
-                                /*regs_dead_at_exit=*/true);
+    // Provenance for the dead-glue alias rules and the verifier: per-text-
+    // index array id (distinct arrays and the constant pool are guaranteed-
+    // disjoint objects). The dead-glue pass — run by the free lower() so the
+    // verifier can bracket it — compacts this in sync with the text.
+    out.mem_array.assign(out.program.text.size(), -1);
+    for (const auto& [idx, arr] : mem_notes_) {
+      if (idx < out.mem_array.size()) out.mem_array[idx] = arr;
     }
     return out;
   }
@@ -1633,12 +1638,61 @@ class Lowerer {
 
 }  // namespace
 
+namespace {
+
+/// Attribute a pre-DGE verifier failure to the emission stage that
+/// introduced it: re-lower at reduced configurations (no unroll, no
+/// strength reduction — both are fused into emission, so they are not
+/// separately observable on the green path) and name the first stage whose
+/// addition makes the diagnostics appear. Runs only on the error path.
+[[noreturn]] void attribute_and_throw(
+    const Kernel& kernel, CodegenMode mode,
+    const std::vector<std::vector<double>>& array_init, const OptConfig& opt,
+    std::vector<verify::Diag> diags) {
+  const Verifier v;
+  const auto clean_under = [&](const OptConfig& reduced) {
+    try {
+      Lowerer lw(kernel, mode, reduced);
+      return v.check(lw.run(array_init)).empty();
+    } catch (const std::exception&) {
+      return false;  // cannot re-lower: no attribution possible
+    }
+  };
+  OptConfig base = opt;
+  base.unroll_factor = 1;
+  base.ptr_strength_reduction = false;
+  base.dead_glue_elim = false;
+  std::string pass = "lower";
+  if (clean_under(base)) {
+    OptConfig with_unroll = base;
+    with_unroll.unroll_factor = opt.unroll_factor;
+    pass = opt.unroll_factor > 1 && !clean_under(with_unroll)
+               ? "unroll"
+               : "strength-reduction";
+  }
+  throw verify::VerifyError(pass, std::move(diags));
+}
+
+}  // namespace
+
 LoweredKernel lower(const Kernel& kernel, CodegenMode mode,
                     const std::vector<std::vector<double>>& array_init,
                     const OptConfig& opt) {
   validate(opt);
   Lowerer lw(kernel, mode, opt);
-  return lw.run(array_init);
+  LoweredKernel out = lw.run(array_init);
+  if (verify::enabled()) {
+    auto diags = Verifier().check(out);
+    if (!diags.empty()) {
+      attribute_and_throw(kernel, mode, array_init, opt, std::move(diags));
+    }
+  }
+  if (opt.dead_glue_elim) {
+    out.glue = dead_glue_elim(out.program, out.inner_ranges, &out.mem_array,
+                              /*regs_dead_at_exit=*/true);
+    if (verify::enabled()) verify_or_throw(out, "dead-glue-elim");
+  }
+  return out;
 }
 
 }  // namespace sfrv::ir

@@ -65,6 +65,12 @@ struct LoweredKernel {
   OptConfig opt{};
   /// Outcome of the dead-glue pass (zeroes when it did not run).
   GlueStats glue{};
+  /// Alias provenance, one entry per text instruction: the id of the memory
+  /// object (array index, or arrays-count for the constant pool) a memory
+  /// access touches, -1 for non-memory instructions or unknown provenance.
+  /// Consumed by the dead-glue pass's alias rules (which compact it in sync
+  /// with the text) and checked by ir::Verifier.
+  std::vector<int> mem_array;
 };
 
 /// Lower `kernel` with the given mode. `array_init` provides initial contents

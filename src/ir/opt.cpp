@@ -266,11 +266,14 @@ struct Block {
 GlueStats dead_glue_elim(
     asmb::Program& prog,
     std::vector<std::pair<std::uint32_t, std::uint32_t>>& inner_ranges,
-    const std::vector<int>& mem_array, bool regs_dead_at_exit) {
+    std::vector<int>* mem_array_io, bool regs_dead_at_exit) {
   GlueStats gs;
   auto& text = prog.text;
   const std::size_t n = text.size();
   if (n == 0) return gs;
+  const std::vector<int> no_prov;
+  const std::vector<int>& mem_array =
+      mem_array_io != nullptr ? *mem_array_io : no_prov;
 
   std::vector<InstModel> models(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -368,6 +371,10 @@ GlueStats dead_glue_elim(
           in = Inst{.op = sgnj_for_width(m.width), .rd = rd, .rs1 = src,
                     .rs2 = src};
           models[i] = classify(in);
+          // The rewrite leaves a register copy: no memory provenance.
+          if (mem_array_io != nullptr && i < mem_array_io->size()) {
+            (*mem_array_io)[i] = -1;
+          }
           ++gs.loads_forwarded;
         }
         kill_vreg(rd);
@@ -544,12 +551,35 @@ GlueStats dead_glue_elim(
     b = remap_addr(b);
     e = remap_addr(e);
   }
+  // Remapping preserves order but can collapse a fully-deleted range to
+  // empty or butt adjacent ranges into overlap; re-normalize so the sorted /
+  // merged / non-empty contract (ir::Verifier) survives the pass.
+  {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> norm;
+    for (const auto& [b, e] : inner_ranges) {
+      if (b >= e) continue;
+      if (!norm.empty() && b < norm.back().second) {
+        norm.back().second = std::max(norm.back().second, e);
+      } else {
+        norm.emplace_back(b, e);
+      }
+    }
+    inner_ranges = std::move(norm);
+  }
   std::vector<Inst> compact;
   compact.reserve(k);
   for (std::size_t i = 0; i < n; ++i) {
     if (!deleted[i]) compact.push_back(text[i]);
   }
   text = std::move(compact);
+  if (mem_array_io != nullptr && mem_array_io->size() == n) {
+    std::vector<int> prov_compact;
+    prov_compact.reserve(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!deleted[i]) prov_compact.push_back((*mem_array_io)[i]);
+    }
+    *mem_array_io = std::move(prov_compact);
+  }
   prog.text_words.clear();
   prog.text_words.reserve(text.size());
   for (const Inst& i : text) prog.text_words.push_back(isa::encode(i));

@@ -103,7 +103,9 @@ struct GlueStats {
 /// each load/store touches (-1 / missing = unknown, conservatively aliased
 /// with everything). Distinct ids are guaranteed-disjoint memory objects,
 /// which is what lets a store to one array keep forwarding entries of
-/// another alive.
+/// another alive. When provided it is compacted in lock-step with the text
+/// (entries of deleted instructions removed, forwarded loads losing their
+/// provenance), so it stays index-accurate for ir::Verifier.
 ///
 /// The pass is conservative and sound: it bails out (no-op) on programs
 /// containing position-dependent or indirect control flow (jal/jalr/auipc)
@@ -114,6 +116,6 @@ struct GlueStats {
 GlueStats dead_glue_elim(
     asmb::Program& prog,
     std::vector<std::pair<std::uint32_t, std::uint32_t>>& inner_ranges,
-    const std::vector<int>& mem_array = {}, bool regs_dead_at_exit = false);
+    std::vector<int>* mem_array = nullptr, bool regs_dead_at_exit = false);
 
 }  // namespace sfrv::ir

@@ -1,0 +1,500 @@
+#include "ir/verify.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcodes.hpp"
+
+namespace sfrv::ir {
+
+namespace {
+
+using isa::Cls;
+using isa::Inst;
+using isa::Lay;
+using isa::Op;
+using verify::Diag;
+
+std::string disasm_at(const Inst& in, std::size_t i, std::uint32_t text_base) {
+  // A corrupted register field would index past the 32-entry name tables;
+  // fall back to the bare mnemonic for unprintable instructions.
+  if (in.rd >= 32 || in.rs1 >= 32 || in.rs2 >= 32 || in.rs3 >= 32) {
+    return std::string(isa::mnemonic(in.op)) + " <register field out of range>";
+  }
+  return isa::disassemble(in, text_base + 4 * static_cast<std::uint32_t>(i));
+}
+
+// ---- per-instruction operand/register model ---------------------------------
+
+/// Which Inst fields are operands of the instruction's layout. Non-operand
+/// fields must be zero (the encode/decode round-trip contract of
+/// isa/instruction.hpp), operand register fields must index the 32-entry
+/// files, and the rm operand must be a valid static mode or DYN.
+struct FieldSpec {
+  bool rd = false, rs1 = false, rs2 = false, rs3 = false, rm = false;
+};
+
+FieldSpec field_spec(Lay lay) {
+  FieldSpec f;
+  switch (lay) {
+    case Lay::U:
+    case Lay::J:
+      f.rd = true;
+      break;
+    case Lay::Iimm:
+    case Lay::Shamt:
+      f.rd = f.rs1 = true;
+      break;
+    case Lay::Bimm:
+    case Lay::Simm:
+      f.rs1 = f.rs2 = true;
+      break;
+    case Lay::R:
+    case Lay::FpR2:
+    case Lay::Vec:
+      f.rd = f.rs1 = f.rs2 = true;
+      break;
+    case Lay::FullWord:
+      break;
+    case Lay::Csr:
+      f.rd = f.rs1 = true;  // rs1 may hold a zimm; still a 5-bit field
+      break;
+    case Lay::FpRrm:
+      f.rd = f.rs1 = f.rs2 = f.rm = true;
+      break;
+    case Lay::FpR4:
+      f.rd = f.rs1 = f.rs2 = f.rs3 = f.rm = true;
+      break;
+    case Lay::FpUnaryRm:
+      f.rd = f.rs1 = f.rm = true;
+      break;
+    case Lay::FpUnary:
+    case Lay::VecUnary:
+      f.rd = f.rs1 = true;
+      break;
+  }
+  return f;
+}
+
+/// [lo, hi] immediate bounds per layout; alignment handled separately.
+bool imm_in_range(Lay lay, std::int32_t imm) {
+  switch (lay) {
+    case Lay::U: return (imm & 0xfff) == 0;
+    case Lay::J: return imm >= -(1 << 20) && imm < (1 << 20) && imm % 2 == 0;
+    case Lay::Iimm:
+    case Lay::Simm: return imm >= -2048 && imm <= 2047;
+    case Lay::Bimm: return imm >= -4096 && imm <= 4094 && imm % 2 == 0;
+    case Lay::Shamt: return imm >= 0 && imm <= 31;
+    case Lay::Csr: return imm >= 0 && imm <= 4095;
+    case Lay::R:
+    case Lay::FullWord:
+    case Lay::FpRrm:
+    case Lay::FpR2:
+    case Lay::FpR4:
+    case Lay::FpUnaryRm:
+    case Lay::FpUnary:
+    case Lay::Vec:
+    case Lay::VecUnary: return imm == 0;
+  }
+  return false;
+}
+
+/// Dataflow facts per instruction. Registers are numbered 0-31 integer,
+/// 32-63 FP; bit 64 is the "a SETVL has executed" fact for the VL
+/// discipline. The model is *must*-style: `uses` lists registers whose
+/// values the instruction observably reads, so only genuinely-accumulating
+/// ops count rd as a source (a VL-governed load's tail merge is not
+/// observable through VL-governed stores and is deliberately not modeled —
+/// see docs/verification.md).
+struct Flow {
+  std::uint64_t defs = 0;  ///< register bits defined (bit 64 excluded)
+  std::uint64_t uses = 0;  ///< register bits read
+  bool sets_vl = false;    ///< SETVL: establishes the VL fact
+  bool needs_vl = false;   ///< VL-governed packed memop: requires the fact
+};
+
+constexpr std::uint64_t xbit(unsigned r) { return 1ull << r; }
+constexpr std::uint64_t fbit(unsigned r) { return 1ull << (32 + r); }
+
+/// Does the op read its destination register (accumulate / partial write)?
+bool reads_rd(Op op) {
+  switch (isa::op_class(op)) {
+    case Cls::FpDotp:
+    case Cls::FpMacEx:
+    case Cls::FpDotpEx:
+    case Cls::FpCpk:  // cast-and-pack writes one lane pair, preserves rest
+      return true;
+    case Cls::FpFma:
+      return isa::is_vector(op);  // vfmac accumulates in rd; scalar FMA: rs3
+    default:
+      return false;
+  }
+}
+
+Flow flow_model(const Inst& in) {
+  Flow fl;
+  const Op op = in.op;
+  const Lay lay = isa::layout(op);
+  const auto def_x = [&](unsigned r) {
+    if (r != 0) fl.defs |= xbit(r);
+  };
+  switch (op) {
+    case Op::SETVL:
+      fl.sets_vl = true;
+      def_x(in.rd);
+      fl.uses |= xbit(in.rs1);
+      return fl;
+    case Op::VFLB:
+    case Op::VFLH:
+      fl.needs_vl = true;
+      fl.defs |= fbit(in.rd);
+      fl.uses |= xbit(in.rs1);
+      return fl;
+    case Op::VFSB:
+    case Op::VFSH:
+      fl.needs_vl = true;
+      fl.uses |= xbit(in.rs1) | fbit(in.rs2);
+      return fl;
+    default:
+      break;
+  }
+  switch (lay) {
+    case Lay::U:
+    case Lay::J:
+      def_x(in.rd);
+      return fl;
+    case Lay::Iimm:  // int ALU, loads (incl. FP), jalr
+      if (isa::rd_is_int(op)) {
+        def_x(in.rd);
+      } else {
+        fl.defs |= fbit(in.rd);
+      }
+      fl.uses |= xbit(in.rs1);
+      return fl;
+    case Lay::Shamt:
+      def_x(in.rd);
+      fl.uses |= xbit(in.rs1);
+      return fl;
+    case Lay::R:
+      def_x(in.rd);
+      fl.uses |= xbit(in.rs1) | xbit(in.rs2);
+      return fl;
+    case Lay::Bimm:
+      fl.uses |= xbit(in.rs1) | xbit(in.rs2);
+      return fl;
+    case Lay::Simm:  // int and FP stores
+      fl.uses |= xbit(in.rs1);
+      fl.uses |= isa::op_class(op) == Cls::FpStore ? fbit(in.rs2)
+                                                   : xbit(in.rs2);
+      return fl;
+    case Lay::FullWord:
+      return fl;
+    case Lay::Csr:
+      def_x(in.rd);
+      // The register-source forms read rs1; the *I forms carry a zimm there.
+      if (op == Op::CSRRW || op == Op::CSRRS || op == Op::CSRRC) {
+        fl.uses |= xbit(in.rs1);
+      }
+      return fl;
+    case Lay::FpRrm:
+    case Lay::FpR2:
+    case Lay::Vec:
+      if (isa::rd_is_int(op)) {
+        def_x(in.rd);
+      } else {
+        fl.defs |= fbit(in.rd);
+        if (reads_rd(op)) fl.uses |= fbit(in.rd);
+      }
+      fl.uses |= isa::rs1_is_int(op) ? xbit(in.rs1) : fbit(in.rs1);
+      fl.uses |= fbit(in.rs2);
+      return fl;
+    case Lay::FpR4:
+      fl.defs |= fbit(in.rd);
+      fl.uses |= fbit(in.rs1) | fbit(in.rs2) | fbit(in.rs3);
+      return fl;
+    case Lay::FpUnaryRm:
+    case Lay::FpUnary:
+    case Lay::VecUnary:
+      if (isa::rd_is_int(op)) {
+        def_x(in.rd);
+      } else {
+        fl.defs |= fbit(in.rd);
+        if (reads_rd(op)) fl.uses |= fbit(in.rd);
+      }
+      fl.uses |= isa::rs1_is_int(op) ? xbit(in.rs1) : fbit(in.rs1);
+      return fl;
+  }
+  return fl;
+}
+
+std::string reg_list(std::uint64_t bits) {
+  std::string s;
+  for (unsigned r = 0; r < 64; ++r) {
+    if ((bits & (1ull << r)) == 0) continue;
+    if (!s.empty()) s += ", ";
+    s += r < 32 ? std::string(isa::xreg_name(r))
+                : std::string(isa::freg_name(r - 32));
+  }
+  return s;
+}
+
+}  // namespace
+
+Verifier::Verifier(isa::IsaConfig cfg)
+    : cfg_(cfg), entry_live_x_(xbit(0) | xbit(2)) {}  // x0, sp
+
+void Verifier::add_entry_live(std::uint8_t xreg) {
+  entry_live_x_ |= xbit(xreg & 31);
+}
+
+std::vector<Diag> Verifier::check(const LoweredKernel& lk) const {
+  std::vector<Diag> diags;
+  const auto& prog = lk.program;
+  const auto& text = prog.text;
+  const std::size_t n = text.size();
+  const auto diag = [&](std::int64_t index, std::string msg) {
+    diags.push_back(Diag{.pass = {}, .index = index, .message = std::move(msg)});
+  };
+  const auto inst_diag = [&](std::size_t i, const std::string& msg) {
+    diag(static_cast<std::int64_t>(i),
+         msg + ": " + disasm_at(text[i], i, prog.text_base));
+  };
+
+  try {
+    validate(lk.opt);
+  } catch (const std::exception& e) {
+    diag(-1, std::string("invalid OptConfig provenance: ") + e.what());
+  }
+
+  // ---- operand validity and encoding round-trip -----------------------------
+  if (prog.text_words.size() != n) {
+    diag(-1, "text_words/text size mismatch: " +
+                 std::to_string(prog.text_words.size()) + " words for " +
+                 std::to_string(n) + " instructions");
+  }
+  std::vector<char> malformed(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Inst& in = text[i];
+    const Lay lay = isa::layout(in.op);
+    const FieldSpec fs = field_spec(lay);
+    bool ok = true;
+    const auto field_err = [&](const std::string& msg) {
+      inst_diag(i, msg);
+      ok = false;
+    };
+    if (!cfg_.supports(in.op)) {
+      field_err("op not implemented by the ISA configuration");
+    }
+    const auto check_reg = [&](bool is_operand, std::uint8_t v,
+                               const char* name) {
+      if (is_operand && v >= 32) {
+        field_err(std::string(name) + " register index " + std::to_string(v) +
+                  " out of range");
+      } else if (!is_operand && v != 0) {
+        field_err("unused field " + std::string(name) + " is " +
+                  std::to_string(v) + " (must be zero to round-trip)");
+      }
+    };
+    check_reg(fs.rd, in.rd, "rd");
+    check_reg(fs.rs1, in.rs1, "rs1");
+    check_reg(fs.rs2, in.rs2, "rs2");
+    check_reg(fs.rs3, in.rs3, "rs3");
+    if (fs.rm) {
+      if (in.rm > 4 && in.rm != isa::kRmDyn) {
+        field_err("reserved rounding mode " + std::to_string(in.rm));
+      }
+    } else if (in.rm != 0) {
+      field_err("unused field rm is " + std::to_string(in.rm) +
+                " (must be zero to round-trip)");
+    }
+    if (!imm_in_range(lay, in.imm)) {
+      field_err("immediate " + std::to_string(in.imm) +
+                " out of range for the op's layout");
+    }
+    if (!ok) {
+      malformed[i] = 1;
+      continue;  // encode() asserts on out-of-range fields
+    }
+    const std::uint32_t w = isa::encode(in);
+    if (i < prog.text_words.size() && w != prog.text_words[i]) {
+      inst_diag(i, "text_words out of sync with text (a pass mutated "
+                   "instructions without re-encoding)");
+    }
+    const auto back = isa::decode(w);
+    if (!back || back->op != in.op || back->rd != in.rd ||
+        back->rs1 != in.rs1 || back->rs2 != in.rs2 || back->rs3 != in.rs3 ||
+        back->rm != in.rm || back->imm != in.imm) {
+      inst_diag(i, "encode/decode round-trip changed the instruction");
+    }
+  }
+
+  // ---- control flow: targets in-bounds and aligned --------------------------
+  // successor lists drive the dataflow below; malformed control flow keeps a
+  // conservative fall-through edge so one bad branch yields one diagnostic.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Inst& in = text[i];
+    const Cls c = isa::op_class(in.op);
+    if (c != Cls::Branch && in.op != Op::JAL) continue;
+    if (in.imm % 4 != 0) {
+      inst_diag(i, "control-flow target not instruction-aligned");
+      continue;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(i) + in.imm / 4;
+    if (t < 0 || t >= static_cast<std::int64_t>(n)) {
+      inst_diag(i, "control-flow target " + std::to_string(t) +
+                       " outside the text segment [0, " + std::to_string(n) +
+                       ")");
+    }
+  }
+
+  // ---- def-before-use + VL domination (forward must-analysis) ---------------
+  // defined-in[i] = intersection of defined-out over predecessors; a use of
+  // a register outside defined-in means some path reaches the instruction
+  // without a definition. Loops converge because the transfer function is
+  // monotone over a finite lattice. Bit 64 carries "a SETVL has executed".
+  if (n > 0 && std::none_of(malformed.begin(), malformed.end(),
+                            [](char m) { return m != 0; })) {
+    constexpr std::uint64_t kVlBit = 0;  // tracked in a parallel bool
+    (void)kVlBit;
+    struct State {
+      std::uint64_t regs;
+      bool vl;
+    };
+    const State top{~0ull, true};
+    std::vector<Flow> flows(n);
+    for (std::size_t i = 0; i < n; ++i) flows[i] = flow_model(text[i]);
+
+    // Successor lists. Terminators (ebreak/ecall) and jalr (dynamic target)
+    // end a path; branches have two successors; jal one.
+    const auto successors = [&](std::size_t i, std::size_t out[2]) -> int {
+      const Inst& in = text[i];
+      if (in.op == Op::EBREAK || in.op == Op::ECALL || in.op == Op::JALR) {
+        return 0;
+      }
+      const bool is_jal = in.op == Op::JAL;
+      const bool is_branch = isa::op_class(in.op) == Cls::Branch;
+      int cnt = 0;
+      if ((is_jal || is_branch) && in.imm % 4 == 0) {
+        const std::int64_t t = static_cast<std::int64_t>(i) + in.imm / 4;
+        if (t >= 0 && t < static_cast<std::int64_t>(n)) {
+          out[cnt++] = static_cast<std::size_t>(t);
+        }
+      }
+      if (!is_jal && i + 1 < n) out[cnt++] = i + 1;
+      return cnt;
+    };
+
+    std::vector<State> in_state(n, top);
+    // x0 reads as zero whether or not anything "defined" it.
+    in_state[0] = State{entry_live_x_ | xbit(0), false};
+    std::vector<char> queued(n, 0);
+    std::deque<std::size_t> work;
+    work.push_back(0);
+    queued[0] = 1;
+    while (!work.empty()) {
+      const std::size_t i = work.front();
+      work.pop_front();
+      queued[i] = 0;
+      const State out_state{(in_state[i].regs | flows[i].defs) | xbit(0),
+                            in_state[i].vl || flows[i].sets_vl};
+      std::size_t succ[2];
+      const int cnt = successors(i, succ);
+      for (int s = 0; s < cnt; ++s) {
+        const std::size_t j = succ[s];
+        const State met{in_state[j].regs & out_state.regs,
+                        in_state[j].vl && out_state.vl};
+        if (met.regs != in_state[j].regs || met.vl != in_state[j].vl) {
+          in_state[j] = met;
+          if (queued[j] == 0) {
+            work.push_back(j);
+            queued[j] = 1;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_state[i].regs == top.regs && in_state[i].vl) continue;  // dead
+      const std::uint64_t undef = flows[i].uses & ~in_state[i].regs;
+      if (undef != 0) {
+        inst_diag(i, "use of register(s) " + reg_list(undef) +
+                         " with no definition on some path from entry");
+      }
+      if (flows[i].needs_vl && !in_state[i].vl) {
+        inst_diag(i, "VL-governed vector memop not dominated by a setvl");
+      }
+    }
+  }
+
+  // ---- inner_ranges: sorted, merged, non-empty, aligned, in-text ------------
+  const std::uint32_t text_lo = prog.text_base;
+  const std::uint32_t text_hi =
+      prog.text_base + 4 * static_cast<std::uint32_t>(n);
+  std::uint32_t prev_end = 0;
+  for (std::size_t k = 0; k < lk.inner_ranges.size(); ++k) {
+    const auto [b, e] = lk.inner_ranges[k];
+    const std::string where = "inner_ranges[" + std::to_string(k) + "]";
+    if (b % 4 != 0 || e % 4 != 0) {
+      diag(-1, where + " not 4-aligned");
+    }
+    if (b >= e) {
+      diag(-1, where + " empty or inverted");
+    }
+    if (b < text_lo || e > text_hi) {
+      diag(-1, where + " outside the text segment");
+    }
+    if (k > 0 && b < prev_end) {
+      diag(-1, where + " overlaps or is unsorted against the previous range "
+                       "(normalization requires sorted, merged ranges)");
+    }
+    prev_end = e;
+  }
+
+  // ---- mem_array provenance -------------------------------------------------
+  if (!lk.mem_array.empty()) {
+    if (lk.mem_array.size() != n) {
+      diag(-1, "mem_array size " + std::to_string(lk.mem_array.size()) +
+                   " does not match text size " + std::to_string(n));
+    }
+    // Valid ids: array indices plus one constant-pool region.
+    const int max_id = static_cast<int>(lk.array_addr.size());
+    for (std::size_t i = 0; i < lk.mem_array.size() && i < n; ++i) {
+      const int id = lk.mem_array[i];
+      if (id < -1 || id > max_id) {
+        inst_diag(i, "mem_array provenance id " + std::to_string(id) +
+                         " outside [-1, " + std::to_string(max_id) + "]");
+        continue;
+      }
+      if (id >= 0) {
+        switch (isa::op_class(text[i].op)) {
+          case Cls::Load:
+          case Cls::Store:
+          case Cls::FpLoad:
+          case Cls::FpStore:
+            break;
+          default:
+            inst_diag(i, "mem_array provenance attached to a non-memory "
+                         "instruction (compaction out of sync)");
+            break;
+        }
+      }
+    }
+  }
+
+  return diags;
+}
+
+void verify_or_throw(const LoweredKernel& lk, std::string_view pass,
+                     const isa::IsaConfig& cfg) {
+  auto diags = Verifier(cfg).check(lk);
+  if (!diags.empty()) {
+    throw verify::VerifyError(std::string(pass), std::move(diags));
+  }
+}
+
+}  // namespace sfrv::ir

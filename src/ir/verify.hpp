@@ -1,0 +1,62 @@
+// Static verifier for lowered kernels: checks every invariant the
+// post-lowering pipeline (lower -> unroll -> strength-reduction -> dead-glue
+// elimination) is required to preserve, so a violation is caught at the pass
+// that introduced it instead of surfacing later as an engine divergence.
+//
+// Checked invariants (catalogued in docs/verification.md):
+//  * operand validity against the ISA opcode tables: register indices,
+//    rounding modes, immediate ranges, and the "unused fields are zero"
+//    round-trip contract (encode(inst) must equal text_words[i] and decode
+//    back to the identical Inst);
+//  * branch/jal targets in-bounds and instruction-aligned;
+//  * def-before-use over the int and fp register files: a loop-aware
+//    must-be-defined dataflow (intersection over predecessors) with the
+//    entry-live registers (x0, sp, plus caller whitelist) seeded;
+//  * the VL discipline: every VL-governed packed memop (vflb/vflh/vfsb/vfsh)
+//    is dominated by a SETVL on every path from entry;
+//  * inner_ranges sorted, merged, non-empty, 4-aligned, and inside the text
+//    segment;
+//  * mem_array provenance sized to the text with ids inside the kernel's
+//    memory-object universe, and only on memory-touching instructions.
+//
+// The verifier is read-only and engine-independent; ir::lower() runs it
+// after lowering and again after the dead-glue pass when verification is
+// enabled (util/verify.hpp), bisecting the optimizer configuration to name
+// the exact pass that introduced a violation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/lower.hpp"
+#include "isa/isa.hpp"
+#include "util/verify.hpp"
+
+namespace sfrv::ir {
+
+class Verifier {
+ public:
+  /// `cfg` bounds the op inventory: an instruction outside the configuration
+  /// is a diagnostic (the kernel compilers only emit implemented ops).
+  explicit Verifier(isa::IsaConfig cfg = isa::IsaConfig::full());
+
+  /// Mark an extra integer register as defined at program entry (x0 and sp
+  /// always are; lowered kernels define everything else before use).
+  void add_entry_live(std::uint8_t xreg);
+
+  /// Run every check; an empty result means the kernel is well-formed. The
+  /// diagnostics carry the text index and disassembly but no pass name —
+  /// the hook that knows which stage produced `lk` stamps it (VerifyError).
+  [[nodiscard]] std::vector<verify::Diag> check(const LoweredKernel& lk) const;
+
+ private:
+  isa::IsaConfig cfg_;
+  std::uint64_t entry_live_x_;  ///< bit r: integer register r defined at entry
+};
+
+/// Convenience hook: check `lk` and throw verify::VerifyError attributed to
+/// `pass` when any diagnostic fires.
+void verify_or_throw(const LoweredKernel& lk, std::string_view pass,
+                     const isa::IsaConfig& cfg = isa::IsaConfig::full());
+
+}  // namespace sfrv::ir

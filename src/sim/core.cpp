@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "isa/disasm.hpp"
+#include "sim/verify.hpp"
 #include "softfloat/runtime.hpp"
 #include "util/env.hpp"
+#include "util/verify.hpp"
 
 namespace sfrv::sim {
 
@@ -94,7 +96,7 @@ void Core::set_engine(Engine e) {
   engine_ = e;
   if ((e == Engine::Fused || e == Engine::Jit) && !uops_.empty() &&
       sblk_.ops().empty()) {
-    sblk_.build(uops_, timing_, mem_.config());
+    build_superblocks();
   }
 }
 
@@ -111,7 +113,7 @@ void Core::set_backend(fp::MathBackend b) {
   sblk_ = SuperblockProgram{};
   jit_.on_code_change(uops_.size());
   if (engine_ == Engine::Fused || engine_ == Engine::Jit) {
-    sblk_.build(uops_, timing_, mem_.config());
+    build_superblocks();
   }
 }
 
@@ -130,7 +132,7 @@ void Core::load_program(const asmb::Program& prog) {
   // run_fused/run_jit build on demand). New text also drops every compiled
   // trace.
   if (engine_ == Engine::Fused || engine_ == Engine::Jit) {
-    sblk_.build(uops_, timing_, mem_.config());
+    build_superblocks();
   } else {
     sblk_ = SuperblockProgram{};
   }
@@ -223,9 +225,16 @@ void Core::account(const DecodedOp& u, std::uint32_t idx) {
 
 // ---- superblock engine ------------------------------------------------------
 
+void Core::build_superblocks() {
+  sblk_.build(uops_, timing_, mem_.config());
+  if (verify::enabled()) {
+    verify_superblocks_or_throw(sblk_, uops_, timing_, mem_.config());
+  }
+}
+
 Core::RunResult Core::run_fused(std::uint64_t max_steps) {
   if (sblk_.ops().empty() && !uops_.empty()) {
-    sblk_.build(uops_, timing_, mem_.config());
+    build_superblocks();
   }
   std::uint64_t remaining = max_steps;
   while (remaining > 0) {
@@ -341,7 +350,7 @@ std::uint64_t Core::run_block(std::uint64_t budget, bool stop_at_block_end) {
 
 Core::RunResult Core::run_jit(std::uint64_t max_steps) {
   if (sblk_.ops().empty() && !uops_.empty()) {
-    sblk_.build(uops_, timing_, mem_.config());
+    build_superblocks();
   }
   std::uint64_t remaining = max_steps;
   try {
@@ -352,6 +361,10 @@ Core::RunResult Core::run_jit(std::uint64_t max_steps) {
       if (t == nullptr && jit_.note_entry(idx)) {
         t = jit_.translate(idx, uops_, timing_, mem_.config(), text_base_,
                            ctx_.vl, stats_);
+        if (t != nullptr && verify::enabled()) {
+          verify_trace_or_throw(*t, uops_, timing_, mem_.config(), text_base_,
+                                ctx_.vl);
+        }
       }
       if (t != nullptr) {
         remaining -= exec_trace(*t, remaining);

@@ -227,6 +227,11 @@ class Core : private detail::CoreState {
   /// verbatim by the predecoded and fused engines (the identity contract).
   void account(const DecodedOp& u, std::uint32_t idx);
 
+  /// Rebuild the superblock stream from the current micro-ops, running the
+  /// structural checker (sim/verify.hpp) behind the SFRV_VERIFY switch —
+  /// a violation throws verify::VerifyError attributed to pass "fusion".
+  void build_superblocks();
+
   // Superblock engine (Engine::Fused, see sim/superblock.hpp).
   RunResult run_fused(std::uint64_t max_steps);
   /// Execute fused ops from the current pc until control leaves the known

@@ -46,10 +46,6 @@ using I32 = std::int32_t;
 /// unsupported); the fused interpreter keeps it forever.
 constexpr std::uint32_t kNever = 0xffffffffu;
 
-/// Straight-line runs longer than this end in an open (Exit) trace; the
-/// continuation compiles as its own trace at the next entry.
-constexpr std::size_t kMaxTraceSlots = 512;
-
 std::atomic<std::uint32_t> g_default_threshold{8};
 
 /// Book one retired slot directly into `st` (bounded runs and fault

@@ -114,6 +114,11 @@ constexpr std::size_t kNumTOps = 0
 #undef SFRV_JIT_X
     ;
 
+/// Straight-line runs longer than this end in an open (Exit) trace; the
+/// continuation compiles as its own trace at the next entry. Public so the
+/// trace checker (sim/verify.cpp) can bound t.n.
+inline constexpr std::size_t kMaxTraceSlots = 512;
+
 /// One translated instruction. `u` is the original micro-op (register
 /// numbers, immediate, bound softfloat entries); `p0`/`p1` are constants
 /// folded at translation time:

@@ -297,6 +297,10 @@ bool needs_slow_accounting(const DecodedOp& u) {
 
 }  // namespace
 
+FusedFn select_fused_fn(const DecodedOp& a, const DecodedOp& b) {
+  return select_fn(a, b);
+}
+
 std::uint16_t fixed_cycles(const DecodedOp& u, const Timing& timing,
                            const MemConfig& mem) {
   int cyc = u.base_cycles;

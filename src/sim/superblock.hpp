@@ -55,6 +55,11 @@ std::uint16_t fixed_cycles(const DecodedOp& u, const Timing& timing,
 /// as the underlying DecodedOp handlers would back-to-back.
 using FusedFn = void (*)(ExecContext&, const FusedOp&);
 
+/// The handler the builder selects for the eligible pair (a, b). Exposed so
+/// the superblock checker (sim/verify.cpp) can cross-check each FusedOp's
+/// fn against an independent recomputation; never null.
+[[nodiscard]] FusedFn select_fused_fn(const DecodedOp& a, const DecodedOp& b);
+
 /// One slot of the superblock stream: a single micro-op or a fused pair.
 /// Micro-ops are stored by value so a SuperblockProgram is self-contained
 /// and Core stays memberwise-copyable.

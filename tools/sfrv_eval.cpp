@@ -27,6 +27,7 @@
 #include "eval/campaign.hpp"
 #include "eval/service.hpp"
 #include "sim/jit.hpp"
+#include "util/verify.hpp"
 
 namespace {
 
@@ -37,7 +38,7 @@ int usage(const char* argv0) {
       "          [--benchmarks a,b,...] [--vls a,b,...] [--mem l1|l2|l3]\n"
       "          [--engine predecoded|fused|reference|jit]\n"
       "          [--backend grs|fast] [--opt O0|O1|O2]\n"
-      "          [--jit-threshold N] [--wall-clock] [--no-tuner]\n"
+      "          [--jit-threshold N] [--verify] [--wall-clock] [--no-tuner]\n"
       "          [--serve ADDR] [--connect ADDR] [--shutdown ADDR]\n"
       "          [--cache-dir DIR] [--cache-bench]\n"
       "          [--list benchmarks|suites|engines|backends|opts]\n"
@@ -64,6 +65,10 @@ int usage(const char* argv0) {
       "  --jit-threshold  jit engine hotness threshold: blocks interpret until\n"
       "                entered more than N times, then compile; 0 compiles on\n"
       "                first entry. Wall-clock only (default: 8)\n"
+      "  --verify      enable per-pass pipeline verification (equivalent to\n"
+      "                SFRV_VERIFY=1): statically check every lowered kernel,\n"
+      "                superblock program, and compiled trace, and abort with\n"
+      "                a pass-attributed diagnostic on the first violation\n"
       "  --wall-clock  record campaign wall time as `wall_ms` in the JSON\n"
       "                report (host-dependent; off by default so reports stay\n"
       "                byte-deterministic)\n"
@@ -255,6 +260,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       list_kind = v;
+    } else if (arg == "--verify") {
+      sfrv::verify::set_enabled(true);
     } else if (arg == "--wall-clock") {
       wall_clock = true;
     } else if (arg == "--no-tuner") {
